@@ -1,0 +1,72 @@
+// Command experiments regenerates the paper's tables and figures on
+// synthetic data and prints them as text tables and series.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run table3
+//	experiments -run all [-scale 0.5] [-out results.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "", "experiment ID to run, or 'all'")
+		scale = flag.Float64("scale", 1.0, "time-window scale factor (1.0 = documented baseline)")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+		out   = flag.String("out", "", "also write results to this file")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *run == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+
+	emit := func(res *experiments.Result) {
+		fmt.Fprintln(w, res.Render())
+	}
+	start := time.Now()
+	var err error
+	if *run == "all" {
+		err = experiments.RunAll(cfg, emit)
+	} else {
+		var res *experiments.Result
+		res, err = experiments.Run(*run, cfg)
+		if err == nil {
+			emit(res)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+}

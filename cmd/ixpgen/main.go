@@ -1,0 +1,215 @@
+// Command ixpgen generates synthetic IXP flow datasets: raw or balanced
+// streams for any of the five modeled vantage points or the self-attack
+// set, written in the binary flow format (see internal/netflow).
+//
+// Usage:
+//
+//	ixpgen -profile IXP-CE1 -minutes 1440 -out ce1.ixfr [-raw] [-anonymize]
+//	ixpgen -profile SAS -out sas.ixfr
+//	ixpgen -profile IXP-US2 -minutes 10 -pcap us2.pcap   (sampled frames for Wireshark)
+//	ixpgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/packet"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+func main() {
+	var (
+		profile   = flag.String("profile", "IXP-US1", "vantage point (IXP-CE1, IXP-US1, IXP-SE, IXP-US2, IXP-CE2, SAS)")
+		minutes   = flag.Int64("minutes", 1440, "length of the generated window in minutes")
+		start     = flag.String("start", "2021-07-23", "window start date (YYYY-MM-DD, UTC)")
+		out       = flag.String("out", "", "output flow file")
+		pcapOut   = flag.String("pcap", "", "write sampled frames as a pcap file instead of flow records")
+		raw       = flag.Bool("raw", false, "write the raw unbalanced stream instead of the balanced one")
+		anonymize = flag.Bool("anonymize", false, "hash IP and MAC addresses with a random salt before writing")
+		seed      = flag.Uint64("seed", 0, "override the profile seed")
+		list      = flag.Bool("list", false, "list available profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("profile    members  benign flows/min  attack episodes/min")
+		for _, p := range synth.Profiles() {
+			fmt.Printf("%-9s  %7d  %16d  %19.2f\n", p.Name, p.Members, p.BenignFlowsPerMin, p.EpisodeRatePerMin)
+		}
+		fmt.Printf("%-9s  %7d  %16d  %19s\n", "SAS", synth.SASProfile().Members, synth.SASProfile().BenignFlowsPerMin, "(scripted attacks)")
+		return
+	}
+	if *pcapOut != "" {
+		if err := runPcap(*profile, *minutes, *start, *pcapOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "ixpgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "ixpgen: -out or -pcap is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*profile, *minutes, *start, *out, *raw, *anonymize, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ixpgen:", err)
+		os.Exit(1)
+	}
+}
+
+// runPcap replays the generator's sampled frames into a pcap file.
+func runPcap(profile string, minutes int64, start, out string, seed uint64) error {
+	startTime, err := time.Parse("2006-01-02", start)
+	if err != nil {
+		return fmt.Errorf("parsing -start: %w", err)
+	}
+	fromMin := startTime.UTC().Unix() / 60
+	p, err := synth.ProfileByName(profile)
+	if err != nil {
+		return err
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := packet.NewPcapWriter(f)
+	g := synth.NewGenerator(p)
+	var builder packet.Builder
+	var buf []synth.Flow
+	for m := fromMin; m < fromMin+minutes; m++ {
+		buf = g.GenerateMinute(m, buf[:0])
+		for i := range buf {
+			frame, err := synth.FrameFor(&buf[i], &builder)
+			if err != nil {
+				return err
+			}
+			orig := int(buf[i].Bytes / buf[i].Packets)
+			if err := w.WriteFrame(buf[i].Timestamp, 0, frame, orig); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d sampled frames to %s\n", w.Count(), out)
+	return nil
+}
+
+func run(profile string, minutes int64, start, out string, raw, anonymize bool, seed uint64) error {
+	startTime, err := time.Parse("2006-01-02", start)
+	if err != nil {
+		return fmt.Errorf("parsing -start: %w", err)
+	}
+	fromMin := startTime.UTC().Unix() / 60
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := netflow.NewWriter(f)
+
+	var anon *netflow.Anonymizer
+	if anonymize {
+		if anon, err = netflow.NewRandomAnonymizer(); err != nil {
+			return err
+		}
+	}
+	write := func(rec netflow.Record) error {
+		if anon != nil {
+			anon.Record(&rec)
+		}
+		return w.Write(&rec)
+	}
+
+	var stats balance.Stats
+	if profile == "SAS" {
+		cfg := synth.DefaultSelfAttackConfig()
+		if seed != 0 {
+			cfg.Profile.Seed = seed
+		}
+		cfg.FromMin = fromMin
+		cfg.ToMin = fromMin + minutes
+		flows := synth.SelfAttackSet(cfg)
+		if raw {
+			for i := range flows {
+				if err := write(flows[i].Record); err != nil {
+					return err
+				}
+			}
+		} else {
+			var werr error
+			b := balance.ForFlows(cfg.Profile.Seed, func(fl synth.Flow) {
+				if werr == nil {
+					werr = write(fl.Record)
+				}
+			})
+			for i := range flows {
+				b.Add(flows[i])
+			}
+			b.Flush()
+			if werr != nil {
+				return werr
+			}
+			stats = b.Stats
+		}
+	} else {
+		p, err := synth.ProfileByName(profile)
+		if err != nil {
+			return err
+		}
+		if seed != 0 {
+			p.Seed = seed
+		}
+		g := synth.NewGenerator(p)
+		var werr error
+		var b *balance.Balancer[synth.Flow]
+		if !raw {
+			b = balance.ForFlows(p.Seed, func(fl synth.Flow) {
+				if werr == nil {
+					werr = write(fl.Record)
+				}
+			})
+		}
+		var buf []synth.Flow
+		for m := fromMin; m < fromMin+minutes; m++ {
+			buf = g.GenerateMinute(m, buf[:0])
+			for i := range buf {
+				if raw {
+					if err := write(buf[i].Record); err != nil {
+						return err
+					}
+				} else {
+					b.Add(buf[i])
+				}
+			}
+			if werr != nil {
+				return werr
+			}
+		}
+		if b != nil {
+			b.Flush()
+			stats = b.Stats
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	if raw {
+		fmt.Printf("wrote %d raw records to %s\n", w.Count(), out)
+	} else {
+		fmt.Printf("wrote %d balanced records to %s (reduction %.4f%%, blackhole share %.1f%%)\n",
+			w.Count(), out, 100*stats.Reduction(), 100*stats.BlackholeShare())
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Command rulemine runs Step 1 of the IXP Scrubber on a balanced flow file:
+// it mines association rules with FP-Growth, minimizes them with
+// Algorithm 1, renders the Figure 6 review table, and imports/exports the
+// JSON rule list format.
+//
+// Usage:
+//
+//	rulemine -in ce1.ixfr -export rules.json [-minconf 0.8] [-lc 0.01] [-ls 0.01]
+//	rulemine -in ce1.ixfr -merge rules.json -export rules.json
+//	rulemine -show rules.json
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "balanced flow file to mine")
+		export  = flag.String("export", "", "write the rule list JSON here")
+		merge   = flag.String("merge", "", "existing rule list to merge fresh rules into")
+		show    = flag.String("show", "", "print a rule list file as the review table and exit")
+		minconf = flag.Float64("minconf", 0.8, "minimum rule confidence")
+		minsupp = flag.Int("minsupp", 20, "minimum itemset support count")
+		lc      = flag.Float64("lc", 0.01, "Algorithm 1 confidence loss threshold Lc")
+		ls      = flag.Float64("ls", 0.01, "Algorithm 1 support loss threshold Ls")
+		accept  = flag.Bool("accept", false, "apply the scripted operator policy (accept anchored rules with confidence >= 0.9)")
+	)
+	flag.Parse()
+	if err := run(*in, *export, *merge, *show, *minconf, *minsupp, *lc, *ls, *accept); err != nil {
+		fmt.Fprintln(os.Stderr, "rulemine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, export, merge, show string, minconf float64, minsupp int, lc, ls float64, accept bool) error {
+	if show != "" {
+		set, err := load(show)
+		if err != nil {
+			return err
+		}
+		printTable(set)
+		return nil
+	}
+	if in == "" {
+		return fmt.Errorf("-in is required (or -show)")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var records []netflow.Record
+	r := netflow.NewReader(f)
+	for {
+		var rec netflow.Record
+		err := r.Read(&rec)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		records = append(records, rec)
+	}
+
+	opts := tagging.MineOptions{
+		MinConfidence:   minconf,
+		MinSupportCount: minsupp,
+		LossConfidence:  lc,
+		LossSupport:     ls,
+	}
+	rules, rep := tagging.Mine(records, opts)
+	fmt.Printf("mined %d transactions -> %d frequent itemsets -> %d rules (all consequents) -> %d {blackhole} rules -> %d after Algorithm 1\n",
+		rep.Transactions, rep.FrequentItemsets, rep.RulesAllConsequents, rep.RulesBlackhole, rep.RulesMinimized)
+
+	var set *tagging.RuleSet
+	if merge != "" {
+		if set, err = load(merge); err != nil {
+			return err
+		}
+		added := set.Merge(rules)
+		fmt.Printf("merged into %s: %d new rules staged, %d total\n", merge, added, set.Len())
+	} else {
+		set = tagging.NewRuleSet(rules)
+	}
+	if accept {
+		acc, dec := set.Apply(tagging.DefaultAcceptPolicy())
+		fmt.Printf("operator policy: %d accepted, %d declined\n", acc, dec)
+	}
+	printTable(set)
+	if export != "" {
+		out, err := os.Create(export)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		if err := set.Export(out); err != nil {
+			return err
+		}
+		fmt.Printf("exported %d rules to %s\n", set.Len(), export)
+	}
+	return nil
+}
+
+func load(path string) (*tagging.RuleSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return tagging.Import(f)
+}
+
+// printTable renders the Figure 6 review table.
+func printTable(set *tagging.RuleSet) {
+	fmt.Printf("%-10s %-55s %-11s %-10s %s\n", "id", "antecedent", "confidence", "support", "status")
+	for _, r := range set.Rules() {
+		fmt.Printf("%-10s %-55s %-11.5f %-10.5f %s\n",
+			r.ID, tagging.ItemsString(r.Antecedent), r.Confidence, r.Support, r.Status)
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+)
+
+func writeBalanced(t *testing.T, path string, minutes int64) {
+	t.Helper()
+	p := synth.ProfileUS2()
+	p.Seed = 0x11
+	g := synth.NewGenerator(p)
+	bal, _ := balance.Flows(1, g.Generate(0, minutes))
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := netflow.NewWriter(f)
+	for i := range bal {
+		if err := w.Write(&bal[i].Record); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineExportImportShow(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "flows.ixfr")
+	rules := filepath.Join(dir, "rules.json")
+	writeBalanced(t, in, 180)
+
+	if err := run(in, rules, "", "", 0.8, 20, 0.01, 0.01, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := tagging.Import(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() == 0 {
+		t.Fatal("no rules exported")
+	}
+	if len(set.Accepted()) == 0 {
+		t.Fatal("operator policy accepted nothing")
+	}
+	// Show mode parses the file.
+	if err := run("", "", "", rules, 0.8, 20, 0.01, 0.01, false); err != nil {
+		t.Fatal(err)
+	}
+	// Merge mode folds fresh rules into the existing list.
+	if err := run(in, rules, rules, "", 0.8, 20, 0.01, 0.01, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresInput(t *testing.T) {
+	if err := run("", "", "", "", 0.8, 20, 0.01, 0.01, false); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run("/does/not/exist", "", "", "", 0.8, 20, 0.01, 0.01, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

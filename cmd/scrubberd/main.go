@@ -1,0 +1,200 @@
+// Command scrubberd runs the IXP Scrubber online: it listens for sFlow v5
+// datagrams over UDP, accepts BGP sessions from member routers on a route
+// server port (learning blackholes from their announcements), balances the
+// labeled flow stream per minute, periodically retrains the two-step model
+// on a sliding window, classifies per-target aggregates, and writes ACLs
+// for flagged targets.
+//
+// Usage:
+//
+//	scrubberd -sflow :6343 -bgp :1179 -train-every 60m -window 24h -acl-out acls.txt
+//
+// Without real traffic sources, pair it with the live-ixp example, which
+// replays synthetic member traffic against both sockets.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/netip"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/acl"
+	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
+	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
+)
+
+func main() {
+	var (
+		sflowAddr  = flag.String("sflow", ":6343", "UDP address for sFlow datagrams")
+		bgpAddr    = flag.String("bgp", ":1179", "TCP address for BGP sessions")
+		asn        = flag.Uint("asn", 64999, "route server ASN")
+		trainEvery = flag.Duration("train-every", 10*time.Minute, "retraining interval")
+		window     = flag.Duration("window", 24*time.Hour, "sliding training window")
+		aclOut     = flag.String("acl-out", "", "file to write generated ACLs to (stdout if empty)")
+		rulesOut   = flag.String("rules-out", "", "file to export the mined rule list to after each training round")
+	)
+	flag.Parse()
+	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, log, *sflowAddr, *bgpAddr, uint16(*asn), *trainEvery, *window, *aclOut, *rulesOut); err != nil {
+		log.Error("scrubberd failed", "err", err)
+		os.Exit(1)
+	}
+}
+
+// slidingStore holds the balanced records of the training window.
+type slidingStore struct {
+	mu      sync.Mutex
+	records []netflow.Record
+	window  time.Duration
+}
+
+func (s *slidingStore) add(r netflow.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, r)
+}
+
+// snapshot returns the records inside the window and prunes older ones.
+func (s *slidingStore) snapshot(now time.Time) []netflow.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := now.Add(-s.window).Unix()
+	keep := s.records[:0]
+	for _, r := range s.records {
+		if r.Timestamp >= cutoff {
+			keep = append(keep, r)
+		}
+	}
+	s.records = keep
+	return append([]netflow.Record(nil), s.records...)
+}
+
+func run(ctx context.Context, log *slog.Logger, sflowAddr, bgpAddr string, asn uint16, trainEvery, window time.Duration, aclOut, rulesOut string) error {
+	// BGP route server feeding the blackhole registry.
+	ln, err := net.Listen("tcp", bgpAddr)
+	if err != nil {
+		return fmt.Errorf("bgp listen: %w", err)
+	}
+	registry := bgp.NewRegistry()
+	rs := &bgp.RouteServer{ASN: asn, RouterID: [4]byte{10, 0, 0, 1}, Registry: registry, Log: log}
+	rsDone := make(chan error, 1)
+	go func() { rsDone <- rs.Serve(ctx, ln) }()
+	log.Info("route server listening", "addr", ln.Addr())
+
+	// sFlow collector feeding the online balancer.
+	pc, err := net.ListenPacket("udp", sflowAddr)
+	if err != nil {
+		return fmt.Errorf("sflow listen: %w", err)
+	}
+	store := &slidingStore{window: window}
+	bal := balance.ForRecords(uint64(time.Now().UnixNano()), store.add)
+	var balMu sync.Mutex
+	collector := &sflow.Collector{
+		Label: registry.Covered,
+		Log:   log,
+		Emit: func(r *netflow.Record) {
+			balMu.Lock()
+			bal.Add(*r)
+			balMu.Unlock()
+		},
+	}
+	colDone := make(chan error, 1)
+	go func() { colDone <- collector.Listen(ctx, pc) }()
+	log.Info("sflow collector listening", "addr", pc.LocalAddr())
+
+	ticker := time.NewTicker(trainEvery)
+	defer ticker.Stop()
+	scrubber := core.New(core.DefaultConfig())
+
+	for {
+		select {
+		case <-ctx.Done():
+			err1 := <-rsDone
+			err2 := <-colDone
+			if err1 != nil {
+				return err1
+			}
+			return err2
+		case now := <-ticker.C:
+			balMu.Lock()
+			bal.Flush()
+			balMu.Unlock()
+			records := store.snapshot(now)
+			if len(records) < 100 {
+				log.Info("not enough balanced records to train yet", "records", len(records))
+				continue
+			}
+			if err := trainAndClassify(log, scrubber, records, aclOut, rulesOut); err != nil {
+				log.Error("training round failed", "err", err)
+			}
+		}
+	}
+}
+
+func trainAndClassify(log *slog.Logger, s *core.Scrubber, records []netflow.Record, aclOut, rulesOut string) error {
+	start := time.Now()
+	rep, err := s.MineRules(records)
+	if err != nil {
+		return err
+	}
+	aggs := s.Aggregate(records, nil)
+	if err := s.Fit(records, aggs); err != nil {
+		return err
+	}
+	pred, err := s.Predict(aggs)
+	if err != nil {
+		return err
+	}
+	targetSet := map[netip.Addr]struct{}{}
+	for i, a := range aggs {
+		if pred[i] == 1 {
+			targetSet[a.Target] = struct{}{}
+		}
+	}
+	targets := make([]netip.Addr, 0, len(targetSet))
+	for t := range targetSet {
+		targets = append(targets, t)
+	}
+	entries := s.GenerateACLs(targets, acl.ActionDrop)
+	text := acl.RenderText(entries)
+	if aclOut == "" {
+		fmt.Print(text)
+	} else if err := os.WriteFile(aclOut, []byte(text), 0o644); err != nil {
+		return fmt.Errorf("writing ACLs: %w", err)
+	}
+	if rulesOut != "" {
+		f, err := os.Create(rulesOut)
+		if err != nil {
+			return err
+		}
+		if err := s.Rules().Export(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	log.Info("training round complete",
+		"records", len(records),
+		"aggregates", len(aggs),
+		"rules_mined", rep.RulesMinimized,
+		"rules_accepted", len(s.Rules().Accepted()),
+		"flagged_targets", len(targets),
+		"took", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
+	"github.com/ixp-scrubber/ixpscrubber/internal/packet"
+	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+// TestDaemonEndToEnd boots the daemon on loopback ports, replays synthetic
+// member traffic over real sFlow and BGP sessions, waits for a training
+// round, and checks that ACLs were generated for flagged targets.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets")
+	}
+	dir := t.TempDir()
+	aclOut := filepath.Join(dir, "acls.txt")
+	rulesOut := filepath.Join(dir, "rules.json")
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Reserve loopback ports.
+	sfl, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sflowAddr := sfl.LocalAddr().String()
+	sfl.Close()
+	bln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgpAddr := bln.Addr().String()
+	bln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, log, sflowAddr, bgpAddr, 64999, 500*time.Millisecond, time.Hour, aclOut, rulesOut)
+	}()
+
+	// Wait for the daemon's sockets.
+	var member *bgp.Conn
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		member, err = bgp.Dial(ctx, bgpAddr, bgp.Open{ASN: 64501, HoldTime: 90, RouterID: [4]byte{10, 0, 0, 1}})
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon BGP port never came up: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	defer member.Close()
+	exporter, err := sflow.NewExporter(sflowAddr, netip.MustParseAddr("192.0.2.10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exporter.Close()
+
+	// Replay synthetic traffic with wall-clock-ish timestamps: announce
+	// blackholes as the generator decides, export every flow as a sample.
+	p := synth.ProfileUS2()
+	p.BenignFlowsPerMin = 250
+	p.EpisodeRatePerMin = 0.6
+	p.Seed = 0xD0
+	g := synth.NewGenerator(p)
+	nowMin := time.Now().Unix() / 60
+	var builder packet.Builder
+	var seq uint32
+	nextHop := netip.MustParseAddr("192.0.2.1")
+
+	for m := nowMin - 20; m <= nowMin; m++ {
+		flows := g.GenerateMinute(m, nil)
+		for _, ev := range g.Events() {
+			if ev.Announce {
+				err = member.AnnounceBlackhole(ev.Prefix, nextHop)
+			} else {
+				err = member.WithdrawBlackhole(ev.Prefix)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var samples []sflow.FlowSample
+		for i := range flows {
+			seq++
+			s, err := synth.SampleFor(&flows[i], seq, &builder)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Header = append([]byte(nil), s.Header...)
+			samples = append(samples, s)
+			if len(samples) == 16 {
+				if err := exporter.Send(samples); err != nil {
+					t.Fatal(err)
+				}
+				samples = samples[:0]
+			}
+		}
+		if len(samples) > 0 {
+			if err := exporter.Send(samples); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Wait for a training round to produce rules and ACLs.
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		if fi, err := os.Stat(rulesOut); err == nil && fi.Size() > 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never produced a rule export")
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("daemon: %v", err)
+	}
+
+	aclText, err := os.ReadFile(aclOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(aclText), "IXP Scrubber generated ACL") {
+		t.Errorf("ACL output malformed:\n%.200s", aclText)
+	}
+}

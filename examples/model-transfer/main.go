@@ -1,0 +1,89 @@
+// Model transfer: reproduce the §6.4 geographic transfer workflow between
+// two vantage points.
+//
+//  1. Train an XGBoost scrubber at IXP-CE1 (large, central Europe).
+//  2. Apply it unchanged at IXP-US2 ("full transfer"): the classifier drags
+//     CE1's WoE tables along, but US2's reflector population is nearly
+//     disjoint, so performance can degrade.
+//  3. Transfer only the classifier and fit the WoE encoder locally at US2
+//     ("classifier-only transfer"): local knowledge stays local and the
+//     model ports cleanly.
+//
+// Run: go run ./examples/model-transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+	"github.com/ixp-scrubber/ixpscrubber/internal/woe"
+)
+
+func main() {
+	// Source vantage point: IXP-CE1, scaled down for a quick run. The two
+	// windows below are sized so both vantage points accumulate comparable
+	// WoE observation counts — the precondition for classifier-only
+	// transfer (WoE magnitudes scale with the log of observation counts;
+	// see core.Scrubber.WithEncoder).
+	src := synth.ProfileCE1()
+	src.BenignFlowsPerMin = 1200
+	src.TargetIPs = 600
+	src.EpisodeRatePerMin = 0.3
+	srcFlows, _ := balance.Flows(1, synth.NewGenerator(src).Generate(0, 5*60))
+
+	scrubber := core.New(core.DefaultConfig())
+	if err := scrubber.TrainFlows(synth.Records(srcFlows), nil); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s at %s on %d balanced flows\n",
+		scrubber.Config().Model, src.Name, len(srcFlows))
+
+	// Destination vantage point: IXP-US2 with a busier window so the
+	// comparison has enough aggregates.
+	dst := synth.ProfileUS2()
+	dst.BenignFlowsPerMin = 500
+	dst.EpisodeRatePerMin = 0.3
+	dstFlows, _ := balance.Flows(2, synth.NewGenerator(dst).Generate(0, 6*60))
+	dstRecords := synth.Records(dstFlows)
+	dstAggs := scrubber.Aggregate(dstRecords, nil)
+
+	// Fit the destination's own WoE encoder on its balanced flow records
+	// (the local knowledge of Fig. 12, middle).
+	localEnc := woe.NewEncoder()
+	localEnc.MinCount = 4
+	for i := range dstRecords {
+		features.ObserveRecord(localEnc, &dstRecords[i])
+	}
+	localEnc.Fit()
+	ipOverlap := woe.Overlap(scrubber.Encoder(), localEnc, "src_ip", 1.0)
+	portOverlap := woe.Overlap(scrubber.Encoder(), localEnc, "port_src", 1.0)
+	fmt.Printf("high-WoE knowledge overlap %s vs %s: source IPs %.1f%%, source ports %.1f%%\n",
+		src.Name, dst.Name, 100*ipOverlap, 100*portOverlap)
+
+	// Full transfer: CE1 model incl. its WoE tables.
+	full, err := scrubber.Evaluate(dstAggs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full transfer        (CE1 model + CE1 WoE): Fβ=0.5 %.3f  (%s)\n",
+		full.FBeta(0.5), full.String())
+
+	// Classifier-only transfer: keep the classifier, use the local encoder.
+	transferred := scrubber.WithEncoder(localEnc)
+	local, err := transferred.Evaluate(dstAggs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("classifier-only      (CE1 model + US2 WoE): Fβ=0.5 %.3f  (%s)\n",
+		local.FBeta(0.5), local.String())
+
+	if local.FBeta(0.5) >= full.FBeta(0.5) {
+		fmt.Println("\n=> keeping WoE local preserves the transferred model's accuracy (§6.4)")
+	} else {
+		fmt.Println("\n=> unexpected: local encoding underperformed on this window")
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/ixp-scrubber/ixpscrubber
+
+go 1.22

@@ -1,0 +1,112 @@
+package acl
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+)
+
+func ntpRule(status tagging.Status) tagging.Rule {
+	return tagging.Rule{
+		ID: "ntp01",
+		Antecedent: []tagging.Item{
+			tagging.NewItem(tagging.FieldProtocol, 17),
+			tagging.NewItem(tagging.FieldSrcPort, 123),
+		},
+		Confidence: 0.97,
+		Support:    0.026,
+		Status:     status,
+	}
+}
+
+func ntpFlow(dst string) netflow.Record {
+	return netflow.Record{
+		SrcIP: netip.MustParseAddr("192.0.2.1"), DstIP: netip.MustParseAddr(dst),
+		SrcPort: 123, DstPort: 40000, Protocol: 17,
+		Packets: 1, Bytes: 468,
+	}
+}
+
+func TestForRulesSkipsUnaccepted(t *testing.T) {
+	entries := ForRules([]tagging.Rule{ntpRule(tagging.StatusAccept), ntpRule(tagging.StatusStaging)}, ActionDrop)
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1 (staging rule excluded)", len(entries))
+	}
+}
+
+func TestFilterApply(t *testing.T) {
+	f := NewFilter(ForRules([]tagging.Rule{ntpRule(tagging.StatusAccept)}, ActionDrop))
+	rec := ntpFlow("198.51.100.7")
+	if got := f.Apply(&rec); got != ActionDrop {
+		t.Errorf("action = %q", got)
+	}
+	other := rec
+	other.SrcPort = 443
+	if got := f.Apply(&other); got != "" {
+		t.Errorf("non-matching flow got action %q", got)
+	}
+	if hits := f.Hits(); hits[0] != 1 {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestForTargetsScopesToVictim(t *testing.T) {
+	victim := netip.MustParseAddr("198.51.100.7")
+	entries := ForTargets([]tagging.Rule{ntpRule(tagging.StatusAccept)}, []netip.Addr{victim}, ActionDrop)
+	f := NewFilter(entries)
+	hit := ntpFlow("198.51.100.7")
+	miss := ntpFlow("203.0.113.5") // same signature, different target
+	if f.Apply(&hit) != ActionDrop {
+		t.Error("victim-scoped entry must drop victim traffic")
+	}
+	if f.Apply(&miss) != "" {
+		t.Error("entry must not apply to other destinations")
+	}
+}
+
+func TestRenderText(t *testing.T) {
+	victim := netip.MustParseAddr("198.51.100.7")
+	frag := tagging.Rule{
+		ID:         "frag1",
+		Antecedent: []tagging.Item{tagging.NewItem(tagging.FieldProtocol, 17), tagging.NewItem(tagging.FieldFragment, 1)},
+		Confidence: 0.92, Support: 0.01, Status: tagging.StatusAccept,
+	}
+	entries := ForTargets([]tagging.Rule{ntpRule(tagging.StatusAccept), frag}, []netip.Addr{victim}, ActionDrop)
+	text := RenderText(entries)
+	for _, want := range []string{
+		"deny udp any eq 123 host 198.51.100.7",
+		"fragments",
+		"rule ntp01 confidence 0.970",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendered ACL missing %q:\n%s", want, text)
+		}
+	}
+	// Monitoring entries render as permit.
+	mon := RenderText(ForRules([]tagging.Rule{ntpRule(tagging.StatusAccept)}, ActionMonitor))
+	if !strings.Contains(mon, "permit udp any eq 123 any") {
+		t.Errorf("monitor ACL:\n%s", mon)
+	}
+}
+
+func BenchmarkFilterApply(b *testing.B) {
+	rules := make([]tagging.Rule, 0, 50)
+	for i := 0; i < 50; i++ {
+		r := ntpRule(tagging.StatusAccept)
+		r.Antecedent = []tagging.Item{
+			tagging.NewItem(tagging.FieldProtocol, 17),
+			tagging.NewItem(tagging.FieldSrcPort, uint32(i)),
+		}
+		rules = append(rules, r)
+	}
+	f := NewFilter(ForRules(rules, ActionDrop))
+	rec := ntpFlow("198.51.100.7")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Apply(&rec)
+	}
+}

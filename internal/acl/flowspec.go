@@ -1,0 +1,102 @@
+package acl
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+)
+
+// FlowSpecRoute pairs a FlowSpec match rule with its traffic action —
+// together one BGP FlowSpec route ready for announcement.
+type FlowSpecRoute struct {
+	Rule   bgp.Rule
+	Action bgp.TrafficAction
+}
+
+// ToFlowSpec converts ACL entries into BGP FlowSpec routes (RFC 8955), the
+// router-configuration-free way of deploying the scrubber's filters: drop
+// entries become traffic-rate-0 routes, shape entries rate limits.
+// Monitoring/reroute entries are skipped (FlowSpec redirect actions are out
+// of scope).
+func ToFlowSpec(entries []Entry, shapeBps float32) ([]FlowSpecRoute, error) {
+	var out []FlowSpecRoute
+	for i := range entries {
+		e := &entries[i]
+		var action bgp.TrafficAction
+		switch e.Action {
+		case ActionDrop:
+			action = bgp.Drop
+		case ActionShape:
+			action = bgp.RateLimit(shapeBps)
+		default:
+			continue
+		}
+		rule, err := ruleToFlowSpec(&e.Rule, e.Target)
+		if err != nil {
+			return nil, fmt.Errorf("acl: entry %d (%s): %w", i, e.Rule.ID, err)
+		}
+		out = append(out, FlowSpecRoute{Rule: *rule, Action: action})
+	}
+	return out, nil
+}
+
+// ruleToFlowSpec maps a tagging rule's antecedent onto FlowSpec components.
+func ruleToFlowSpec(r *tagging.Rule, target netip.Prefix) (*bgp.Rule, error) {
+	out := &bgp.Rule{}
+	if target.IsValid() {
+		if !target.Addr().Unmap().Is4() {
+			return nil, fmt.Errorf("flowspec target must be IPv4, got %v", target)
+		}
+		out.Components = append(out.Components, bgp.Component{
+			Type:   bgp.FSDstPrefix,
+			Prefix: netip.PrefixFrom(target.Addr().Unmap(), target.Bits()),
+		})
+	}
+	for _, it := range r.Antecedent {
+		switch it.Field() {
+		case tagging.FieldProtocol:
+			out.Components = append(out.Components, bgp.Component{
+				Type:    bgp.FSIPProtocol,
+				Matches: []bgp.NumericMatch{{EQ: true, Value: it.Value()}},
+			})
+		case tagging.FieldSrcPort:
+			if it.Value() == tagging.PortOther {
+				continue // "sprayed" has no FlowSpec encoding; covered by the other components
+			}
+			out.Components = append(out.Components, bgp.Component{
+				Type:    bgp.FSSrcPort,
+				Matches: []bgp.NumericMatch{{EQ: true, Value: it.Value()}},
+			})
+		case tagging.FieldDstPort:
+			if it.Value() == tagging.PortOther {
+				continue
+			}
+			out.Components = append(out.Components, bgp.Component{
+				Type:    bgp.FSDstPort,
+				Matches: []bgp.NumericMatch{{EQ: true, Value: it.Value()}},
+			})
+		case tagging.FieldSize:
+			lo := it.Value() * tagging.SizeBinWidth
+			hi := lo + tagging.SizeBinWidth
+			matches := []bgp.NumericMatch{{GT: true, Value: lo}}
+			if it.Value() < 15 { // top bin is open-ended
+				matches = append(matches, bgp.NumericMatch{AND: true, LT: true, EQ: true, Value: hi})
+			}
+			out.Components = append(out.Components, bgp.Component{
+				Type:    bgp.FSPacketLen,
+				Matches: matches,
+			})
+		case tagging.FieldFragment:
+			out.Components = append(out.Components, bgp.Component{
+				Type:    bgp.FSFragment,
+				Matches: []bgp.NumericMatch{{Value: bgp.FragIsFragment}},
+			})
+		}
+	}
+	if len(out.Components) == 0 {
+		return nil, fmt.Errorf("rule maps to no FlowSpec components")
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package acl
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+)
+
+func TestToFlowSpecDrop(t *testing.T) {
+	victim := netip.MustParseAddr("198.51.100.7")
+	entries := ForTargets([]tagging.Rule{ntpRule(tagging.StatusAccept)}, []netip.Addr{victim}, ActionDrop)
+	routes, err := ToFlowSpec(entries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 1 {
+		t.Fatalf("routes = %d", len(routes))
+	}
+	r := routes[0]
+	if r.Action != bgp.Drop {
+		t.Errorf("action = %+v", r.Action)
+	}
+	// The route matches the attack and not other traffic.
+	hit := &bgp.FlowKey{
+		SrcIP: netip.MustParseAddr("192.0.2.1"), DstIP: victim,
+		Protocol: 17, SrcPort: 123, DstPort: 40000, PacketLen: 468,
+	}
+	if !r.Rule.Matches(hit) {
+		t.Fatalf("attack flow must match: %s", r.Rule.String())
+	}
+	miss := *hit
+	miss.DstIP = netip.MustParseAddr("203.0.113.1")
+	if r.Rule.Matches(&miss) {
+		t.Error("other destinations must not match")
+	}
+	// Round-trips over the wire.
+	buf, err := r.Rule.AppendNLRI(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bgp.ParseFlowSpecNLRI(buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToFlowSpecSizeBin(t *testing.T) {
+	rule := tagging.Rule{
+		ID: "sz",
+		Antecedent: []tagging.Item{
+			tagging.NewItem(tagging.FieldProtocol, 17),
+			tagging.NewItem(tagging.FieldSize, 4), // (400,500]
+		},
+		Status: tagging.StatusAccept,
+	}
+	routes, err := ToFlowSpec(ForRules([]tagging.Rule{rule}, ActionDrop), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routes[0].Rule
+	if !r.Matches(&bgp.FlowKey{Protocol: 17, PacketLen: 468}) {
+		t.Error("468B must match (400,500]")
+	}
+	if r.Matches(&bgp.FlowKey{Protocol: 17, PacketLen: 400}) {
+		t.Error("400B must not match the half-open interval")
+	}
+	if r.Matches(&bgp.FlowKey{Protocol: 17, PacketLen: 501}) {
+		t.Error("501B must not match")
+	}
+}
+
+func TestToFlowSpecShapeAndSkip(t *testing.T) {
+	rules := []tagging.Rule{ntpRule(tagging.StatusAccept)}
+	shape := ForRules(rules, ActionShape)
+	routes, err := ToFlowSpec(shape, 5e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routes[0].Action.RateLimitBps != 5e6 {
+		t.Errorf("shape rate = %v", routes[0].Action.RateLimitBps)
+	}
+	monitor := ForRules(rules, ActionMonitor)
+	routes, err = ToFlowSpec(monitor, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) != 0 {
+		t.Error("monitor entries must be skipped")
+	}
+}
+
+func TestToFlowSpecFragmentRule(t *testing.T) {
+	rule := tagging.Rule{
+		ID: "frag",
+		Antecedent: []tagging.Item{
+			tagging.NewItem(tagging.FieldProtocol, 17),
+			tagging.NewItem(tagging.FieldFragment, 1),
+		},
+		Status: tagging.StatusAccept,
+	}
+	routes, err := ToFlowSpec(ForRules([]tagging.Rule{rule}, ActionDrop), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := routes[0].Rule
+	if !r.Matches(&bgp.FlowKey{Protocol: 17, Fragment: true}) {
+		t.Error("fragment must match")
+	}
+	if r.Matches(&bgp.FlowKey{Protocol: 17, Fragment: false}) {
+		t.Error("non-fragment matched")
+	}
+	if !strings.Contains(r.String(), "frag") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestToFlowSpecSprayedPortsSkipped(t *testing.T) {
+	rule := tagging.Rule{
+		ID: "spray",
+		Antecedent: []tagging.Item{
+			tagging.NewItem(tagging.FieldProtocol, 17),
+			tagging.NewItem(tagging.FieldSrcPort, 123),
+			tagging.NewItem(tagging.FieldDstPort, tagging.PortOther),
+		},
+		Status: tagging.StatusAccept,
+	}
+	routes, err := ToFlowSpec(ForRules([]tagging.Rule{rule}, ActionDrop), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sprayed dst port contributes no component, so any dst port hits.
+	r := routes[0].Rule
+	if !r.Matches(&bgp.FlowKey{Protocol: 17, SrcPort: 123, DstPort: 61234}) {
+		t.Error("sprayed rule must match arbitrary dst ports")
+	}
+}

@@ -1,0 +1,196 @@
+// Package balance implements the online dataset balancing procedure of §3:
+// within every one-minute bin, all blackholed flows (the underrepresented
+// class) are kept, and benign traffic is subsampled to match both the
+// number of distinct destination IPs and the number of flows per
+// destination IP. The result is a roughly 50:50 dataset with a data
+// reduction of more than 99.6 % on realistic traffic mixes (Table 2) —
+// which is also the privacy mechanism: unselected records are discarded
+// immediately and never stored.
+package balance
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"sort"
+)
+
+// Select returns the indices of the records to keep for one minute bin,
+// given accessor functions over n records. Blackholed records are always
+// kept; benign records are sampled to mirror the blackholed class: an equal
+// number of destination IPs and, per paired IP, an equal number of flows.
+//
+// The pairing matches the k-th busiest blackholed IP with the k-th busiest
+// benign candidate IP so the flows-per-IP distributions of the two classes
+// correlate (validated as Pearson r ≈ 0.77 in Fig. 3c).
+func Select(rng *rand.Rand, n int, blackholed func(int) bool, dstIP func(int) netip.Addr) []int {
+	keep := make([]int, 0, 64)
+	benignByIP := make(map[netip.Addr][]int)
+	bhByIP := make(map[netip.Addr][]int)
+	for i := 0; i < n; i++ {
+		if blackholed(i) {
+			keep = append(keep, i)
+			bhByIP[dstIP(i)] = append(bhByIP[dstIP(i)], i)
+		} else {
+			benignByIP[dstIP(i)] = append(benignByIP[dstIP(i)], i)
+		}
+	}
+	if len(bhByIP) == 0 || len(benignByIP) == 0 {
+		if len(bhByIP) == 0 {
+			return nil // nothing blackholed: the whole bin is discarded
+		}
+		return keep
+	}
+
+	// Busiest-first ordering of both classes.
+	bhCounts := make([]int, 0, len(bhByIP))
+	for _, idxs := range bhByIP {
+		bhCounts = append(bhCounts, len(idxs))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(bhCounts)))
+
+	type ipFlows struct {
+		ip   netip.Addr
+		idxs []int
+	}
+	candidates := make([]ipFlows, 0, len(benignByIP))
+	for ip, idxs := range benignByIP {
+		candidates = append(candidates, ipFlows{ip, idxs})
+	}
+	// Map iteration order is random per process: sort by address first so
+	// the seeded shuffle (and therefore the whole balanced sample) is
+	// reproducible, then shuffle so count ties break without address bias.
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].ip.Compare(candidates[j].ip) < 0
+	})
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	sort.SliceStable(candidates, func(i, j int) bool {
+		return len(candidates[i].idxs) > len(candidates[j].idxs)
+	})
+
+	pairs := len(bhCounts)
+	if pairs > len(candidates) {
+		pairs = len(candidates)
+	}
+	for k := 0; k < pairs; k++ {
+		want := bhCounts[k]
+		idxs := candidates[k].idxs
+		if want > len(idxs) {
+			want = len(idxs)
+		}
+		// Partial Fisher-Yates: draw `want` flows without replacement.
+		for j := 0; j < want; j++ {
+			r := j + rng.IntN(len(idxs)-j)
+			idxs[j], idxs[r] = idxs[r], idxs[j]
+			keep = append(keep, idxs[j])
+		}
+	}
+	sort.Ints(keep)
+	return keep
+}
+
+// Stats accounts the reduction achieved by balancing.
+type Stats struct {
+	In          uint64 // records seen
+	Out         uint64 // records kept
+	OutBH       uint64 // kept records that are blackholed
+	MinutesIn   uint64
+	MinutesKept uint64 // minutes with at least one blackholed flow
+}
+
+// Reduction returns kept/seen, the rightmost column of Table 2.
+func (s *Stats) Reduction() float64 {
+	if s.In == 0 {
+		return 0
+	}
+	return float64(s.Out) / float64(s.In)
+}
+
+// BlackholeShare returns the blackholed share of the balanced output,
+// expected to be ≈0.5.
+func (s *Stats) BlackholeShare() float64 {
+	if s.Out == 0 {
+		return 0
+	}
+	return float64(s.OutBH) / float64(s.Out)
+}
+
+// Balancer applies Select minute by minute over a stream of records of any
+// type T (netflow.Record, synth.Flow, ...), using accessor functions. It
+// buffers exactly one minute bin at a time.
+type Balancer[T any] struct {
+	rng        *rand.Rand
+	minuteOf   func(*T) int64
+	blackholed func(*T) bool
+	dstIP      func(*T) netip.Addr
+	emit       func(T)
+
+	cur   int64
+	buf   []T
+	Stats Stats
+}
+
+// New creates a Balancer. seed fixes the benign sampling; emit receives
+// every kept record in timestamp order per bin.
+func New[T any](
+	seed uint64,
+	minuteOf func(*T) int64,
+	blackholed func(*T) bool,
+	dstIP func(*T) netip.Addr,
+	emit func(T),
+) *Balancer[T] {
+	return &Balancer[T]{
+		rng:        rand.New(rand.NewPCG(seed, seed^0xD1B54A32D192ED03)),
+		minuteOf:   minuteOf,
+		blackholed: blackholed,
+		dstIP:      dstIP,
+		emit:       emit,
+		cur:        -1 << 62,
+	}
+}
+
+// Add feeds one record. Records must arrive in non-decreasing minute order;
+// a record from an earlier minute than the current bin is dropped (late
+// arrivals cannot be balanced retroactively once the bin was flushed).
+func (b *Balancer[T]) Add(rec T) {
+	m := b.minuteOf(&rec)
+	switch {
+	case m == b.cur:
+		b.buf = append(b.buf, rec)
+	case m > b.cur:
+		b.flush()
+		b.cur = m
+		b.buf = append(b.buf, rec)
+	default:
+		b.Stats.In++ // count it as seen, but it cannot be kept
+	}
+}
+
+// Flush balances and emits the current bin. Call once after the last Add.
+func (b *Balancer[T]) Flush() { b.flush() }
+
+func (b *Balancer[T]) flush() {
+	if len(b.buf) == 0 {
+		return
+	}
+	b.Stats.MinutesIn++
+	b.Stats.In += uint64(len(b.buf))
+	keep := Select(b.rng, len(b.buf),
+		func(i int) bool { return b.blackholed(&b.buf[i]) },
+		func(i int) netip.Addr { return b.dstIP(&b.buf[i]) },
+	)
+	if len(keep) > 0 {
+		b.Stats.MinutesKept++
+	}
+	for _, i := range keep {
+		b.Stats.Out++
+		if b.blackholed(&b.buf[i]) {
+			b.Stats.OutBH++
+		}
+		if b.emit != nil {
+			b.emit(b.buf[i])
+		}
+	}
+	b.buf = b.buf[:0]
+}

@@ -1,0 +1,329 @@
+package balance
+
+import (
+	"math"
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+type rec struct {
+	minute int64
+	bh     bool
+	dst    netip.Addr
+}
+
+func ip(n int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 0, byte(n >> 8), byte(n)})
+}
+
+func selectRecs(rng *rand.Rand, recs []rec) []int {
+	return Select(rng, len(recs),
+		func(i int) bool { return recs[i].bh },
+		func(i int) netip.Addr { return recs[i].dst },
+	)
+}
+
+func TestSelectKeepsAllBlackholed(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var recs []rec
+	for i := 0; i < 10; i++ {
+		recs = append(recs, rec{bh: true, dst: ip(1)})
+	}
+	for i := 0; i < 1000; i++ {
+		recs = append(recs, rec{bh: false, dst: ip(100 + i%50)})
+	}
+	keep := selectRecs(rng, recs)
+	bh, benign := 0, 0
+	for _, i := range keep {
+		if recs[i].bh {
+			bh++
+		} else {
+			benign++
+		}
+	}
+	if bh != 10 {
+		t.Errorf("kept %d blackholed, want all 10", bh)
+	}
+	if benign != 10 {
+		t.Errorf("kept %d benign, want 10 (one IP with 10 flows matched)", benign)
+	}
+}
+
+func TestSelectMatchesIPCountsAndFlows(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	var recs []rec
+	// 3 blackholed IPs with 5, 3, 2 flows.
+	for _, k := range []struct{ ipn, n int }{{1, 5}, {2, 3}, {3, 2}} {
+		for i := 0; i < k.n; i++ {
+			recs = append(recs, rec{bh: true, dst: ip(k.ipn)})
+		}
+	}
+	// Plenty of benign: 40 IPs x 20 flows.
+	for ipn := 100; ipn < 140; ipn++ {
+		for i := 0; i < 20; i++ {
+			recs = append(recs, rec{bh: false, dst: ip(ipn)})
+		}
+	}
+	keep := selectRecs(rng, recs)
+	benignByIP := map[netip.Addr]int{}
+	bh := 0
+	for _, i := range keep {
+		if recs[i].bh {
+			bh++
+		} else {
+			benignByIP[recs[i].dst]++
+		}
+	}
+	if bh != 10 {
+		t.Errorf("blackholed kept = %d", bh)
+	}
+	if len(benignByIP) != 3 {
+		t.Errorf("benign IPs = %d, want 3", len(benignByIP))
+	}
+	counts := []int{}
+	for _, c := range benignByIP {
+		counts = append(counts, c)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("benign flows = %d, want 10", total)
+	}
+}
+
+func TestSelectEmptyClasses(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	// Only benign: whole bin discarded.
+	recs := []rec{{bh: false, dst: ip(1)}, {bh: false, dst: ip(2)}}
+	if keep := selectRecs(rng, recs); len(keep) != 0 {
+		t.Errorf("benign-only bin kept %d", len(keep))
+	}
+	// Only blackholed: kept as-is.
+	recs = []rec{{bh: true, dst: ip(1)}, {bh: true, dst: ip(2)}}
+	if keep := selectRecs(rng, recs); len(keep) != 2 {
+		t.Errorf("blackhole-only bin kept %d", len(keep))
+	}
+	if keep := selectRecs(rng, nil); len(keep) != 0 {
+		t.Errorf("empty bin kept %d", len(keep))
+	}
+}
+
+func TestSelectScarceBenign(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	var recs []rec
+	for i := 0; i < 100; i++ {
+		recs = append(recs, rec{bh: true, dst: ip(i % 5)})
+	}
+	recs = append(recs, rec{bh: false, dst: ip(200)})
+	keep := selectRecs(rng, recs)
+	benign := 0
+	for _, i := range keep {
+		if !recs[i].bh {
+			benign++
+		}
+	}
+	if benign != 1 {
+		t.Errorf("benign kept = %d, want the single available flow", benign)
+	}
+}
+
+// TestSelectProperty: kept indices are valid, unique, include every
+// blackholed record, and keep at most as many benign flows as blackholed.
+func TestSelectProperty(t *testing.T) {
+	f := func(seed uint64, bhFlags []bool, ipNums []uint8) bool {
+		n := len(bhFlags)
+		if len(ipNums) < n {
+			if len(ipNums) == 0 {
+				return true
+			}
+			for len(ipNums) < n {
+				ipNums = append(ipNums, ipNums[0])
+			}
+		}
+		recs := make([]rec, n)
+		nbh := 0
+		for i := range recs {
+			recs[i] = rec{bh: bhFlags[i], dst: ip(int(ipNums[i]))}
+			if bhFlags[i] {
+				nbh++
+			}
+		}
+		rng := rand.New(rand.NewPCG(seed, 1))
+		keep := selectRecs(rng, recs)
+		seen := map[int]bool{}
+		kbh, kbe := 0, 0
+		for _, i := range keep {
+			if i < 0 || i >= n || seen[i] {
+				return false
+			}
+			seen[i] = true
+			if recs[i].bh {
+				kbh++
+			} else {
+				kbe++
+			}
+		}
+		if kbh != nbh && !(nbh > 0 && kbe == 0 && kbh == nbh) {
+			return false
+		}
+		return kbe <= nbh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBalancerStreaming(t *testing.T) {
+	var out []netflow.Record
+	b := ForRecords(42, func(r netflow.Record) { out = append(out, r) })
+	mk := func(min int64, bh bool, dst netip.Addr) netflow.Record {
+		return netflow.Record{
+			Timestamp: min * 60, Blackholed: bh, DstIP: dst,
+			SrcIP: ip(999), Packets: 1, Bytes: 100,
+		}
+	}
+	// Minute 1: 2 blackholed to one IP, lots of benign.
+	for i := 0; i < 2; i++ {
+		b.Add(mk(1, true, ip(1)))
+	}
+	for i := 0; i < 100; i++ {
+		b.Add(mk(1, false, ip(50+i%10)))
+	}
+	// Minute 2: benign only -> discarded.
+	for i := 0; i < 50; i++ {
+		b.Add(mk(2, false, ip(60+i%5)))
+	}
+	// Minute 3: one blackholed.
+	b.Add(mk(3, true, ip(2)))
+	b.Add(mk(3, false, ip(70)))
+	b.Add(mk(3, false, ip(71)))
+	b.Flush()
+
+	if b.Stats.In != 155 {
+		t.Errorf("In = %d", b.Stats.In)
+	}
+	if b.Stats.MinutesIn != 3 || b.Stats.MinutesKept != 2 {
+		t.Errorf("minutes = %d/%d", b.Stats.MinutesIn, b.Stats.MinutesKept)
+	}
+	// Minute 1 keeps 2+2, minute 3 keeps 1+1.
+	if b.Stats.Out != 6 || b.Stats.OutBH != 3 {
+		t.Errorf("Out = %d OutBH = %d", b.Stats.Out, b.Stats.OutBH)
+	}
+	if got := b.Stats.BlackholeShare(); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("share = %v", got)
+	}
+	if b.Stats.Reduction() >= 0.1 {
+		t.Errorf("reduction = %v, want < 10%%", b.Stats.Reduction())
+	}
+	if len(out) != 6 {
+		t.Errorf("emitted = %d", len(out))
+	}
+}
+
+func TestBalancerLateRecordDropped(t *testing.T) {
+	var out []netflow.Record
+	b := ForRecords(1, func(r netflow.Record) { out = append(out, r) })
+	b.Add(netflow.Record{Timestamp: 600, Blackholed: true, DstIP: ip(1)})
+	b.Add(netflow.Record{Timestamp: 660, Blackholed: true, DstIP: ip(1)})
+	b.Add(netflow.Record{Timestamp: 540, Blackholed: true, DstIP: ip(2)}) // late
+	b.Flush()
+	for _, r := range out {
+		if r.DstIP == ip(2) {
+			t.Fatal("late record must be dropped")
+		}
+	}
+}
+
+// TestBalancedSyntheticDataset runs the full §3 pipeline on generated
+// traffic and checks the Table 2 shape: ~50 % blackhole share and a large
+// reduction.
+func TestBalancedSyntheticDataset(t *testing.T) {
+	p := synth.ProfileUS2()
+	g := synth.NewGenerator(p)
+	flows := g.Generate(0, 12*60) // 12 hours
+	out, stats := Flows(7, flows)
+	if len(out) == 0 {
+		t.Fatal("balanced dataset empty")
+	}
+	share := stats.BlackholeShare()
+	if share < 0.45 || share > 0.60 {
+		t.Errorf("blackhole share = %.3f, want ~0.5 (Table 2 range 0.48-0.55)", share)
+	}
+	if stats.Reduction() > 0.5 {
+		t.Errorf("reduction = %.4f, want substantial discard", stats.Reduction())
+	}
+	// Per-minute flows-per-IP correlation (Fig. 3c) must be strong on the
+	// balanced output.
+	var s netflow.Stats
+	for i := range out {
+		s.Add(&out[i].Record)
+	}
+	bh, be := s.FlowsPerIPPoints()
+	if len(bh) < 10 {
+		t.Fatalf("too few minutes with both classes: %d", len(bh))
+	}
+	if r := pearson(bh, be); r < 0.5 {
+		t.Errorf("flows/IP correlation r = %.3f, want strong positive (paper: 0.77)", r)
+	}
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, syy, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		syy += y[i] * y[i]
+		sxy += x[i] * y[i]
+	}
+	num := sxy - sx*sy/n
+	den := math.Sqrt((sxx - sx*sx/n) * (syy - sy*sy/n))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func BenchmarkBalanceMinute(b *testing.B) {
+	g := synth.NewGenerator(synth.ProfileUS1())
+	flows := g.Generate(100, 101)
+	recs := synth.Records(flows)
+	rng := rand.New(rand.NewPCG(1, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select(rng, len(recs),
+			func(i int) bool { return recs[i].Blackholed },
+			func(i int) netip.Addr { return recs[i].DstIP },
+		)
+	}
+}
+
+// TestSelectDeterministicAcrossProcessNoise: two identical runs must pick
+// the exact same records, regardless of map iteration order (a regression
+// here makes whole-pipeline results irreproducible).
+func TestSelectDeterministicAcrossProcessNoise(t *testing.T) {
+	g := synth.NewGenerator(synth.ProfileUS2())
+	flows := g.Generate(0, 60)
+	run := func() []synth.Flow {
+		out, _ := Flows(42, flows)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+}

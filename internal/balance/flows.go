@@ -1,0 +1,40 @@
+package balance
+
+import (
+	"net/netip"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+// ForRecords builds a Balancer over netflow.Record streams.
+func ForRecords(seed uint64, emit func(netflow.Record)) *Balancer[netflow.Record] {
+	return New(seed,
+		func(r *netflow.Record) int64 { return r.Minute() },
+		func(r *netflow.Record) bool { return r.Blackholed },
+		func(r *netflow.Record) netip.Addr { return r.DstIP },
+		emit,
+	)
+}
+
+// ForFlows builds a Balancer over synth.Flow streams (ground truth kept).
+func ForFlows(seed uint64, emit func(synth.Flow)) *Balancer[synth.Flow] {
+	return New(seed,
+		func(f *synth.Flow) int64 { return f.Minute() },
+		func(f *synth.Flow) bool { return f.Blackholed },
+		func(f *synth.Flow) netip.Addr { return f.DstIP },
+		emit,
+	)
+}
+
+// Flows balances a complete slice of generated flows in one call and
+// returns the kept flows plus reduction statistics.
+func Flows(seed uint64, flows []synth.Flow) ([]synth.Flow, Stats) {
+	var out []synth.Flow
+	b := ForFlows(seed, func(f synth.Flow) { out = append(out, f) })
+	for _, f := range flows {
+		b.Add(f)
+	}
+	b.Flush()
+	return out, b.Stats
+}

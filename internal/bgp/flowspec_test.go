@@ -1,0 +1,175 @@
+package bgp
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func ntpDropRule() *Rule {
+	return &Rule{Components: []Component{
+		{Type: FSDstPrefix, Prefix: netip.MustParsePrefix("198.51.100.7/32")},
+		{Type: FSIPProtocol, Matches: []NumericMatch{{EQ: true, Value: 17}}},
+		{Type: FSSrcPort, Matches: []NumericMatch{{EQ: true, Value: 123}}},
+	}}
+}
+
+func TestFlowSpecNLRIRoundTrip(t *testing.T) {
+	rules := []*Rule{
+		ntpDropRule(),
+		{Components: []Component{
+			{Type: FSDstPrefix, Prefix: netip.MustParsePrefix("203.0.113.0/24")},
+			{Type: FSPacketLen, Matches: []NumericMatch{
+				{GT: true, EQ: true, Value: 400},
+				{AND: true, LT: true, Value: 500},
+			}},
+		}},
+		{Components: []Component{
+			{Type: FSFragment, Matches: []NumericMatch{{Value: FragIsFragment}}},
+		}},
+		{Components: []Component{
+			{Type: FSDstPort, Matches: []NumericMatch{{EQ: true, Value: 70000 & 0xFFFF}, {EQ: true, Value: 80}}},
+			{Type: FSPacketLen, Matches: []NumericMatch{{GT: true, Value: 100000}}}, // 4-byte value
+		}},
+	}
+	for i, r := range rules {
+		buf, err := r.AppendNLRI(nil)
+		if err != nil {
+			t.Fatalf("rule %d: %v", i, err)
+		}
+		got, n, err := ParseFlowSpecNLRI(buf)
+		if err != nil {
+			t.Fatalf("rule %d parse: %v", i, err)
+		}
+		if n != len(buf) {
+			t.Errorf("rule %d: consumed %d of %d", i, n, len(buf))
+		}
+		if got.String() != r.String() {
+			t.Errorf("rule %d round trip:\n in  %s\n out %s", i, r, got)
+		}
+	}
+}
+
+func TestFlowSpecMatching(t *testing.T) {
+	r := ntpDropRule()
+	hit := &FlowKey{
+		SrcIP: netip.MustParseAddr("192.0.2.1"), DstIP: netip.MustParseAddr("198.51.100.7"),
+		Protocol: 17, SrcPort: 123, DstPort: 4444, PacketLen: 468,
+	}
+	if !r.Matches(hit) {
+		t.Fatal("NTP flow must match")
+	}
+	miss := *hit
+	miss.DstIP = netip.MustParseAddr("198.51.100.8")
+	if r.Matches(&miss) {
+		t.Error("different destination must not match")
+	}
+	miss = *hit
+	miss.SrcPort = 53
+	if r.Matches(&miss) {
+		t.Error("different source port must not match")
+	}
+	miss = *hit
+	miss.Protocol = 6
+	if r.Matches(&miss) {
+		t.Error("TCP must not match UDP rule")
+	}
+}
+
+func TestFlowSpecRangeMatch(t *testing.T) {
+	// 400 <= len < 500 (the packet-size interval of the released rules).
+	r := &Rule{Components: []Component{
+		{Type: FSPacketLen, Matches: []NumericMatch{
+			{GT: true, EQ: true, Value: 400},
+			{AND: true, LT: true, Value: 500},
+		}},
+	}}
+	for _, tc := range []struct {
+		len  uint16
+		want bool
+	}{{399, false}, {400, true}, {468, true}, {499, true}, {500, false}} {
+		k := &FlowKey{PacketLen: tc.len}
+		if got := r.Matches(k); got != tc.want {
+			t.Errorf("len %d: match = %v, want %v", tc.len, got, tc.want)
+		}
+	}
+}
+
+func TestFlowSpecOrSemantics(t *testing.T) {
+	// dport = 80 OR 443.
+	r := &Rule{Components: []Component{
+		{Type: FSDstPort, Matches: []NumericMatch{
+			{EQ: true, Value: 80},
+			{EQ: true, Value: 443},
+		}},
+	}}
+	if !r.Matches(&FlowKey{DstPort: 80}) || !r.Matches(&FlowKey{DstPort: 443}) {
+		t.Error("OR list must match either value")
+	}
+	if r.Matches(&FlowKey{DstPort: 8080}) {
+		t.Error("unlisted port matched")
+	}
+}
+
+func TestFlowSpecFragment(t *testing.T) {
+	r := &Rule{Components: []Component{
+		{Type: FSFragment, Matches: []NumericMatch{{Value: FragIsFragment}}},
+	}}
+	if !r.Matches(&FlowKey{Fragment: true}) {
+		t.Error("fragment must match")
+	}
+	if r.Matches(&FlowKey{Fragment: false}) {
+		t.Error("non-fragment matched")
+	}
+}
+
+func TestFlowSpecUnknownComponentFailsClosed(t *testing.T) {
+	r := &Rule{Components: []Component{
+		{Type: 99, Matches: []NumericMatch{{EQ: true, Value: 1}}},
+	}}
+	if r.Matches(&FlowKey{}) {
+		t.Error("unknown component must fail closed")
+	}
+}
+
+func TestFlowSpecParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _, _ = ParseFlowSpecNLRI(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowSpecString(t *testing.T) {
+	s := ntpDropRule().String()
+	for _, want := range []string{"dst 198.51.100.7/32", "proto =17", "sport =123"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFlowSpecRejectsIPv6AndEmpty(t *testing.T) {
+	r := &Rule{Components: []Component{
+		{Type: FSDstPrefix, Prefix: netip.MustParsePrefix("2001:db8::/32")},
+	}}
+	if _, err := r.AppendNLRI(nil); err == nil {
+		t.Error("IPv6 prefix accepted (RFC 8955 is IPv4-only; 8956 not implemented)")
+	}
+	r2 := &Rule{Components: []Component{{Type: FSDstPort}}}
+	if _, err := r2.AppendNLRI(nil); err == nil {
+		t.Error("component without matches accepted")
+	}
+}
+
+func TestTrafficAction(t *testing.T) {
+	if Drop.RateLimitBps != 0 {
+		t.Error("Drop must be traffic-rate 0")
+	}
+	if RateLimit(1e6).RateLimitBps != 1e6 {
+		t.Error("RateLimit value lost")
+	}
+}

@@ -1,0 +1,217 @@
+package bgp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// FlowSpec over the BGP wire: routes travel in MP_REACH_NLRI /
+// MP_UNREACH_NLRI path attributes (RFC 4760) with AFI 1 (IPv4), SAFI 133
+// (flowspec unicast), and the traffic-rate action travels as an extended
+// community (RFC 8955 §7.1).
+
+// Path attribute type codes for multiprotocol BGP.
+const (
+	AttrMPReach   = 14
+	AttrMPUnreach = 15
+	AttrExtComms  = 16
+)
+
+const (
+	afiIPv4      = 1
+	safiFlowSpec = 133
+)
+
+// FlowSpecUpdate is a decoded FlowSpec announcement or withdrawal.
+type FlowSpecUpdate struct {
+	// Announced routes and their actions (parallel slices are avoided:
+	// every announced rule carries the update's action).
+	Announced []Rule
+	Withdrawn []Rule
+	Action    TrafficAction
+	HasAction bool
+}
+
+// AppendFlowSpecUpdate encodes a BGP UPDATE announcing (or withdrawing,
+// with withdraw=true) FlowSpec rules with the given traffic action.
+func AppendFlowSpecUpdate(buf []byte, rules []Rule, action TrafficAction, withdraw bool) ([]byte, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("bgp: flowspec update without rules")
+	}
+	var nlri []byte
+	for i := range rules {
+		var err error
+		if nlri, err = rules[i].AppendNLRI(nlri); err != nil {
+			return nil, err
+		}
+	}
+
+	buf = appendHeader(buf, TypeUpdate)
+	buf = append(buf, 0, 0) // no withdrawn IPv4 unicast routes
+
+	aStart := len(buf)
+	buf = append(buf, 0, 0) // attribute length placeholder
+
+	if withdraw {
+		// MP_UNREACH_NLRI: AFI, SAFI, NLRI.
+		attrLen := 3 + len(nlri)
+		buf = appendAttrHeader(buf, flagOptional, AttrMPUnreach, attrLen)
+		buf = binary.BigEndian.AppendUint16(buf, afiIPv4)
+		buf = append(buf, safiFlowSpec)
+		buf = append(buf, nlri...)
+	} else {
+		// MP_REACH_NLRI: AFI, SAFI, next-hop length 0, reserved, NLRI.
+		attrLen := 3 + 1 + 1 + len(nlri)
+		buf = appendAttrHeader(buf, flagOptional, AttrMPReach, attrLen)
+		buf = binary.BigEndian.AppendUint16(buf, afiIPv4)
+		buf = append(buf, safiFlowSpec)
+		buf = append(buf, 0) // next hop length (none for flowspec)
+		buf = append(buf, 0) // reserved
+		buf = append(buf, nlri...)
+
+		// ORIGIN (mandatory for announcements).
+		buf = append(buf, flagTransitive, AttrOrigin, 1, 0)
+
+		// Traffic-rate extended community: type 0x80, subtype 0x06,
+		// 2-byte ASN (0), 4-byte IEEE float rate.
+		buf = appendAttrHeader(buf, flagOptional|flagTransitive, AttrExtComms, 8)
+		buf = append(buf, 0x80, 0x06, 0, 0)
+		buf = binary.BigEndian.AppendUint32(buf, math.Float32bits(action.RateLimitBps))
+	}
+
+	binary.BigEndian.PutUint16(buf[aStart:aStart+2], uint16(len(buf)-aStart-2))
+	return finishMessage(buf)
+}
+
+func appendAttrHeader(buf []byte, flags, code byte, length int) []byte {
+	if length > 255 {
+		return append(buf, flags|flagExtLen, code, byte(length>>8), byte(length))
+	}
+	return append(buf, flags, code, byte(length))
+}
+
+// FlowSpecUpdates encodes rules into as many UPDATE messages as needed to
+// respect the 4096-byte BGP message cap (a realistic filter set spans many
+// updates). Each returned slice is one complete message.
+func FlowSpecUpdates(rules []Rule, action TrafficAction, withdraw bool) ([][]byte, error) {
+	var out [][]byte
+	start := 0
+	for start < len(rules) {
+		// Grow the batch until encoding would exceed the cap.
+		end := start + 1
+		last, err := AppendFlowSpecUpdate(nil, rules[start:end], action, withdraw)
+		if err != nil {
+			return nil, fmt.Errorf("bgp: rule %d alone exceeds message size: %w", start, err)
+		}
+		for end < len(rules) {
+			candidate, err := AppendFlowSpecUpdate(nil, rules[start:end+1], action, withdraw)
+			if err != nil {
+				break // cap reached: keep the last good encoding
+			}
+			last = candidate
+			end++
+		}
+		out = append(out, last)
+		start = end
+	}
+	return out, nil
+}
+
+// ParseFlowSpecUpdate extracts FlowSpec routes from a decoded UPDATE's raw
+// bytes. It returns nil when the update carries no flowspec attributes.
+func ParseFlowSpecUpdate(raw []byte) (*FlowSpecUpdate, error) {
+	if len(raw) < headerLen+4 {
+		return nil, ErrTruncated
+	}
+	body := raw[headerLen:]
+	wLen := int(binary.BigEndian.Uint16(body[0:2]))
+	if len(body) < 2+wLen+2 {
+		return nil, ErrTruncated
+	}
+	attrs := body[2+wLen:]
+	aLen := int(binary.BigEndian.Uint16(attrs[0:2]))
+	if len(attrs) < 2+aLen {
+		return nil, ErrTruncated
+	}
+	attrs = attrs[2 : 2+aLen]
+
+	out := &FlowSpecUpdate{}
+	found := false
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return nil, ErrTruncated
+		}
+		flags, code := attrs[0], attrs[1]
+		var vLen, off int
+		if flags&flagExtLen != 0 {
+			if len(attrs) < 4 {
+				return nil, ErrTruncated
+			}
+			vLen, off = int(binary.BigEndian.Uint16(attrs[2:4])), 4
+		} else {
+			vLen, off = int(attrs[2]), 3
+		}
+		if len(attrs) < off+vLen {
+			return nil, ErrTruncated
+		}
+		val := attrs[off : off+vLen]
+		switch code {
+		case AttrMPReach:
+			if len(val) < 5 {
+				return nil, ErrTruncated
+			}
+			if binary.BigEndian.Uint16(val[0:2]) == afiIPv4 && val[2] == safiFlowSpec {
+				nhLen := int(val[3])
+				if len(val) < 5+nhLen {
+					return nil, ErrTruncated
+				}
+				rules, err := parseFlowSpecNLRIList(val[5+nhLen:])
+				if err != nil {
+					return nil, err
+				}
+				out.Announced = rules
+				found = true
+			}
+		case AttrMPUnreach:
+			if len(val) < 3 {
+				return nil, ErrTruncated
+			}
+			if binary.BigEndian.Uint16(val[0:2]) == afiIPv4 && val[2] == safiFlowSpec {
+				rules, err := parseFlowSpecNLRIList(val[3:])
+				if err != nil {
+					return nil, err
+				}
+				out.Withdrawn = rules
+				found = true
+			}
+		case AttrExtComms:
+			for i := 0; i+8 <= len(val); i += 8 {
+				if val[i] == 0x80 && val[i+1] == 0x06 {
+					out.Action = TrafficAction{
+						RateLimitBps: math.Float32frombits(binary.BigEndian.Uint32(val[i+4 : i+8])),
+					}
+					out.HasAction = true
+				}
+			}
+		}
+		attrs = attrs[off+vLen:]
+	}
+	if !found {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func parseFlowSpecNLRIList(data []byte) ([]Rule, error) {
+	var out []Rule
+	for len(data) > 0 {
+		rule, n, err := ParseFlowSpecNLRI(data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *rule)
+		data = data[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestFlowSpecUpdateWireRoundTrip(t *testing.T) {
+	rules := []Rule{*ntpDropRule(), {Components: []Component{
+		{Type: FSFragment, Matches: []NumericMatch{{Value: FragIsFragment}}},
+	}}}
+	raw, err := AppendFlowSpecUpdate(nil, rules, Drop, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The frame is a structurally valid BGP UPDATE.
+	msg, n, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(raw) || msg.Type != TypeUpdate {
+		t.Fatalf("decode: n=%d type=%d", n, msg.Type)
+	}
+	// And carries parseable flowspec content.
+	fs, err := ParseFlowSpecUpdate(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs == nil {
+		t.Fatal("flowspec attributes not found")
+	}
+	if len(fs.Announced) != 2 || len(fs.Withdrawn) != 0 {
+		t.Fatalf("announced=%d withdrawn=%d", len(fs.Announced), len(fs.Withdrawn))
+	}
+	if !fs.HasAction || fs.Action.RateLimitBps != 0 {
+		t.Errorf("action = %+v, want drop (rate 0)", fs.Action)
+	}
+	if fs.Announced[0].String() != ntpDropRule().String() {
+		t.Errorf("rule round trip:\n in  %s\n out %s", ntpDropRule(), &fs.Announced[0])
+	}
+}
+
+func TestFlowSpecUpdateWithdraw(t *testing.T) {
+	raw, err := AppendFlowSpecUpdate(nil, []Rule{*ntpDropRule()}, Drop, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ParseFlowSpecUpdate(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs == nil || len(fs.Withdrawn) != 1 || len(fs.Announced) != 0 {
+		t.Fatalf("fs = %+v", fs)
+	}
+	if fs.HasAction {
+		t.Error("withdrawals carry no action")
+	}
+}
+
+func TestFlowSpecUpdateRateLimit(t *testing.T) {
+	raw, err := AppendFlowSpecUpdate(nil, []Rule{*ntpDropRule()}, RateLimit(12.5e6), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ParseFlowSpecUpdate(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fs.HasAction || fs.Action.RateLimitBps != 12.5e6 {
+		t.Errorf("rate = %v", fs.Action.RateLimitBps)
+	}
+}
+
+func TestParseFlowSpecUpdateOnPlainUpdate(t *testing.T) {
+	u := Update{
+		NextHop: netip.MustParseAddr("10.0.0.9"),
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")},
+	}
+	raw, err := AppendUpdate(nil, &u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := ParseFlowSpecUpdate(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs != nil {
+		t.Fatalf("plain unicast update yielded flowspec: %+v", fs)
+	}
+}
+
+func TestFlowSpecUpdateOverSession(t *testing.T) {
+	// The route server reflects flowspec updates verbatim (unknown
+	// attributes are preserved because reflect re-encodes... it does not:
+	// the server re-encodes decoded fields only). This test documents the
+	// supported deployment: the scrubber announces flowspec DIRECTLY to
+	// member sessions, not via reflection. Encode -> raw decode at the
+	// member.
+	raw, err := AppendFlowSpecUpdate(nil, []Rule{*ntpDropRule()}, Drop, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, _, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Update == nil {
+		t.Fatal("not an update")
+	}
+	if msg.Update.IsBlackhole() {
+		t.Error("flowspec update misread as blackhole")
+	}
+	if len(msg.Update.NLRI) != 0 {
+		t.Error("flowspec NLRI leaked into unicast NLRI")
+	}
+}
+
+func TestAppendFlowSpecUpdateEmpty(t *testing.T) {
+	if _, err := AppendFlowSpecUpdate(nil, nil, Drop, false); err == nil {
+		t.Fatal("empty rule list accepted")
+	}
+}
+
+func TestFlowSpecUpdatesChunking(t *testing.T) {
+	// Enough rules to exceed one 4096-byte message.
+	var rules []Rule
+	for i := 0; i < 400; i++ {
+		rules = append(rules, Rule{Components: []Component{
+			{Type: FSDstPrefix, Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{198, 51, byte(i >> 8), byte(i)}), 32)},
+			{Type: FSIPProtocol, Matches: []NumericMatch{{EQ: true, Value: 17}}},
+			{Type: FSSrcPort, Matches: []NumericMatch{{EQ: true, Value: 123}}},
+		}})
+	}
+	msgs, err := FlowSpecUpdates(rules, Drop, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) < 2 {
+		t.Fatalf("messages = %d, want chunking", len(msgs))
+	}
+	total := 0
+	for i, raw := range msgs {
+		if len(raw) > 4096 {
+			t.Fatalf("message %d is %d bytes", i, len(raw))
+		}
+		if _, _, err := Decode(raw); err != nil {
+			t.Fatalf("message %d does not decode: %v", i, err)
+		}
+		fs, err := ParseFlowSpecUpdate(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(fs.Announced)
+	}
+	if total != len(rules) {
+		t.Fatalf("rules across messages = %d, want %d", total, len(rules))
+	}
+}

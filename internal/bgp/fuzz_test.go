@@ -1,0 +1,36 @@
+package bgp
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func FuzzDecode(f *testing.F) {
+	u := Update{
+		Origin:      0,
+		ASPath:      []uint16{64500},
+		NextHop:     netip.MustParseAddr("10.0.0.9"),
+		Communities: []Community{BlackholeCommunity},
+		NLRI:        []netip.Prefix{netip.MustParsePrefix("198.51.100.7/32")},
+	}
+	if buf, err := AppendUpdate(nil, &u); err == nil {
+		f.Add(buf)
+	}
+	f.Add(AppendKeepalive(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = Decode(data) // must never panic
+	})
+}
+
+func FuzzParseFlowSpecNLRI(f *testing.F) {
+	r := Rule{Components: []Component{
+		{Type: FSDstPrefix, Prefix: netip.MustParsePrefix("198.51.100.7/32")},
+		{Type: FSSrcPort, Matches: []NumericMatch{{EQ: true, Value: 123}}},
+	}}
+	if buf, err := r.AppendNLRI(nil); err == nil {
+		f.Add(buf)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _, _ = ParseFlowSpecNLRI(data)
+	})
+}

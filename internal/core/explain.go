@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+)
+
+// FeatureEvidence is one categorical value's contribution to a decision.
+type FeatureEvidence struct {
+	// Domain is the WoE domain (src_ip, port_src, ...).
+	Domain string
+	// Value renders the categorical value human-readably.
+	Value string
+	// WoE is the encoded weight; positive pushes toward DDoS.
+	WoE float64
+}
+
+// Explanation is the local explanation of one classification (Fig. 9):
+// the decision, the matched tagging rules, and the WoE evidence per
+// categorical value, so an operator can debug the decision and pin
+// individual encodings (Encoder().Override) to correct it.
+type Explanation struct {
+	Target     netip.Addr
+	Minute     int64
+	Prediction int
+	// Score is the classifier's continuous decision value when available
+	// (probability for XGB/NN/DT, margin for LSVM/NB), else NaN.
+	Score float64
+	// Rules are the accepted tagging rules annotated on the aggregate.
+	Rules []tagging.Rule
+	// Evidence lists distinct categorical values by |WoE| descending.
+	Evidence []FeatureEvidence
+}
+
+// String renders the explanation for terminal display.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	verdict := "benign"
+	if e.Prediction == 1 {
+		verdict = "DDoS"
+	}
+	fmt.Fprintf(&b, "target %s @minute %d -> %s", e.Target, e.Minute, verdict)
+	if !math.IsNaN(e.Score) {
+		fmt.Fprintf(&b, " (score %.3f)", e.Score)
+	}
+	b.WriteString("\n")
+	for _, r := range e.Rules {
+		fmt.Fprintf(&b, "  rule %s: %s\n", r.ID, r.String())
+	}
+	for _, ev := range e.Evidence {
+		fmt.Fprintf(&b, "  %-9s %-22s WoE %+.2f\n", ev.Domain, ev.Value, ev.WoE)
+	}
+	return b.String()
+}
+
+// Explain produces the local explanation for one aggregate.
+func (s *Scrubber) Explain(agg *features.Aggregate) (*Explanation, error) {
+	pred, err := s.Predict([]*features.Aggregate{agg})
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{
+		Target:     agg.Target,
+		Minute:     agg.Minute,
+		Prediction: pred[0],
+		Score:      math.NaN(),
+	}
+	if s.pipeline != nil {
+		row := features.Encode(s.encoder, agg, nil)
+		transformed := s.pipeline.Transform([][]float64{row})
+		if scorer, ok := s.pipeline.Model.(ml.Scorer); ok {
+			ex.Score = scorer.Score(transformed[0])
+		}
+	}
+
+	// Annotated rules.
+	byID := map[string]tagging.Rule{}
+	for _, r := range s.rules.Rules() {
+		byID[r.ID] = r
+	}
+	for _, id := range agg.RuleIDs {
+		if r, ok := byID[id]; ok {
+			ex.Rules = append(ex.Rules, r)
+		}
+	}
+
+	// Distinct categorical evidence sorted by |WoE|.
+	type dk struct {
+		cat int
+		key uint64
+	}
+	seen := map[dk]struct{}{}
+	for c := 0; c < features.NumCats; c++ {
+		for m := 0; m < features.NumMets; m++ {
+			for r := 0; r < features.R; r++ {
+				if !agg.Present[c][m][r] {
+					continue
+				}
+				k := dk{c, agg.Keys[c][m][r]}
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+				domain := features.CatNames[c]
+				ex.Evidence = append(ex.Evidence, FeatureEvidence{
+					Domain: domain,
+					Value:  DisplayKey(c, k.key),
+					WoE:    s.encoder.WoE(domain, k.key),
+				})
+			}
+		}
+	}
+	sort.Slice(ex.Evidence, func(i, j int) bool {
+		return math.Abs(ex.Evidence[i].WoE) > math.Abs(ex.Evidence[j].WoE)
+	})
+	return ex, nil
+}
+
+// DisplayKey renders a WoE key of the given categorical human-readably
+// (IPv4 addresses, MACs, port and protocol numbers). IPv6 keys are hashes
+// and render as hex.
+func DisplayKey(cat int, key uint64) string {
+	switch cat {
+	case features.CatSrcIP:
+		if key>>63 == 0 { // IPv4 keys are the raw 32-bit address
+			return netip.AddrFrom4([4]byte{
+				byte(key >> 24), byte(key >> 16), byte(key >> 8), byte(key),
+			}).String()
+		}
+		return fmt.Sprintf("v6:%016x", key)
+	case features.CatSrcMAC:
+		return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+			byte(key>>40), byte(key>>32), byte(key>>24), byte(key>>16), byte(key>>8), byte(key))
+	default:
+		return fmt.Sprintf("%d", key)
+	}
+}

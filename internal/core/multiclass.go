@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/xgb"
+)
+
+// Multiclass tagging-rule prediction — the extension §5.2.2 discusses:
+// instead of classifying targets as DDoS and then matching tagging rules as
+// filters, predict the applicable tagging rule directly and use it as the
+// ACL. The paper notes the trade-off: predicted rules are model output
+// rather than raw-data artifacts, so they are less interpretable; this
+// implementation exists to quantify that trade-off (see
+// BenchmarkAblationMulticlass).
+
+// RulePredictor is a one-vs-rest ensemble over the most supported accepted
+// rules plus a "benign" class.
+type RulePredictor struct {
+	// RuleIDs are the predictable classes, by descending support.
+	RuleIDs []string
+	models  []*xgb.Model // aligned with RuleIDs
+	stages  []ml.Transformer
+	fitted  bool
+}
+
+// NewRulePredictor builds a predictor over the top-k accepted rules of the
+// scrubber (k <= 16 keeps training affordable).
+func (s *Scrubber) NewRulePredictor(k int) *RulePredictor {
+	if k <= 0 || k > 16 {
+		k = 8
+	}
+	accepted := s.rules.Accepted()
+	sort.Slice(accepted, func(i, j int) bool { return accepted[i].Support > accepted[j].Support })
+	if len(accepted) > k {
+		accepted = accepted[:k]
+	}
+	rp := &RulePredictor{}
+	for _, r := range accepted {
+		rp.RuleIDs = append(rp.RuleIDs, r.ID)
+	}
+	return rp
+}
+
+// dominantRule returns the index in ruleIDs of the aggregate's first
+// annotated rule that is predictable, or -1 for none.
+func dominantRule(ruleIDs []string, agg *features.Aggregate) int {
+	for i, id := range ruleIDs {
+		for _, have := range agg.RuleIDs {
+			if have == id {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Fit trains one binary model per rule class on the encoded aggregates.
+func (rp *RulePredictor) Fit(s *Scrubber, train []*features.Aggregate) error {
+	if len(rp.RuleIDs) == 0 {
+		return fmt.Errorf("core: no predictable rules (mine and accept rules first)")
+	}
+	if len(train) == 0 {
+		return fmt.Errorf("core: empty training set")
+	}
+	x := make([][]float64, len(train))
+	cls := make([]int, len(train))
+	for i, a := range train {
+		x[i] = features.Encode(s.encoder, a, nil)
+		cls[i] = dominantRule(rp.RuleIDs, a)
+	}
+	rp.stages = []ml.Transformer{&ml.VarianceThreshold{Min: 1e-12}, &ml.Imputer{Value: -1}}
+	cur := x
+	for _, st := range rp.stages {
+		st.Fit(cur, nil)
+		cur = st.Transform(cur)
+	}
+	rp.models = make([]*xgb.Model, len(rp.RuleIDs))
+	for c := range rp.RuleIDs {
+		y := make([]int, len(cls))
+		for i, v := range cls {
+			if v == c {
+				y[i] = 1
+			}
+		}
+		m := xgb.New(xgb.Options{Estimators: 12, MaxDepth: 5, LearningRate: 0.3, Lambda: 4, Bins: 32, MinChildWeight: 4})
+		if err := m.Fit(cur, y); err != nil {
+			return fmt.Errorf("core: rule class %s: %w", rp.RuleIDs[c], err)
+		}
+		rp.models[c] = m
+	}
+	rp.fitted = true
+	return nil
+}
+
+// Predict returns, per aggregate, the predicted rule index (into RuleIDs)
+// or -1 for benign/no-rule, picking the highest-scoring class above 0.5.
+func (rp *RulePredictor) Predict(s *Scrubber, aggs []*features.Aggregate) ([]int, error) {
+	if !rp.fitted {
+		return nil, fmt.Errorf("core: rule predictor not fitted")
+	}
+	out := make([]int, len(aggs))
+	for i, a := range aggs {
+		row := features.Encode(s.encoder, a, nil)
+		rows := [][]float64{row}
+		for _, st := range rp.stages {
+			rows = st.Transform(rows)
+		}
+		best, bestScore := -1, 0.5
+		for c, m := range rp.models {
+			if sc := m.Score(rows[0]); sc > bestScore {
+				best, bestScore = c, sc
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// Accuracy scores predictions against the annotated ground truth (the rule
+// annotations from Step 1 matching).
+func (rp *RulePredictor) Accuracy(aggs []*features.Aggregate, pred []int) float64 {
+	if len(aggs) == 0 {
+		return 0
+	}
+	ok := 0
+	for i, a := range aggs {
+		if pred[i] == dominantRule(rp.RuleIDs, a) {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(aggs))
+}

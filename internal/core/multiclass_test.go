@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+func TestRulePredictorEndToEnd(t *testing.T) {
+	bal, vectors := balancedFlows(t, 6, 300)
+	records := synth.Records(bal)
+	cut := len(records) * 2 / 3
+	for cut < len(records) && records[cut].Minute() == records[cut-1].Minute() {
+		cut++
+	}
+	s := New(DefaultConfig())
+	if _, err := s.MineRules(records[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	train := s.Aggregate(records[:cut], vectors[:cut])
+	test := s.Aggregate(records[cut:], vectors[cut:])
+	if err := s.Fit(records[:cut], train); err != nil {
+		t.Fatal(err)
+	}
+
+	rp := s.NewRulePredictor(6)
+	if len(rp.RuleIDs) == 0 {
+		t.Fatal("no predictable rules")
+	}
+	if err := rp.Fit(s, train); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := rp.Predict(s, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := rp.Accuracy(test, pred)
+	if acc < 0.7 {
+		t.Errorf("multiclass rule prediction accuracy = %.3f, want > 0.7", acc)
+	}
+	// Predictions include both rule classes and benign.
+	hasRule, hasBenign := false, false
+	for _, p := range pred {
+		if p >= 0 {
+			hasRule = true
+		} else {
+			hasBenign = true
+		}
+	}
+	if !hasRule || !hasBenign {
+		t.Errorf("degenerate predictions: rule=%v benign=%v", hasRule, hasBenign)
+	}
+}
+
+func TestRulePredictorErrors(t *testing.T) {
+	s := New(DefaultConfig())
+	rp := s.NewRulePredictor(4)
+	if err := rp.Fit(s, nil); err == nil {
+		t.Error("fit without rules accepted")
+	}
+	if _, err := rp.Predict(s, nil); err == nil {
+		t.Error("predict before fit accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+func BenchmarkTrainFlows(b *testing.B) {
+	p := synth.ProfileUS2()
+	p.Seed = 0xB1
+	g := synth.NewGenerator(p)
+	bal, _ := balance.Flows(1, g.Generate(0, 240))
+	records := synth.Records(bal)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(DefaultConfig())
+		if err := s.TrainFlows(records, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictAggregate(b *testing.B) {
+	p := synth.ProfileUS2()
+	p.Seed = 0xB2
+	g := synth.NewGenerator(p)
+	bal, _ := balance.Flows(2, g.Generate(0, 240))
+	records := synth.Records(bal)
+	s := New(DefaultConfig())
+	if err := s.TrainFlows(records, nil); err != nil {
+		b.Fatal(err)
+	}
+	aggs := s.Aggregate(records, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Predict(aggs[i%len(aggs) : i%len(aggs)+1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/xgb"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+	"github.com/ixp-scrubber/ixpscrubber/internal/woe"
+)
+
+// Model bundle serialization: a fitted Scrubber persists as one JSON
+// envelope carrying the curated rule set, the WoE encoder (the local
+// knowledge), the feature-reduction column selection and the fitted
+// classifier. Bundles are what scrubberd persists across restarts and what
+// vantage points exchange for geographic transfer (ship the bundle, then
+// swap the encoder via WithEncoder to keep knowledge local).
+//
+// Serialization supports the recommended production model (XGB); for other
+// classifiers retrain from the balanced data, which is cheap.
+
+const bundleVersion = 1
+
+type bundleJSON struct {
+	Version int             `json:"version"`
+	Model   ModelName       `json:"model"`
+	Config  Config          `json:"config"`
+	Rules   json.RawMessage `json:"rules"`
+	Encoder json.RawMessage `json:"encoder"`
+	Kept    []int           `json:"kept_columns"`
+	XGB     json.RawMessage `json:"xgb"`
+}
+
+// Save writes the fitted scrubber as a JSON bundle. Only the XGB model is
+// serializable.
+func (s *Scrubber) Save(w io.Writer) error {
+	if !s.fitted {
+		return fmt.Errorf("core: cannot save an unfitted scrubber")
+	}
+	if s.cfg.Model != ModelXGB || s.pipeline == nil {
+		return fmt.Errorf("core: model bundles support XGB only, have %s", s.cfg.Model)
+	}
+	model, ok := s.pipeline.Model.(*xgb.Model)
+	if !ok {
+		return fmt.Errorf("core: unexpected model type %T", s.pipeline.Model)
+	}
+	var rules, encoder, xgbBuf bytes.Buffer
+	if err := s.rules.Export(&rules); err != nil {
+		return err
+	}
+	if err := s.encoder.Save(&encoder); err != nil {
+		return err
+	}
+	if err := model.Save(&xgbBuf); err != nil {
+		return err
+	}
+	var kept []int
+	if len(s.pipeline.Stages) > 0 {
+		if vt, ok := s.pipeline.Stages[0].(*ml.VarianceThreshold); ok {
+			kept = vt.Kept()
+		}
+	}
+	out := bundleJSON{
+		Version: bundleVersion,
+		Model:   s.cfg.Model,
+		Config:  s.cfg,
+		Rules:   json.RawMessage(rules.Bytes()),
+		Encoder: json.RawMessage(encoder.Bytes()),
+		Kept:    kept,
+		XGB:     json.RawMessage(xgbBuf.Bytes()),
+	}
+	if err := json.NewEncoder(w).Encode(&out); err != nil {
+		return fmt.Errorf("core: saving bundle: %w", err)
+	}
+	return nil
+}
+
+// keptProjector replays a saved feature-reduction column selection.
+type keptProjector struct {
+	kept []int
+}
+
+// Fit is a no-op: the selection was made at save time.
+func (k *keptProjector) Fit(x [][]float64, y []int) {}
+
+// Kept returns the replayed column selection (feature-importance mapping).
+func (k *keptProjector) Kept() []int { return k.kept }
+
+// Transform projects rows onto the saved columns.
+func (k *keptProjector) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(k.kept))
+		for j, c := range k.kept {
+			if c < len(row) {
+				o[j] = row[c]
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// Load reads a bundle saved with Save and returns a ready-to-predict
+// Scrubber.
+func Load(r io.Reader) (*Scrubber, error) {
+	var in bundleJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: loading bundle: %w", err)
+	}
+	if in.Version != bundleVersion {
+		return nil, fmt.Errorf("core: unsupported bundle version %d", in.Version)
+	}
+	if in.Model != ModelXGB {
+		return nil, fmt.Errorf("core: bundle model %s not supported", in.Model)
+	}
+	s := New(in.Config)
+	rules, err := tagging.Import(bytes.NewReader(in.Rules))
+	if err != nil {
+		return nil, err
+	}
+	s.SetRules(rules)
+	enc, err := woe.Load(bytes.NewReader(in.Encoder))
+	if err != nil {
+		return nil, err
+	}
+	enc.Smoothing = in.Config.WoESmoothing
+	enc.MinCount = in.Config.WoEMinCount
+	s.encoder = enc
+	model, err := xgb.Load(bytes.NewReader(in.XGB))
+	if err != nil {
+		return nil, err
+	}
+	s.pipeline = &ml.Pipeline{
+		Name:   string(in.Model),
+		Stages: []ml.Transformer{&keptProjector{kept: in.Kept}, &ml.Imputer{Value: -1}},
+		Model:  model,
+	}
+	s.fitted = true
+	return s, nil
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+func TestBundleSaveLoadRoundTrip(t *testing.T) {
+	s, test := quickScrubber(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical predictions on every test aggregate.
+	want, err := s.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("aggregate %d: prediction %d != %d after round trip", i, got[i], want[i])
+		}
+	}
+	// Rules and encoder survive.
+	if loaded.Rules().Len() != s.Rules().Len() {
+		t.Errorf("rules: %d != %d", loaded.Rules().Len(), s.Rules().Len())
+	}
+	// Feature importance still maps to names.
+	imp, err := loaded.FeatureImportance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) == 0 || !strings.Contains(imp[0].Column, "/") {
+		t.Errorf("importance after load: %+v", imp[:min(3, len(imp))])
+	}
+	// Explain still works on the loaded model.
+	ex, err := loaded.Explain(test[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Evidence) == 0 {
+		t.Error("no evidence after load")
+	}
+}
+
+func TestBundleSaveRequiresFittedXGB(t *testing.T) {
+	s := New(DefaultConfig())
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err == nil {
+		t.Error("unfitted scrubber saved")
+	}
+	bal, vectors := balancedFlows(t, 8, 120)
+	records := synth.Records(bal)
+	dt := New(Config{Model: ModelDT, AutoAccept: true})
+	if err := dt.TrainFlows(records, vectors); err != nil {
+		t.Fatal(err)
+	}
+	if err := dt.Save(&buf); err == nil {
+		t.Error("DT bundle saved (XGB-only)")
+	}
+}
+
+func TestBundleLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("{"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"version":9}`))); err == nil {
+		t.Error("unknown version accepted")
+	}
+	if _, err := Load(bytes.NewReader([]byte(`{"version":1,"model":"DT"}`))); err == nil {
+		t.Error("non-XGB bundle accepted")
+	}
+}

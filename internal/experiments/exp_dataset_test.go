@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Fig3a and Fig4b are covered here (separate file keeps the main test file
+// readable); they reuse the shared dataset corpora.
+
+func TestFig3aShares(t *testing.T) {
+	res, err := RunFig3a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 5 {
+		t.Fatalf("series = %d, want one per vantage point", len(res.Series))
+	}
+	for _, s := range res.Series {
+		// CDF is monotone in both coordinates.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] || s.X[i]+1e-12 < s.X[i-1] {
+				t.Fatalf("%s: CDF not monotone", s.Name)
+			}
+		}
+		// Median share is small (realistic imbalance).
+		mid := s.X[len(s.X)/2]
+		if mid > 0.05 {
+			t.Errorf("%s: median per-minute blackhole share %.4f, want small", s.Name, mid)
+		}
+	}
+}
+
+func TestFig4bAgreement(t *testing.T) {
+	res, err := RunFig4b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &res.Tables[0]
+	checked := 0
+	for i, row := range tbl.Rows {
+		bh := cell(t, tbl, i, "blackholing")
+		sas := cell(t, tbl, i, "self-attack")
+		if bh == "-" {
+			// Vectors absent from blackholing (WS-Discovery) are expected.
+			if row[0] == "WS-Discovery" {
+				continue
+			}
+			continue
+		}
+		b := parseF(t, bh)
+		s := parseF(t, sas)
+		if b <= 0 || s <= 0 {
+			continue
+		}
+		ratio := b / s
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("%s: blackholing mean %.0f vs SAS %.0f — sizes should agree", row[0], b, s)
+		}
+		checked++
+	}
+	if checked < 5 {
+		t.Errorf("only %d vectors compared", checked)
+	}
+	// NTP's characteristic ~468B frame.
+	for i, row := range tbl.Rows {
+		if row[0] == "NTP" {
+			v := parseF(t, cell(t, tbl, i, "self-attack"))
+			if v < 380 || v > 560 {
+				t.Errorf("NTP mean frame %.0f, want ~470 (monlist reply)", v)
+			}
+		}
+	}
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}

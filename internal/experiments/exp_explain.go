@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml"
+)
+
+// RunFig14a regenerates Figure 14a: the overlap between XGB decisions and
+// matched tagging rules, and how many annotated rules are available to
+// explain coherent positive decisions.
+func RunFig14a(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "fig14a",
+		Title: "Tagging-rule annotations as local explanations for XGB decisions",
+		PaperClaim: "XGB and the mined rules agree on 70.9% of records; among coherent positive " +
+			"decisions, >=1 rule explains ~30% and up to 3 rules ~50% (cumulative distribution over rule counts)",
+	}
+	bundle := cachedBundle(cfg)
+	s := core.New(core.DefaultConfig())
+	s.SetRules(bundle.rules)
+	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
+		return nil, err
+	}
+	pred, err := s.Predict(bundle.testAggs)
+	if err != nil {
+		return nil, err
+	}
+	agree := 0
+	ruleCounts := map[int]int{}
+	coherentPos := 0
+	for i, a := range bundle.testAggs {
+		rbc := 0
+		if len(a.RuleIDs) > 0 {
+			rbc = 1
+		}
+		if rbc == pred[i] {
+			agree++
+		}
+		if pred[i] == 1 && rbc == 1 {
+			coherentPos++
+			ruleCounts[len(a.RuleIDs)]++
+		}
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"XGB and RBC agree on %.1f%% of %d aggregates (paper: 70.9%%)",
+		100*float64(agree)/float64(len(bundle.testAggs)), len(bundle.testAggs)))
+
+	tbl := Table{Name: "rules available per coherent positive decision",
+		Header: []string{"#annotated rules", "decisions", "cumulative share"}}
+	var ks []int
+	for k := range ruleCounts {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	cum := 0
+	for _, k := range ks {
+		cum += ruleCounts[k]
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("<=%d", k),
+			fmt.Sprintf("%d", ruleCounts[k]),
+			fmt.Sprintf("%.2f", float64(cum)/float64(max(coherentPos, 1))),
+		})
+	}
+	res.Tables = append(res.Tables, tbl)
+	return res, nil
+}
+
+// RunFig14b regenerates Figure 14b: the WoE distributions of the top XGB
+// features, separated by true-positive vs false-positive decisions.
+func RunFig14b(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "fig14b",
+		Title: "WoE distributions of top XGB features for TP vs FP classifications",
+		PaperClaim: "false positives sit at visibly lower WoE than true positives (often at the " +
+			"unknown-value 0.0), which is what makes mitigation by whitelisting work",
+	}
+	bundle := cachedBundle(cfg)
+	s := core.New(core.DefaultConfig())
+	s.SetRules(bundle.rules)
+	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
+		return nil, err
+	}
+	imp, err := s.FeatureImportance()
+	if err != nil {
+		return nil, err
+	}
+	// Top 4 *categorical* (WoE) columns by gain.
+	names := features.ColumnNames()
+	colIndex := map[string]int{}
+	for i, n := range names {
+		colIndex[n] = i
+	}
+	var topCols []int
+	for _, e := range imp {
+		if idx, ok := colIndex[e.Column]; ok && idx%2 == 0 { // even = categorical slot
+			topCols = append(topCols, idx)
+		}
+		if len(topCols) == 4 {
+			break
+		}
+	}
+	pred, err := s.Predict(bundle.testAggs)
+	if err != nil {
+		return nil, err
+	}
+	tbl := Table{Name: "WoE quartiles per feature (TP vs FP)",
+		Header: []string{"feature", "class", "n", "p25", "median", "p75"}}
+	for _, col := range topCols {
+		var tp, fp []float64
+		for i, a := range bundle.testAggs {
+			if pred[i] != 1 {
+				continue
+			}
+			row := features.Encode(s.Encoder(), a, nil)
+			v := row[col]
+			if math.IsNaN(v) {
+				continue
+			}
+			if a.Label {
+				tp = append(tp, v)
+			} else {
+				fp = append(fp, v)
+			}
+		}
+		for _, cls := range []struct {
+			name string
+			v    []float64
+		}{{"TP", tp}, {"FP", fp}} {
+			if len(cls.v) == 0 {
+				tbl.Rows = append(tbl.Rows, []string{names[col], cls.name, "0", "-", "-", "-"})
+				continue
+			}
+			sort.Float64s(cls.v)
+			tbl.Rows = append(tbl.Rows, []string{
+				names[col], cls.name, fmt.Sprintf("%d", len(cls.v)),
+				f3(Quantile(cls.v, 0.25)), f3(Quantile(cls.v, 0.5)), f3(Quantile(cls.v, 0.75)),
+			})
+		}
+	}
+	res.Tables = append(res.Tables, tbl)
+	return res, nil
+}
+
+// RunFig16a regenerates Appendix B Figure 16a: the CDF of pairwise Spearman
+// correlations among the aggregated feature columns, grouped by metric.
+func RunFig16a(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "fig16a",
+		Title: "Correlation introduced by the deliberate feature over-generation",
+		PaperClaim: "roughly 20% of column pairs correlate above 0.7-0.8 depending on the metric " +
+			"(the aggregation intentionally produces redundant columns for later reduction)",
+	}
+	bundle := cachedBundle(cfg)
+	s := core.New(core.DefaultConfig())
+	s.SetRules(bundle.rules)
+	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
+		return nil, err
+	}
+	// Use a sample of aggregates for the correlation matrix.
+	aggs := bundle.trainAggs
+	if len(aggs) > 3000 {
+		aggs = aggs[:3000]
+	}
+	rows := make([][]float64, len(aggs))
+	for i, a := range aggs {
+		rows[i] = features.Encode(s.Encoder(), a, nil)
+	}
+	names := features.ColumnNames()
+
+	// Column vectors per metric family (replace NaN with -1 like the
+	// pipeline's imputer).
+	colsByMet := map[string][]int{}
+	for idx, n := range names {
+		for _, met := range features.MetNames {
+			if containsMet(n, met) {
+				colsByMet[met] = append(colsByMet[met], idx)
+			}
+		}
+	}
+	for _, met := range features.MetNames {
+		cols := colsByMet[met]
+		var cors []float64
+		for i := 0; i < len(cols); i++ {
+			xi := column(rows, cols[i])
+			for j := i + 1; j < len(cols); j++ {
+				r := Spearman(xi, column(rows, cols[j]))
+				if !math.IsNaN(r) {
+					cors = append(cors, math.Abs(r))
+				}
+			}
+		}
+		sort.Float64s(cors)
+		above7 := shareAbove(cors, 0.7)
+		above8 := shareAbove(cors, 0.8)
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%s columns: %.1f%% of pairs with |rho| > 0.7, %.1f%% > 0.8", met, 100*above7, 100*above8))
+		xs, ys := CDFPoints(cors, 11)
+		res.Series = append(res.Series, Series{Name: "|spearman| CDF, " + met, X: xs, Y: ys})
+	}
+	return res, nil
+}
+
+func containsMet(col, met string) bool {
+	// column format: cat/met/rank[@val]
+	return len(col) > len(met) && indexOf(col, "/"+met+"/") >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func column(rows [][]float64, idx int) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		v := r[idx]
+		if math.IsNaN(v) {
+			v = -1
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func shareAbove(sorted []float64, threshold float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(sorted, threshold)
+	return float64(len(sorted)-i) / float64(len(sorted))
+}
+
+// RunFig16b regenerates Appendix B Figure 16b: the cumulative explained
+// variance of a PCA over the aggregated dataset.
+func RunFig16b(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "fig16b",
+		Title: "PCA of the aggregated dataset: cumulative explained variance",
+		PaperClaim: "the first ~20 components explain ~0.8 of the variance, ~50 components explain " +
+			"nearly all of it (large reduction potential)",
+	}
+	bundle := cachedBundle(cfg)
+	s := core.New(core.DefaultConfig())
+	s.SetRules(bundle.rules)
+	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
+		return nil, err
+	}
+	aggs := bundle.trainAggs
+	if len(aggs) > 4000 {
+		aggs = aggs[:4000]
+	}
+	rows := make([][]float64, len(aggs))
+	for i, a := range aggs {
+		rows[i] = features.Encode(s.Encoder(), a, nil)
+	}
+	pipe := []ml.Transformer{
+		&ml.Imputer{Value: -1},
+		&ml.StandardScaler{},
+	}
+	cur := rows
+	for _, t := range pipe {
+		t.Fit(cur, nil)
+		cur = t.Transform(cur)
+	}
+	pca := &ml.PCA{Components: features.NumColumns}
+	pca.Fit(cur, nil)
+	ev := pca.ExplainedVarianceRatio()
+
+	series := Series{Name: "cumulative explained variance"}
+	cum := 0.0
+	for i, v := range ev {
+		cum += v
+		if (i+1)%5 == 0 || i == 0 || i == len(ev)-1 {
+			series.X = append(series.X, float64(i+1))
+			series.Y = append(series.Y, cum)
+		}
+	}
+	res.Series = append(res.Series, series)
+	// Components to reach 0.8 and 0.99.
+	cum = 0.0
+	n80, n99 := 0, 0
+	for i, v := range ev {
+		cum += v
+		if n80 == 0 && cum >= 0.8 {
+			n80 = i + 1
+		}
+		if n99 == 0 && cum >= 0.99 {
+			n99 = i + 1
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("components for 80%% variance: %d; for 99%%: %d", n80, n99))
+	return res, nil
+}

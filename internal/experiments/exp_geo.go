@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+	"github.com/ixp-scrubber/ixpscrubber/internal/woe"
+)
+
+// RunFig12 regenerates all three panels of Figure 12: the cross-IXP
+// transfer heatmap for full models, the overlap of high-WoE source IPs
+// between vantage points, and the transfer heatmap when only the classifier
+// moves while WoE stays local.
+func RunFig12(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "fig12",
+		Title: "Geographic model drift: full transfer vs local WoE, and reflector knowledge overlap",
+		PaperClaim: "training and testing at the same IXP (or on ALL) scores near 1.0; full transfer " +
+			"between IXPs can degrade badly; high-WoE source IPs barely overlap between IXPs; " +
+			"transferring only the classifier with local WoE restores >= 0.98 almost everywhere",
+	}
+	profiles := synth.Profiles()
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+
+	// Per-IXP train/test splits and locally fitted encoders.
+	type site struct {
+		name      string
+		trainAggs []*features.Aggregate
+		testAggs  []*features.Aggregate
+		scrubber  *core.Scrubber // trained locally
+		localEnc  *woe.Encoder   // fitted on the local training aggregates
+	}
+	sites := make([]*site, len(profiles))
+	for i, p := range profiles {
+		c := mlCorpus(cfg, p)
+		tr, te := splitCorpus(c, 2.0/3.0)
+		s := core.New(core.Config{Model: core.ModelXGB, Seed: cfg.Seed, AutoAccept: true, WoEMinCount: 4})
+		trVec := make([]string, len(tr))
+		for j := range tr {
+			trVec[j] = tr[j].Vector
+		}
+		teVec := make([]string, len(te))
+		for j := range te {
+			teVec[j] = te[j].Vector
+		}
+		if _, err := s.MineRules(synth.Records(tr)); err != nil {
+			return nil, err
+		}
+		st := &site{name: p.Name}
+		st.trainAggs = s.Aggregate(synth.Records(tr), trVec)
+		st.testAggs = s.Aggregate(synth.Records(te), teVec)
+		if err := s.Fit(synth.Records(tr), st.trainAggs); err != nil {
+			return nil, fmt.Errorf("training at %s: %w", p.Name, err)
+		}
+		st.scrubber = s
+		st.localEnc = s.Encoder()
+		sites[i] = st
+	}
+
+	// An ALL model trained on the union.
+	all := core.New(core.Config{Model: core.ModelXGB, Seed: cfg.Seed, AutoAccept: true, WoEMinCount: 4})
+	var allTrainFlows []synth.Flow
+	for _, p := range profiles {
+		tr, _ := splitCorpus(mlCorpus(cfg, p), 2.0/3.0)
+		allTrainFlows = append(allTrainFlows, tr...)
+	}
+	if _, err := all.MineRules(synth.Records(allTrainFlows)); err != nil {
+		return nil, err
+	}
+	var allTrainAggs []*features.Aggregate
+	for _, p := range profiles {
+		tr, _ := splitCorpus(mlCorpus(cfg, p), 2.0/3.0)
+		vec := make([]string, len(tr))
+		for j := range tr {
+			vec[j] = tr[j].Vector
+		}
+		allTrainAggs = append(allTrainAggs, all.Aggregate(synth.Records(tr), vec)...)
+	}
+	if err := all.Fit(synth.Records(allTrainFlows), allTrainAggs); err != nil {
+		return nil, err
+	}
+
+	// Panel 1: full transfer heatmap (train rows x test columns).
+	full := Table{Name: "full model transfer, Fβ=0.5 (rows = trained at, cols = tested at)",
+		Header: append([]string{"trained \\ tested"}, names...)}
+	row := []string{"ALL"}
+	for _, dst := range sites {
+		conf, err := all.Evaluate(dst.testAggs)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, f3(conf.FBeta(0.5)))
+	}
+	full.Rows = append(full.Rows, row)
+	for _, src := range sites {
+		row := []string{src.name}
+		for _, dst := range sites {
+			conf, err := src.scrubber.Evaluate(dst.testAggs)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(conf.FBeta(0.5)))
+		}
+		full.Rows = append(full.Rows, row)
+	}
+	res.Tables = append(res.Tables, full)
+
+	// Panel 2: overlap of high-WoE source IPs (reflector knowledge).
+	ovl := Table{Name: "overlap of source IPs with WoE > 1.0 (Jaccard)",
+		Header: append([]string{"site"}, names...)}
+	for _, a := range sites {
+		row := []string{a.name}
+		for _, b := range sites {
+			row = append(row, f3(woe.Overlap(a.localEnc, b.localEnc, "src_ip", 1.0)))
+		}
+		ovl.Rows = append(ovl.Rows, row)
+	}
+	res.Tables = append(res.Tables, ovl)
+	// Ports overlap an order of magnitude more (noted, not tabulated).
+	var ipSum, portSum float64
+	var n int
+	for i, a := range sites {
+		for j, b := range sites {
+			if i >= j {
+				continue
+			}
+			ipSum += woe.Overlap(a.localEnc, b.localEnc, "src_ip", 1.0)
+			portSum += woe.Overlap(a.localEnc, b.localEnc, "port_src", 1.0)
+			n++
+		}
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"mean pairwise overlap: source IPs %.3f vs source ports %.3f (ports overlap far more, as in the paper)",
+		ipSum/float64(n), portSum/float64(n)))
+
+	// Panel 3: classifier-only transfer with local WoE.
+	local := Table{Name: "classifier-only transfer with local WoE, Fβ=0.5",
+		Header: append([]string{"trained \\ tested"}, names...)}
+	for _, src := range sites {
+		row := []string{src.name}
+		for _, dst := range sites {
+			transferred := src.scrubber.WithEncoder(dst.localEnc)
+			conf, err := transferred.Evaluate(dst.testAggs)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f3(conf.FBeta(0.5)))
+		}
+		local.Rows = append(local.Rows, row)
+	}
+	res.Tables = append(res.Tables, local)
+	return res, nil
+}

@@ -1,0 +1,288 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/xgb"
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+)
+
+// trainedBundle bundles what the model-comparison experiments share: a rule
+// set mined on the merged training split, per-model train/test aggregates,
+// and the SAS aggregates.
+type trainedBundle struct {
+	rules        *tagging.RuleSet
+	trainRecords []netflow.Record
+	trainAggs    []*features.Aggregate
+	testAggs     []*features.Aggregate
+	sasAggs      []*features.Aggregate
+}
+
+// buildBundle assembles the merged all-IXP 2/3-1/3 experiment data.
+func buildBundle(cfg Config) *trainedBundle {
+	var trainFlows, testFlows []synth.Flow
+	for _, c := range mergedCorpus(cfg) {
+		tr, te := splitCorpus(c, 2.0/3.0)
+		trainFlows = append(trainFlows, tr...)
+		testFlows = append(testFlows, te...)
+	}
+	s := core.New(core.DefaultConfig())
+	trainRecords := synth.Records(trainFlows)
+	if _, err := s.MineRules(trainRecords); err != nil {
+		panic(err) // MineRules cannot fail today; keep the signature honest upstream
+	}
+
+	bundle := &trainedBundle{rules: s.Rules(), trainRecords: trainRecords}
+	// Aggregate each corpus separately (timestamps of different IXPs
+	// overlap; aggregation requires minute-ordered streams per vantage
+	// point).
+	aggOne := func(flows []synth.Flow) []*features.Aggregate {
+		vectors := make([]string, len(flows))
+		for i := range flows {
+			vectors[i] = flows[i].Vector
+		}
+		return s.Aggregate(synth.Records(flows), vectors)
+	}
+	for _, c := range mergedCorpus(cfg) {
+		tr, te := splitCorpus(c, 2.0/3.0)
+		bundle.trainAggs = append(bundle.trainAggs, aggOne(tr)...)
+		bundle.testAggs = append(bundle.testAggs, aggOne(te)...)
+	}
+	bundle.sasAggs = aggOne(sasCorpus(cfg).balanced)
+	return bundle
+}
+
+var bundleCache = struct {
+	key string
+	b   *trainedBundle
+}{}
+
+func cachedBundle(cfg Config) *trainedBundle {
+	key := fmt.Sprintf("%v/%d", cfg.Scale, cfg.Seed)
+	if bundleCache.key == key {
+		return bundleCache.b
+	}
+	b := buildBundle(cfg)
+	bundleCache.key, bundleCache.b = key, b
+	return b
+}
+
+// modelRow evaluates one model on the bundle and returns the Table 3 row.
+func modelRow(cfg Config, bundle *trainedBundle, model core.ModelName, vectors []string) ([]string, error) {
+	s := core.New(core.Config{Model: model, Seed: cfg.Seed + 7, AutoAccept: true, WoEMinCount: 4})
+	s.SetRules(bundle.rules)
+	start := time.Now()
+	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
+		return nil, fmt.Errorf("%s: %w", model, err)
+	}
+	fitTime := time.Since(start)
+
+	conf, err := s.Evaluate(bundle.testAggs)
+	if err != nil {
+		return nil, err
+	}
+	// Prediction cost: time per aggregate, averaged.
+	start = time.Now()
+	if _, err := s.Predict(bundle.testAggs); err != nil {
+		return nil, err
+	}
+	perPred := time.Duration(0)
+	if len(bundle.testAggs) > 0 {
+		perPred = time.Since(start) / time.Duration(len(bundle.testAggs))
+	}
+
+	perVec, err := s.EvaluatePerVector(bundle.testAggs)
+	if err != nil {
+		return nil, err
+	}
+	sasConf, err := s.Evaluate(bundle.sasAggs)
+	if err != nil {
+		return nil, err
+	}
+
+	row := []string{string(model)}
+	if model == core.ModelRBC {
+		// The paper validates RBC only on the self-attack set: its rules
+		// were mined on the training split, so split-set scores would be
+		// data leakage. Blank them as Table 3 does.
+		for i := 0; i < 7+len(vectors); i++ {
+			row = append(row, "-")
+		}
+	} else {
+		row = append(row,
+			f3(conf.FBeta(0.5)), f3(conf.F1()),
+			fmt.Sprintf("%d", perPred.Microseconds()),
+			f3(conf.TNR()), f3(conf.FNR()), f3(conf.TPR()), f3(conf.FPR()),
+		)
+		for _, v := range vectors {
+			if c, ok := perVec[v]; ok {
+				row = append(row, f3(c.FBeta(0.5)))
+			} else {
+				row = append(row, "-")
+			}
+		}
+	}
+	row = append(row, f3(sasConf.FBeta(0.5)))
+	_ = fitTime
+	return row, nil
+}
+
+// top7VectorNames lists the per-vector columns of Table 3.
+func top7VectorNames() []string {
+	names := make([]string, len(synth.Top7Vectors))
+	for i, v := range synth.Top7Vectors {
+		names[i] = v.Name
+	}
+	return names
+}
+
+func runModelTable(cfg Config, id string, models []core.ModelName) (*Result, error) {
+	res := &Result{
+		ID:    id,
+		Title: "Classification results: 2/3-1/3 split on all vantage points merged; last column = trained models applied to the SAS",
+		PaperClaim: "XGB leads with Fβ=0.5 = 0.989 (fnr 0.012); all real models reach >= 0.77 with " +
+			"NB variants trailing (NB-B 0.769); RBC reaches 0.917 on SAS; DUM anchors at ~0.5; " +
+			"per-vector scores are uniformly high for the top-7 vectors",
+		Notes: []string{
+			"prediction cost reported as µs/prediction instead of CPU mega clock cycles (portable substitute, DESIGN.md §2)",
+			"RBC is only meaningful on data the rules were not mined from; its split-set columns mirror the SAS protocol",
+		},
+	}
+	bundle := cachedBundle(cfg)
+	vectors := top7VectorNames()
+	header := []string{"model", "Fβ=0.5", "F1", "µs/pred", "tnr", "fnr", "tpr", "fpr"}
+	header = append(header, vectors...)
+	header = append(header, "Fβ (SAS)")
+	tbl := Table{Name: "classification results", Header: header}
+	for _, m := range models {
+		row, err := modelRow(cfg, bundle, m, vectors)
+		if err != nil {
+			return nil, err
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	res.Tables = append(res.Tables, tbl)
+	return res, nil
+}
+
+// RunTable3 regenerates Table 3 (the headline model comparison, NB-C/M/B
+// omitted as in the paper).
+func RunTable3(cfg Config) (*Result, error) {
+	return runModelTable(cfg, "table3", []core.ModelName{
+		core.ModelXGB, core.ModelNN, core.ModelLSVM, core.ModelNBG,
+		core.ModelDT, core.ModelRBC, core.ModelDUM,
+	})
+}
+
+// RunTable5 regenerates Appendix D Table 5 (all models incl. the weak NB
+// variants).
+func RunTable5(cfg Config) (*Result, error) {
+	res, err := runModelTable(cfg, "table5", core.AllModels)
+	if err != nil {
+		return nil, err
+	}
+	res.Title = "Complete classification results (Appendix D): " + res.Title
+	return res, nil
+}
+
+// RunFig10 regenerates Figure 10: the top-10 XGB features by gain.
+func RunFig10(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "fig10",
+		Title: "XGB features with highest gain (categorical/metric/rank notation)",
+		PaperClaim: "top features mix WoE-encoded categoricals (source IPs, service ports) with " +
+			"volume metrics — the known DDoS signatures (abused ports, packet sizes, reflector IPs)",
+	}
+	bundle := cachedBundle(cfg)
+	s := core.New(core.DefaultConfig())
+	s.SetRules(bundle.rules)
+	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
+		return nil, err
+	}
+	imp, err := s.FeatureImportance()
+	if err != nil {
+		return nil, err
+	}
+	if len(imp) > 10 {
+		imp = imp[:10]
+	}
+	tbl := Table{Name: "top-10 features by gain", Header: []string{"rank", "feature", "gain"}}
+	for i, e := range imp {
+		tbl.Rows = append(tbl.Rows, []string{fmt.Sprintf("%d", i+1), e.Column, fmt.Sprintf("%.1f", e.Gain)})
+	}
+	res.Tables = append(res.Tables, tbl)
+	return res, nil
+}
+
+// RunTable4 regenerates the Appendix C hyperparameter grid search for the
+// XGB model (the paper's full grid spans five model families; XGB's grid is
+// the one that decides the headline model).
+func RunTable4(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "table4",
+		Title: "Hyperparameter grid search (XGB grid of Appendix C, 3-fold CV on a sample)",
+		PaperClaim: "XGB selects #estimators 24, max depth 24, learning rate 0.3; " +
+			"performance is insensitive across most of the grid (all Fβ high)",
+		Notes: []string{"depth grid capped at 16: histogram trees on 150 features saturate earlier than exact-split XGBoost"},
+	}
+	bundle := cachedBundle(cfg)
+	// Build the encoded dataset once (the paper samples 250k records; we
+	// sample proportionally).
+	s := core.New(core.DefaultConfig())
+	s.SetRules(bundle.rules)
+	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
+		return nil, err
+	}
+	x := make([][]float64, len(bundle.trainAggs))
+	y := make([]int, len(bundle.trainAggs))
+	for i, a := range bundle.trainAggs {
+		x[i] = features.Encode(s.Encoder(), a, nil)
+		if a.Label {
+			y[i] = 1
+		}
+	}
+	d, err := ml.NewDataset(x, y, features.ColumnNames())
+	if err != nil {
+		return nil, err
+	}
+	d = d.Sample(cfg.Seed, 6000)
+
+	space := map[string][]float64{
+		"estimators":    {2, 8, 24},
+		"max_depth":     {4, 8, 16},
+		"learning_rate": {0.1, 0.3},
+	}
+	results, err := ml.GridSearch(space, func(p ml.Params) *ml.Pipeline {
+		return &ml.Pipeline{
+			Stages: []ml.Transformer{&ml.VarianceThreshold{Min: 1e-12}, &ml.Imputer{Value: -1}},
+			Model: xgb.New(xgb.Options{
+				Estimators:     int(p["estimators"]),
+				MaxDepth:       int(p["max_depth"]),
+				LearningRate:   p["learning_rate"],
+				Lambda:         1,
+				Bins:           32,
+				MinChildWeight: 1,
+			}),
+		}
+	}, d, cfg.Seed, 3)
+	if err != nil {
+		return nil, err
+	}
+	tbl := Table{Name: "grid results (best first)", Header: []string{"estimators", "max depth", "learning rate", "mean Fβ=0.5 (3-fold)"}}
+	for _, r := range results {
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%.0f", r.Params["estimators"]),
+			fmt.Sprintf("%.0f", r.Params["max_depth"]),
+			fmt.Sprintf("%g", r.Params["learning_rate"]),
+			f4(r.Score),
+		})
+	}
+	res.Tables = append(res.Tables, tbl)
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+)
+
+// RunRuleCount regenerates the §5.1.1 rule funnel: all mined association
+// rules, the subset with the {blackhole} consequent, and the remainder
+// after Algorithm 1 minimization.
+func RunRuleCount(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "rulecount",
+		Title: "Association rule funnel (FP-Growth at c >= 0.8, Algorithm 1 at Lc = Ls = 0.01)",
+		PaperClaim: "7,859 rules mined -> 1,469 with {blackhole} consequent -> 367 after Algorithm 1 " +
+			"(absolute counts scale with the header vocabulary; the monotone funnel is the artifact)",
+	}
+	c := mlCorpus(cfg, synth.ProfileUS1())
+	records := synth.Records(c.balanced)
+	_, rep := tagging.Mine(records, tagging.DefaultMineOptions())
+	res.Tables = append(res.Tables, Table{
+		Name:   "rule funnel",
+		Header: []string{"stage", "rules"},
+		Rows: [][]string{
+			{"frequent itemsets", fmt.Sprintf("%d", rep.FrequentItemsets)},
+			{"rules, all consequents", fmt.Sprintf("%d", rep.RulesAllConsequents)},
+			{"consequent = {blackhole}", fmt.Sprintf("%d", rep.RulesBlackhole)},
+			{"after Algorithm 1", fmt.Sprintf("%d", rep.RulesMinimized)},
+		},
+	})
+	if !(rep.RulesAllConsequents >= rep.RulesBlackhole && rep.RulesBlackhole >= rep.RulesMinimized) {
+		res.Notes = append(res.Notes, "WARNING: funnel not monotone")
+	}
+	return res, nil
+}
+
+// RunFig15 regenerates Appendix A / Figure 15: remaining rules after
+// Algorithm 1 for a grid of loss thresholds Lc and Ls.
+func RunFig15(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "fig15",
+		Title: "Rule minimization sensitivity: remaining rules vs (Lc, Ls)",
+		PaperClaim: "rule count decreases monotonically with both thresholds; beyond " +
+			"Lc = Ls = 0.01 further tightening removes few additional rules (the chosen operating point)",
+	}
+	c := mlCorpus(cfg, synth.ProfileUS1())
+	records := synth.Records(c.balanced)
+	// Mine once without minimization, then minimize per grid point.
+	opts := tagging.DefaultMineOptions()
+	opts.LossConfidence = -1 // disable: MinimizeRules with negative loss keeps everything
+	opts.LossSupport = -1
+	rules, _ := tagging.Mine(records, opts)
+
+	grid := []float64{0.0001, 0.001, 0.01, 0.1, 0.5}
+	tbl := Table{Name: "remaining rules", Header: []string{"Lc \\ Ls"}}
+	for _, ls := range grid {
+		tbl.Header = append(tbl.Header, fmt.Sprintf("%g", ls))
+	}
+	for _, lc := range grid {
+		row := []string{fmt.Sprintf("%g", lc)}
+		for _, ls := range grid {
+			kept := tagging.MinimizeRules(rules, lc, ls)
+			row = append(row, fmt.Sprintf("%d", len(kept)))
+		}
+		tbl.Rows = append(tbl.Rows, row)
+	}
+	res.Tables = append(res.Tables, tbl)
+	res.Notes = append(res.Notes, fmt.Sprintf("unminimized {blackhole} rules: %d", len(rules)))
+	return res, nil
+}
+
+// RunOperatorStudy substitutes the §5.1.3 subjective study with a scripted
+// operator: rules mined from the self-attack set are curated by the
+// documented acceptance policy (with a small per-rule error rate modeling
+// human disagreement), and the curated set is evaluated exactly like the
+// paper evaluates its subjects — percent of ground-truth DDoS dropped and
+// percent of benign traffic dropped.
+func RunOperatorStudy(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "operator",
+		Title: "Operator rule curation quality (scripted substitute for the §5.1.3 human study)",
+		PaperClaim: "subjects dropped 76.73% of ground-truth DDoS while dropping only 0.43% of " +
+			"benign traffic, curating 38 rules in ~6.6 minutes (human time not reproducible)",
+		Notes: []string{
+			"substitution per DESIGN.md §2: the scripted policy (confidence >= 0.9, anchored antecedent) replaces human judgment;" +
+				" a 5% random accept/decline flip models subject disagreement",
+		},
+	}
+	sas := sasCorpus(cfg)
+	records := synth.Records(sas.balanced)
+	cut := len(records) * 1 / 2
+	for cut < len(records) && records[cut].Minute() == records[cut-1].Minute() {
+		cut++
+	}
+	rules, _ := tagging.Mine(records[:cut], tagging.DefaultMineOptions())
+
+	rng := rand.New(rand.NewPCG(cfg.Seed, 0x0B))
+	tbl := Table{Name: "curation outcomes", Header: []string{"subject", "rules accepted", "DDoS dropped [%]", "benign dropped [%]"}}
+	for subject := 1; subject <= 5; subject++ {
+		set := tagging.NewRuleSet(rules)
+		set.Apply(tagging.DefaultAcceptPolicy())
+		// Humans disagree on borderline rules: flip 5% of decisions.
+		for _, r := range set.Rules() {
+			if rng.Float64() < 0.05 {
+				st := tagging.StatusAccept
+				if r.Status == tagging.StatusAccept {
+					st = tagging.StatusDecline
+				}
+				if err := set.SetStatus(r.ID, st, "subject flip"); err != nil {
+					return nil, err
+				}
+			}
+		}
+		tg := tagging.NewTagger(set.Accepted())
+		var attack, attackDropped, benign, benignDropped int
+		for i := cut; i < len(records); i++ {
+			hit := tg.Matches(&records[i])
+			if sas.balanced[i].Attack {
+				attack++
+				if hit {
+					attackDropped++
+				}
+			} else {
+				benign++
+				if hit {
+					benignDropped++
+				}
+			}
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("subject-%d", subject),
+			fmt.Sprintf("%d", len(set.Accepted())),
+			fmt.Sprintf("%.2f", 100*float64(attackDropped)/float64(max(attack, 1))),
+			fmt.Sprintf("%.2f", 100*float64(benignDropped)/float64(max(benign, 1))),
+		})
+	}
+	res.Tables = append(res.Tables, tbl)
+	return res, nil
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+// temporalProfile shrinks a vantage point so a multi-week series stays
+// laptop-sized while keeping the traffic mix.
+func temporalProfile(p synth.Profile) synth.Profile {
+	p.BenignFlowsPerMin = 260
+	p.TargetIPs = 130
+	p.BenignSrcIPs = 520
+	p.EpisodeRatePerMin = 0.08
+	return p
+}
+
+// temporalCorpus is a multi-day balanced corpus with day boundaries.
+type temporalCorpus struct {
+	c       *corpus
+	days    int
+	byDay   [][]synth.Flow // balanced flows per day
+	profile synth.Profile
+}
+
+func buildTemporalCorpus(cfg Config, p synth.Profile, days int) *temporalCorpus {
+	p = temporalProfile(p)
+	key := "temporal/" + p.Name + "/" + itoa(int64(days)) + "/" + itoa(int64(cfg.Scale*1000))
+	c := cachedCorpus(key, func() *corpus {
+		return buildCorpus(p, 0, int64(days)*1440)
+	})
+	tc := &temporalCorpus{c: c, days: days, profile: p}
+	tc.byDay = make([][]synth.Flow, days)
+	for i := range c.balanced {
+		d := int(c.balanced[i].Minute() / 1440)
+		if d >= 0 && d < days {
+			tc.byDay[d] = append(tc.byDay[d], c.balanced[i])
+		}
+	}
+	return tc
+}
+
+// trainOn fits a fresh XGB scrubber on the given days' flows.
+func trainOn(seed uint64, flows []synth.Flow) (*core.Scrubber, error) {
+	s := core.New(core.Config{Model: core.ModelXGB, Seed: seed, AutoAccept: true, WoEMinCount: 4})
+	vectors := make([]string, len(flows))
+	for i := range flows {
+		vectors[i] = flows[i].Vector
+	}
+	if err := s.TrainFlows(synth.Records(flows), vectors); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func evalOn(s *core.Scrubber, flows []synth.Flow) (float64, error) {
+	vectors := make([]string, len(flows))
+	for i := range flows {
+		vectors[i] = flows[i].Vector
+	}
+	aggs := s.Aggregate(synth.Records(flows), vectors)
+	conf, err := s.Evaluate(aggs)
+	if err != nil {
+		return 0, err
+	}
+	return conf.FBeta(0.5), nil
+}
+
+func concat(days [][]synth.Flow) []synth.Flow {
+	var out []synth.Flow
+	for _, d := range days {
+		out = append(out, d...)
+	}
+	return out
+}
+
+// temporalDays returns the series length at the configured scale. The
+// paper's series runs 3 months; the base reproduction runs 28 days.
+func (c Config) temporalDays() int {
+	d := int(28 * c.Scale)
+	if d < 10 {
+		d = 10
+	}
+	return d
+}
+
+// RunFig11a regenerates Figure 11a: one-shot training on the first day /
+// week-equivalent / month-equivalent, evaluated on every following day.
+func RunFig11a(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "fig11a",
+		Title: "One-shot training: Fβ=0.5 over time for training windows of increasing length",
+		PaperClaim: "models learned on one day decay below 0.90 within weeks; training on a month " +
+			"stays above 0.90 (median 0.989 at IXP-US1); longer windows also reduce outliers",
+		Notes: []string{
+			"series scaled: 28-day horizon with 1/4/10-day training windows standing in for day/week/month",
+		},
+	}
+	days := cfg.temporalDays()
+	for _, site := range []synth.Profile{synth.ProfileUS1(), synth.ProfileCE1()} {
+		tc := buildTemporalCorpus(cfg, site, days)
+		for _, win := range []struct {
+			name string
+			n    int
+		}{{"day", 1}, {"week", 4}, {"month", 10}} {
+			if win.n >= days {
+				continue
+			}
+			s, err := trainOn(cfg.Seed, concat(tc.byDay[:win.n]))
+			if err != nil {
+				return nil, err
+			}
+			series := Series{Name: fmt.Sprintf("%s one-shot %s", site.Name, win.name)}
+			for d := win.n; d < days; d++ {
+				if len(tc.byDay[d]) == 0 {
+					continue
+				}
+				fb, err := evalOn(s, tc.byDay[d])
+				if err != nil {
+					return nil, err
+				}
+				series.X = append(series.X, float64(d))
+				series.Y = append(series.Y, fb)
+			}
+			res.Series = append(res.Series, series)
+			res.Notes = append(res.Notes, fmt.Sprintf("%s %s: median Fβ %.3f, min %.3f",
+				site.Name, win.name, Median(series.Y), minOf(series.Y)))
+		}
+	}
+	return res, nil
+}
+
+// RunFig11b regenerates Figure 11b: daily retraining on a sliding window of
+// one day / week-equivalent / month-equivalent.
+func RunFig11b(cfg Config) (*Result, error) {
+	res := &Result{
+		ID:    "fig11b",
+		Title: "Sliding-window retraining: daily retraining on the trailing window",
+		PaperClaim: "daily retraining beats one-shot training; the month-long window is best " +
+			"(median Fβ 0.993 at IXP-US1, 0.978 at IXP-CE1, never below 0.95); " +
+			"longer windows mostly reduce outliers",
+		Notes: []string{"series scaled like fig11a"},
+	}
+	days := cfg.temporalDays()
+	for _, site := range []synth.Profile{synth.ProfileUS1(), synth.ProfileCE1()} {
+		tc := buildTemporalCorpus(cfg, site, days)
+		for _, win := range []struct {
+			name string
+			n    int
+		}{{"day", 1}, {"week", 4}, {"month", 10}} {
+			if win.n >= days {
+				continue
+			}
+			series := Series{Name: fmt.Sprintf("%s sliding %s", site.Name, win.name)}
+			for d := win.n; d < days; d++ {
+				if len(tc.byDay[d]) == 0 {
+					continue
+				}
+				s, err := trainOn(cfg.Seed, concat(tc.byDay[d-win.n:d]))
+				if err != nil {
+					return nil, err
+				}
+				fb, err := evalOn(s, tc.byDay[d])
+				if err != nil {
+					return nil, err
+				}
+				series.X = append(series.X, float64(d))
+				series.Y = append(series.Y, fb)
+			}
+			res.Series = append(res.Series, series)
+			res.Notes = append(res.Notes, fmt.Sprintf("%s %s: median Fβ %.3f, min %.3f",
+				site.Name, win.name, Median(series.Y), minOf(series.Y)))
+		}
+	}
+	return res, nil
+}
+
+func minOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

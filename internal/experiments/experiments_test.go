@@ -1,0 +1,439 @@
+package experiments
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps experiment tests in seconds.
+func quickCfg() Config { return Config{Scale: 0.12, Seed: 3} }
+
+func cell(t *testing.T, tbl *Table, row int, col string) string {
+	t.Helper()
+	for i, h := range tbl.Header {
+		if h == col {
+			return tbl.Rows[row][i]
+		}
+	}
+	t.Fatalf("column %q not in %v", col, tbl.Header)
+	return ""
+}
+
+func cellF(t *testing.T, tbl *Table, row int, col string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell(t, tbl, row, col), 64)
+	if err != nil {
+		t.Fatalf("cell %s[%d] = %q: %v", col, row, cell(t, tbl, row, col), err)
+	}
+	return v
+}
+
+func TestStatsHelpers(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(x, y); math.Abs(r-1) > 1e-12 {
+		t.Errorf("pearson = %v", r)
+	}
+	yneg := []float64{5, 4, 3, 2, 1}
+	if r := Spearman(x, yneg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("spearman = %v", r)
+	}
+	if !math.IsNaN(Pearson(x, y[:3])) {
+		t.Error("length mismatch must be NaN")
+	}
+	sorted := []float64{1, 2, 3, 4}
+	if q := Quantile(sorted, 0.5); math.Abs(q-2.5) > 1e-12 {
+		t.Errorf("median = %v", q)
+	}
+	if Quantile(sorted, 0) != 1 || Quantile(sorted, 1) != 4 {
+		t.Error("quantile extremes")
+	}
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median = %v", m)
+	}
+	xs, ys := CDFPoints(sorted, 5)
+	if len(xs) != 5 || ys[0] != 0 || ys[4] != 1 {
+		t.Errorf("cdf = %v %v", xs, ys)
+	}
+	// Spearman handles ties via average ranks.
+	if r := Spearman([]float64{1, 1, 2}, []float64{1, 1, 2}); math.Abs(r-1) > 1e-9 {
+		t.Errorf("tied spearman = %v", r)
+	}
+}
+
+func TestRenderTableAndSeries(t *testing.T) {
+	res := Result{
+		ID:    "x",
+		Title: "demo",
+		Tables: []Table{{
+			Name:   "t",
+			Header: []string{"a", "bee"},
+			Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		}},
+		Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{0.5, 0.7}}},
+		Notes:  []string{"hello"},
+	}
+	out := res.Render()
+	for _, want := range []string{"== x: demo ==", "note: hello", "333", "series s", "0.7000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order has %d entries, Registry %d", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if Registry[id] == nil {
+			t.Errorf("ordered experiment %q not registered", id)
+		}
+	}
+	if _, err := Run("nope", quickCfg()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := RunTable2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &res.Tables[0]
+	if len(tbl.Rows) != 6 { // 5 IXPs + SAS
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for i := 0; i < 5; i++ {
+		share := cellF(t, tbl, i, "bh share [%]")
+		if share < 40 || share > 62 {
+			t.Errorf("row %d: balanced share %.2f%% outside [40, 62]", i, share)
+		}
+		kept := cellF(t, tbl, i, "kept/raw [%]")
+		if kept > 35 {
+			t.Errorf("row %d: reduction too weak (%.2f%% kept)", i, kept)
+		}
+	}
+	// Size ordering: CE1 raw > CE2 raw.
+	raw0 := cellF(t, tbl, 0, "raw flows")
+	raw4 := cellF(t, tbl, 4, "raw flows")
+	if raw0 <= raw4 {
+		t.Errorf("CE1 raw %v should exceed CE2 raw %v", raw0, raw4)
+	}
+}
+
+func TestFig3cCorrelation(t *testing.T) {
+	res, err := RunFig3c(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &res.Tables[0]
+	last := len(tbl.Rows) - 1
+	if tbl.Rows[last][0] != "ALL" {
+		t.Fatal("missing ALL row")
+	}
+	r := cellF(t, tbl, last, "pearson r")
+	if r < 0.5 {
+		t.Errorf("overall flows/IP correlation r = %.3f, want strong positive (paper 0.77)", r)
+	}
+}
+
+func TestFig4aShape(t *testing.T) {
+	res, err := RunFig4a(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &res.Tables[0]
+	get := func(class string) (wk, frag float64) {
+		for i, row := range tbl.Rows {
+			if row[0] == class {
+				return cellF(t, tbl, i, "well-known DDoS ports [%]"), cellF(t, tbl, i, "UDP fragments [%]")
+			}
+		}
+		t.Fatalf("class %q missing", class)
+		return 0, 0
+	}
+	benignWK, benignFrag := get("benign")
+	bhWK, bhFrag := get("blackholing")
+	sasWK, _ := get("self-attack")
+	if !(benignWK < 20 && bhWK > 60 && sasWK > 80) {
+		t.Errorf("port shares: benign %.1f / blackhole %.1f / sas %.1f — want ~7.5/87.5/100 shape",
+			benignWK, bhWK, sasWK)
+	}
+	if bhFrag < 2*benignFrag {
+		t.Errorf("fragments: blackhole %.2f%% vs benign %.2f%% — want order-of-magnitude gap", bhFrag, benignFrag)
+	}
+}
+
+func TestRuleFunnelMonotone(t *testing.T) {
+	res, err := RunRuleCount(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Notes {
+		if strings.Contains(n, "WARNING") {
+			t.Error(n)
+		}
+	}
+	tbl := &res.Tables[0]
+	var vals []float64
+	for _, row := range tbl.Rows[1:] { // skip frequent itemsets row
+		v, _ := strconv.ParseFloat(row[1], 64)
+		vals = append(vals, v)
+	}
+	if !(vals[0] >= vals[1] && vals[1] >= vals[2]) {
+		t.Errorf("funnel not monotone: %v", vals)
+	}
+	if vals[2] == 0 {
+		t.Error("no rules survived minimization")
+	}
+}
+
+func TestFig15Monotone(t *testing.T) {
+	res, err := RunFig15(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &res.Tables[0]
+	// Rule counts must not increase along rows (growing Lc) or columns
+	// (growing Ls).
+	parse := func(r, c int) float64 {
+		v, _ := strconv.ParseFloat(tbl.Rows[r][c+1], 64)
+		return v
+	}
+	for r := 0; r < len(tbl.Rows); r++ {
+		for c := 1; c < len(tbl.Header)-1; c++ {
+			if parse(r, c) > parse(r, c-1) {
+				t.Errorf("row %d: count increases with Ls", r)
+			}
+		}
+	}
+	for c := 0; c < len(tbl.Header)-1; c++ {
+		for r := 1; r < len(tbl.Rows); r++ {
+			if parse(r, c) > parse(r-1, c) {
+				t.Errorf("col %d: count increases with Lc", c)
+			}
+		}
+	}
+}
+
+func TestOperatorStudyShape(t *testing.T) {
+	res, err := RunOperatorStudy(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &res.Tables[0]
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("subjects = %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		dropped := cellF(t, tbl, i, "DDoS dropped [%]")
+		benign := cellF(t, tbl, i, "benign dropped [%]")
+		if dropped < 40 {
+			t.Errorf("subject %d: only %.1f%% of DDoS dropped", i, dropped)
+		}
+		if benign > 10 {
+			t.Errorf("subject %d: %.1f%% benign dropped (paper: 0.43%%)", i, benign)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	res, err := RunTable3(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &res.Tables[0]
+	scores := map[string]float64{}
+	sas := map[string]float64{}
+	for i, row := range tbl.Rows {
+		if row[0] != "RBC" { // RBC's split columns are blanked (leakage)
+			scores[row[0]] = cellF(t, tbl, i, "Fβ=0.5")
+		}
+		sas[row[0]] = cellF(t, tbl, i, "Fβ (SAS)")
+	}
+	if sas["RBC"] < 0.5 {
+		t.Errorf("RBC on SAS = %.3f, want well above chance (paper: 0.917)", sas["RBC"])
+	}
+	if scores["XGB"] < 0.9 {
+		t.Errorf("XGB Fβ = %.3f", scores["XGB"])
+	}
+	if scores["DUM"] < 0.3 || scores["DUM"] > 0.7 {
+		t.Errorf("DUM Fβ = %.3f, want ~0.5", scores["DUM"])
+	}
+	// XGB beats the dummy by a wide margin and is at or near the top.
+	for m, s := range scores {
+		if m == "XGB" || m == "DUM" || m == "RBC" {
+			continue
+		}
+		if s > scores["XGB"]+0.03 {
+			t.Errorf("%s (%.3f) substantially beats XGB (%.3f)", m, s, scores["XGB"])
+		}
+	}
+	// SAS columns: trained models generalize to the independent ground
+	// truth set (paper: XGB 0.961, LSVM 0.963).
+	if sas["XGB"] < 0.8 {
+		t.Errorf("XGB on SAS = %.3f", sas["XGB"])
+	}
+}
+
+func TestFig10Importances(t *testing.T) {
+	res, err := RunFig10(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := &res.Tables[0]
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no importances")
+	}
+	prev := math.Inf(1)
+	for i := range tbl.Rows {
+		g := cellF(t, tbl, i, "gain")
+		if g > prev {
+			t.Fatal("gains not descending")
+		}
+		prev = g
+		if !strings.Contains(cell(t, tbl, i, "feature"), "/") {
+			t.Errorf("feature name %q not in categorical/metric/rank notation", cell(t, tbl, i, "feature"))
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := RunFig12(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 3 {
+		t.Fatalf("want 3 panels, got %d", len(res.Tables))
+	}
+	full, ovl, local := &res.Tables[0], &res.Tables[1], &res.Tables[2]
+
+	// Diagonal of the full heatmap (training site == test site) is high.
+	// Row 0 is ALL; diagonal starts at row 1.
+	for i := 1; i < len(full.Rows); i++ {
+		v, _ := strconv.ParseFloat(full.Rows[i][i], 64)
+		if v < 0.85 {
+			t.Errorf("full transfer diagonal %s = %.3f", full.Rows[i][0], v)
+		}
+	}
+	// ALL row is uniformly strong.
+	for c := 1; c < len(full.Rows[0]); c++ {
+		v, _ := strconv.ParseFloat(full.Rows[0][c], 64)
+		if v < 0.8 {
+			t.Errorf("ALL model on %s = %.3f", full.Header[c], v)
+		}
+	}
+	// Reflector overlap: diagonal 1.0, off-diagonal small.
+	for i := range ovl.Rows {
+		for j := 1; j < len(ovl.Rows[i]); j++ {
+			v, _ := strconv.ParseFloat(ovl.Rows[i][j], 64)
+			if i == j-1 {
+				if v < 0.99 {
+					t.Errorf("self overlap = %v", v)
+				}
+			} else if v > 0.2 {
+				t.Errorf("cross-IXP reflector overlap %s->%s = %.3f, want near 0",
+					ovl.Rows[i][0], ovl.Header[j], v)
+			}
+		}
+	}
+	// Classifier-only transfer: every cell decent, and mean >= full transfer mean.
+	meanOf := func(tbl *Table, skipAllRow bool) float64 {
+		var sum float64
+		var n int
+		for i, row := range tbl.Rows {
+			if skipAllRow && i == 0 && row[0] == "ALL" {
+				continue
+			}
+			for _, cellv := range row[1:] {
+				v, err := strconv.ParseFloat(cellv, 64)
+				if err == nil {
+					sum += v
+					n++
+				}
+			}
+		}
+		return sum / float64(n)
+	}
+	if meanOf(local, false)+0.03 < meanOf(full, true) {
+		t.Errorf("classifier-only transfer (%.3f) worse than full transfer (%.3f)",
+			meanOf(local, false), meanOf(full, true))
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	res, err := RunFig13(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]*Series{}
+	for i := range res.Series {
+		series[res.Series[i].Name] = &res.Series[i]
+	}
+	// Each emerging vector's WoE ends clearly positive.
+	for _, v := range []string{"SNMP", "SSDP", "memcached"} {
+		s := series["WoE "+v]
+		if s == nil || len(s.Y) == 0 {
+			t.Fatalf("missing WoE series for %s", v)
+		}
+		if last := s.Y[len(s.Y)-1]; last < 1 {
+			t.Errorf("%s final WoE = %.2f, want strongly positive", v, last)
+		}
+	}
+	// HTTPS reference stays non-positive.
+	href := series["WoE HTTPS (reference)"]
+	if href == nil {
+		t.Fatal("missing HTTPS series")
+	}
+	for _, y := range href.Y {
+		if y > 0.2 {
+			t.Errorf("HTTPS WoE rose to %.2f", y)
+		}
+	}
+	// Per-vector Fβ ends high for at least the earliest vector.
+	fbs := series["Fβ SNMP"]
+	if fbs == nil || len(fbs.Y) == 0 {
+		t.Fatal("missing Fβ SNMP")
+	}
+	if last := fbs.Y[len(fbs.Y)-1]; last < 0.7 {
+		t.Errorf("SNMP final Fβ = %.3f", last)
+	}
+}
+
+func TestFig16bVarianceShape(t *testing.T) {
+	res, err := RunFig16b(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Series[0]
+	if len(s.Y) < 3 {
+		t.Fatal("too few points")
+	}
+	// Cumulative variance is nondecreasing and reaches ~1.
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i]+1e-9 < s.Y[i-1] {
+			t.Fatal("cumulative variance decreasing")
+		}
+	}
+	if last := s.Y[len(s.Y)-1]; last < 0.99 {
+		t.Errorf("total explained variance = %.3f", last)
+	}
+	// Far fewer than 150 components suffice for 80%.
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "components for 80%") {
+			found = true
+			parts := strings.Fields(n)
+			v, _ := strconv.Atoi(strings.TrimSuffix(parts[4], ";"))
+			if v <= 0 || v > 100 {
+				t.Errorf("80%% variance needs %d components, want substantial reduction", v)
+			}
+		}
+	}
+	if !found {
+		t.Error("missing components note")
+	}
+}

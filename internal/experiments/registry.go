@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment.
+type Runner func(Config) (*Result, error)
+
+// Registry maps experiment IDs to runners, in the order of the paper's
+// tables and figures.
+var Registry = map[string]Runner{
+	"table2":    RunTable2,
+	"fig3a":     RunFig3a,
+	"fig3c":     RunFig3c,
+	"fig4a":     RunFig4a,
+	"fig4b":     RunFig4b,
+	"rulecount": RunRuleCount,
+	"fig15":     RunFig15,
+	"operator":  RunOperatorStudy,
+	"table3":    RunTable3,
+	"table5":    RunTable5,
+	"table4":    RunTable4,
+	"fig10":     RunFig10,
+	"fig11a":    RunFig11a,
+	"fig11b":    RunFig11b,
+	"fig12":     RunFig12,
+	"fig13":     RunFig13,
+	"fig14a":    RunFig14a,
+	"fig14b":    RunFig14b,
+	"fig16a":    RunFig16a,
+	"fig16b":    RunFig16b,
+	"multiclass": RunMulticlass,
+}
+
+// Order is the canonical execution order (paper order).
+var Order = []string{
+	"table2", "fig3a", "fig3c", "fig4a", "fig4b",
+	"rulecount", "fig15", "operator",
+	"table3", "table5", "table4", "fig10",
+	"fig11a", "fig11b", "fig12", "fig13",
+	"fig14a", "fig14b", "fig16a", "fig16b",
+	"multiclass",
+}
+
+// IDs returns the registered experiment IDs sorted alphabetically.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, cfg Config) (*Result, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(cfg)
+}
+
+// RunAll executes every experiment in paper order, invoking visit after
+// each one. It stops on the first error.
+func RunAll(cfg Config, visit func(*Result)) error {
+	for _, id := range Order {
+		res, err := Run(id, cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		if visit != nil {
+			visit(res)
+		}
+	}
+	return nil
+}

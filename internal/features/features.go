@@ -1,0 +1,324 @@
+// Package features implements the Step 2 aggregation of §5.2.1: flows are
+// grouped per <one-minute bin, target IP> and the categorical flow
+// properties C = {source IP, source port, destination port, source MAC,
+// transport protocol} are ranked by the metrics M = {mean packet size, sum
+// of bytes, sum of packets} with r = 5 ranks. Each ranking stores both the
+// categorical value and the aggregated metric, giving |M|·|C|·2r = 150
+// feature columns; categorical slots are WoE-encoded before reaching a
+// classifier.
+//
+// Matching tagging rules are annotated onto every aggregate (but never used
+// as classifier features — that would leak Step 1 labels), enabling the
+// local explainability overlap analysis of §6.6.
+package features
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+	"github.com/ixp-scrubber/ixpscrubber/internal/woe"
+)
+
+// Ranking geometry (paper values).
+const (
+	// R is the number of ranks kept per (categorical, metric) pair.
+	R = 5
+	// NumCats is |C|.
+	NumCats = 5
+	// NumMets is |M|.
+	NumMets = 3
+	// NumColumns is the total feature column count (150).
+	NumColumns = NumCats * NumMets * R * 2
+)
+
+// Categorical identifiers, ordered as in the paper's feature notation.
+const (
+	CatSrcIP = iota
+	CatSrcPort
+	CatDstPort
+	CatSrcMAC
+	CatProto
+)
+
+// Metric identifiers.
+const (
+	MetPktSize = iota // mean packet size
+	MetBytes          // sum of bytes
+	MetPackets        // sum of packets
+)
+
+// CatNames are the WoE domain names per categorical.
+var CatNames = [NumCats]string{"src_ip", "port_src", "port_dst", "src_mac", "protocol"}
+
+// MetNames name the ranking metrics.
+var MetNames = [NumMets]string{"pkt_size", "bytes", "packets"}
+
+// Aggregate is one per-<minute, target IP> record: the top-R categorical
+// values per metric with their metric values, the blackhole label, and the
+// annotated tagging rules.
+type Aggregate struct {
+	Minute int64
+	Target netip.Addr
+	Label  bool
+
+	// Keys[cat][met][rank] is the WoE key of the ranked categorical value;
+	// Present marks filled slots; Mets carries the metric value.
+	Keys    [NumCats][NumMets][R]uint64
+	Present [NumCats][NumMets][R]bool
+	Mets    [NumCats][NumMets][R]float64
+
+	// RuleIDs are the tagging rules matched by at least one flow of this
+	// aggregate (annotation only; see package comment).
+	RuleIDs []string
+	// Vector is the dominant ground-truth attack vector among the flows
+	// (experiments only; empty in production where truth is unknown).
+	Vector string
+	// Flows is the number of flow records aggregated.
+	Flows int
+}
+
+// ColumnName formats a feature column the way Figure 10 labels them:
+// categorical/metric/rank, with a "@" suffix on the metric column.
+func ColumnName(cat, met, rank int, isMetric bool) string {
+	base := fmt.Sprintf("%s/%s/%d", CatNames[cat], MetNames[met], rank)
+	if isMetric {
+		return base + "@val"
+	}
+	return base
+}
+
+// ColumnNames returns all 150 column names in encoding order.
+func ColumnNames() []string {
+	names := make([]string, 0, NumColumns)
+	for c := 0; c < NumCats; c++ {
+		for m := 0; m < NumMets; m++ {
+			for r := 0; r < R; r++ {
+				names = append(names, ColumnName(c, m, r, false))
+				names = append(names, ColumnName(c, m, r, true))
+			}
+		}
+	}
+	return names
+}
+
+// catKey extracts the WoE key of a categorical from a flow record.
+func catKey(cat int, rec *netflow.Record) uint64 {
+	switch cat {
+	case CatSrcIP:
+		return woe.KeyAddr(rec.SrcIP)
+	case CatSrcPort:
+		return woe.KeyPort(rec.SrcPort)
+	case CatDstPort:
+		return woe.KeyPort(rec.DstPort)
+	case CatSrcMAC:
+		return woe.KeyMAC(rec.SrcMAC)
+	default:
+		return woe.KeyProto(rec.Protocol)
+	}
+}
+
+// group accumulates the flows of one <minute, target>.
+type group struct {
+	minute int64
+	target netip.Addr
+	label  bool
+	// per categorical: value -> (bytes, packets)
+	acc    [NumCats]map[uint64][2]uint64
+	rules  map[string]struct{}
+	vec    map[string]int
+	flows  int
+}
+
+// Aggregator groups a minute-ordered flow stream. Call Add per flow, then
+// FlushMinute when a minute completes (or rely on automatic flushing when
+// the minute advances), and Close at the end.
+type Aggregator struct {
+	// Tagger, when set, annotates matching rule IDs onto aggregates.
+	Tagger *tagging.Tagger
+	// Emit receives completed aggregates.
+	Emit func(*Aggregate)
+
+	cur    int64
+	groups map[netip.Addr]*group
+	hits   []int
+}
+
+// NewAggregator returns an Aggregator emitting into emit.
+func NewAggregator(tagger *tagging.Tagger, emit func(*Aggregate)) *Aggregator {
+	return &Aggregator{
+		Tagger: tagger,
+		Emit:   emit,
+		cur:    math.MinInt64,
+		groups: make(map[netip.Addr]*group),
+	}
+}
+
+// Add feeds one flow with its (optional) ground-truth vector name. Flows
+// must arrive in non-decreasing minute order; earlier flows are dropped.
+func (a *Aggregator) Add(rec *netflow.Record, vector string) {
+	m := rec.Minute()
+	if m < a.cur {
+		return
+	}
+	if m > a.cur {
+		a.flush()
+		a.cur = m
+	}
+	g := a.groups[rec.DstIP]
+	if g == nil {
+		g = &group{
+			minute: m,
+			target: rec.DstIP,
+			rules:  make(map[string]struct{}),
+			vec:    make(map[string]int),
+		}
+		for c := range g.acc {
+			g.acc[c] = make(map[uint64][2]uint64)
+		}
+		a.groups[rec.DstIP] = g
+	}
+	g.flows++
+	if rec.Blackholed {
+		g.label = true
+	}
+	if vector != "" {
+		g.vec[vector]++
+	}
+	for c := 0; c < NumCats; c++ {
+		k := catKey(c, rec)
+		bp := g.acc[c][k]
+		bp[0] += rec.Bytes
+		bp[1] += rec.Packets
+		g.acc[c][k] = bp
+	}
+	if a.Tagger != nil {
+		a.hits = a.hits[:0]
+		a.hits = a.Tagger.Match(rec, a.hits)
+		for _, i := range a.hits {
+			g.rules[a.Tagger.Rules()[i].ID] = struct{}{}
+		}
+	}
+}
+
+// Close flushes the final minute.
+func (a *Aggregator) Close() { a.flush() }
+
+func (a *Aggregator) flush() {
+	if len(a.groups) == 0 {
+		return
+	}
+	// Deterministic emission order.
+	targets := make([]netip.Addr, 0, len(a.groups))
+	for t := range a.groups {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Compare(targets[j]) < 0 })
+	for _, t := range targets {
+		agg := a.groups[t].finish()
+		if a.Emit != nil {
+			a.Emit(agg)
+		}
+	}
+	clear(a.groups)
+}
+
+type kv struct {
+	key   uint64
+	bytes uint64
+	pkts  uint64
+}
+
+func (g *group) finish() *Aggregate {
+	agg := &Aggregate{
+		Minute: g.minute,
+		Target: g.target,
+		Label:  g.label,
+		Flows:  g.flows,
+	}
+	var scratch []kv
+	for c := 0; c < NumCats; c++ {
+		scratch = scratch[:0]
+		for k, bp := range g.acc[c] {
+			scratch = append(scratch, kv{key: k, bytes: bp[0], pkts: bp[1]})
+		}
+		for m := 0; m < NumMets; m++ {
+			metric := func(e kv) float64 {
+				switch m {
+				case MetPktSize:
+					if e.pkts == 0 {
+						return 0
+					}
+					return float64(e.bytes) / float64(e.pkts)
+				case MetBytes:
+					return float64(e.bytes)
+				default:
+					return float64(e.pkts)
+				}
+			}
+			sort.Slice(scratch, func(i, j int) bool {
+				mi, mj := metric(scratch[i]), metric(scratch[j])
+				if mi != mj {
+					return mi > mj
+				}
+				return scratch[i].key < scratch[j].key // deterministic ties
+			})
+			for r := 0; r < R && r < len(scratch); r++ {
+				agg.Keys[c][m][r] = scratch[r].key
+				agg.Present[c][m][r] = true
+				agg.Mets[c][m][r] = metric(scratch[r])
+			}
+		}
+	}
+	if len(g.rules) > 0 {
+		agg.RuleIDs = make([]string, 0, len(g.rules))
+		for id := range g.rules {
+			agg.RuleIDs = append(agg.RuleIDs, id)
+		}
+		sort.Strings(agg.RuleIDs)
+	}
+	best, bestN := "", 0
+	for v, n := range g.vec {
+		if n > bestN || (n == bestN && v < best) {
+			best, bestN = v, n
+		}
+	}
+	agg.Vector = best
+	return agg
+}
+
+// ObserveRecord feeds one balanced flow record's categorical values into
+// the WoE encoder under the record's blackhole label. WoE statistics are
+// fitted at the flow level (§5.2.2 maps values to their weight of evidence
+// of "appearing in the blackhole"), not per aggregate: per-aggregate
+// observation would flatten low-cardinality domains — both TCP and UDP
+// appear in nearly every aggregate, so their per-aggregate WoE collapses to
+// noise around zero, while their flow-level WoE carries the strong
+// UDP-means-attack signal that transfers between vantage points.
+func ObserveRecord(enc *woe.Encoder, rec *netflow.Record) {
+	for c := 0; c < NumCats; c++ {
+		enc.Observe(CatNames[c], catKey(c, rec), rec.Blackholed)
+	}
+}
+
+// Encode converts an aggregate into its 150-column feature row: categorical
+// slots become WoE values, metric slots stay numeric; missing slots are NaN
+// (imputed to -1 by the pipeline's I stage).
+func Encode(enc *woe.Encoder, agg *Aggregate, dst []float64) []float64 {
+	dst = dst[:0]
+	for c := 0; c < NumCats; c++ {
+		for m := 0; m < NumMets; m++ {
+			for r := 0; r < R; r++ {
+				if agg.Present[c][m][r] {
+					dst = append(dst, enc.WoE(CatNames[c], agg.Keys[c][m][r]), agg.Mets[c][m][r])
+				} else {
+					dst = append(dst, math.NaN(), math.NaN())
+				}
+			}
+		}
+	}
+	return dst
+}

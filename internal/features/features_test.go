@@ -1,0 +1,274 @@
+package features
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+	"github.com/ixp-scrubber/ixpscrubber/internal/woe"
+)
+
+func flow(min int64, src string, srcPort uint16, dst string, bytes, pkts uint64, bh bool) netflow.Record {
+	return netflow.Record{
+		Timestamp: min * 60,
+		SrcIP:     netip.MustParseAddr(src),
+		DstIP:     netip.MustParseAddr(dst),
+		SrcPort:   srcPort,
+		DstPort:   44000,
+		Protocol:  17,
+		SrcMAC:    [6]byte{2, 0, 0, 0, 0, 1},
+		Packets:   pkts,
+		Bytes:     bytes,
+		Blackholed: bh,
+	}
+}
+
+func collect(aggs *[]*Aggregate) func(*Aggregate) {
+	return func(a *Aggregate) { *aggs = append(*aggs, a) }
+}
+
+func TestColumnGeometry(t *testing.T) {
+	names := ColumnNames()
+	if len(names) != NumColumns || NumColumns != 150 {
+		t.Fatalf("column count = %d, want 150", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate column %q", n)
+		}
+		seen[n] = true
+	}
+	if ColumnName(CatSrcPort, MetBytes, 0, false) != "port_src/bytes/0" {
+		t.Errorf("naming = %q", ColumnName(CatSrcPort, MetBytes, 0, false))
+	}
+}
+
+func TestAggregatorGroupsByMinuteAndTarget(t *testing.T) {
+	var aggs []*Aggregate
+	a := NewAggregator(nil, collect(&aggs))
+	// Minute 1: two targets.
+	a.Add(&netflow.Record{}, "") // zero record: invalid addr still groups; keep simple with real ones below
+	aggs = aggs[:0]
+
+	a = NewAggregator(nil, collect(&aggs))
+	r1 := flow(1, "192.0.2.1", 123, "198.51.100.7", 4096, 2, true)
+	r2 := flow(1, "192.0.2.2", 123, "198.51.100.7", 2048, 1, false)
+	r3 := flow(1, "192.0.2.1", 53, "203.0.113.5", 1024, 1, false)
+	r4 := flow(2, "192.0.2.1", 123, "198.51.100.7", 4096, 2, false)
+	for _, r := range []*netflow.Record{&r1, &r2, &r3, &r4} {
+		a.Add(r, "")
+	}
+	a.Close()
+	if len(aggs) != 3 {
+		t.Fatalf("aggregates = %d, want 3", len(aggs))
+	}
+	// First two aggregates are minute 1 sorted by target.
+	if aggs[0].Minute != 1 || aggs[1].Minute != 1 || aggs[2].Minute != 2 {
+		t.Errorf("minutes = %d %d %d", aggs[0].Minute, aggs[1].Minute, aggs[2].Minute)
+	}
+	var victim *Aggregate
+	for _, ag := range aggs {
+		if ag.Minute == 1 && ag.Target == netip.MustParseAddr("198.51.100.7") {
+			victim = ag
+		}
+	}
+	if victim == nil {
+		t.Fatal("victim aggregate missing")
+	}
+	if !victim.Label {
+		t.Error("one blackholed flow must label the aggregate")
+	}
+	if victim.Flows != 2 {
+		t.Errorf("flows = %d", victim.Flows)
+	}
+	// Top source IP by bytes is 192.0.2.1 (4096 > 2048).
+	wantKey := woe.KeyAddr(netip.MustParseAddr("192.0.2.1"))
+	if victim.Keys[CatSrcIP][MetBytes][0] != wantKey {
+		t.Error("ranking top-1 by bytes wrong")
+	}
+	if victim.Mets[CatSrcIP][MetBytes][0] != 4096 {
+		t.Errorf("metric value = %v", victim.Mets[CatSrcIP][MetBytes][0])
+	}
+	if !victim.Present[CatSrcIP][MetBytes][1] || victim.Present[CatSrcIP][MetBytes][2] {
+		t.Error("presence mask: want exactly 2 source IPs present")
+	}
+	// Mean packet size ranking: r1 mean=2048, r2 mean=2048 — tie broken by key.
+	if !victim.Present[CatSrcIP][MetPktSize][1] {
+		t.Error("pkt size ranking missing second entry")
+	}
+}
+
+func TestAggregatorLateFlowsDropped(t *testing.T) {
+	var aggs []*Aggregate
+	a := NewAggregator(nil, collect(&aggs))
+	r1 := flow(5, "192.0.2.1", 123, "198.51.100.7", 1024, 1, false)
+	r0 := flow(4, "192.0.2.9", 99, "198.51.100.8", 1024, 1, false)
+	a.Add(&r1, "")
+	a.Add(&r0, "") // late: dropped
+	a.Close()
+	if len(aggs) != 1 {
+		t.Fatalf("aggregates = %d", len(aggs))
+	}
+}
+
+func TestRuleAnnotation(t *testing.T) {
+	rule := tagging.Rule{
+		ID: "ntp-rule",
+		Antecedent: []tagging.Item{
+			tagging.NewItem(tagging.FieldProtocol, 17),
+			tagging.NewItem(tagging.FieldSrcPort, 123),
+		},
+	}
+	tg := tagging.NewTagger([]tagging.Rule{rule})
+	var aggs []*Aggregate
+	a := NewAggregator(tg, collect(&aggs))
+	r1 := flow(1, "192.0.2.1", 123, "198.51.100.7", 4096, 2, true)
+	r2 := flow(1, "192.0.2.1", 8080, "203.0.113.5", 4096, 2, false)
+	a.Add(&r1, "NTP")
+	a.Add(&r2, "")
+	a.Close()
+	if len(aggs) != 2 {
+		t.Fatal("aggregates")
+	}
+	for _, ag := range aggs {
+		if ag.Target == netip.MustParseAddr("198.51.100.7") {
+			if len(ag.RuleIDs) != 1 || ag.RuleIDs[0] != "ntp-rule" {
+				t.Errorf("rules = %v", ag.RuleIDs)
+			}
+			if ag.Vector != "NTP" {
+				t.Errorf("vector = %q", ag.Vector)
+			}
+		} else if len(ag.RuleIDs) != 0 {
+			t.Errorf("benign aggregate annotated: %v", ag.RuleIDs)
+		}
+	}
+}
+
+func TestEncodeShapeAndMissing(t *testing.T) {
+	var aggs []*Aggregate
+	a := NewAggregator(nil, collect(&aggs))
+	r1 := flow(1, "192.0.2.1", 123, "198.51.100.7", 4096, 2, true)
+	a.Add(&r1, "")
+	a.Close()
+	enc := woe.NewEncoder()
+	ObserveRecord(enc, &r1)
+	row := Encode(enc, aggs[0], nil)
+	if len(row) != NumColumns {
+		t.Fatalf("row len = %d", len(row))
+	}
+	// One flow: rank 0 present, ranks 1-4 missing -> NaN.
+	if math.IsNaN(row[0]) {
+		t.Error("rank-0 categorical must be present")
+	}
+	if !math.IsNaN(row[2]) {
+		t.Error("rank-1 slot must be NaN with a single value")
+	}
+	// Metric slot for src_ip/pkt_size/0 is 2048.
+	if row[1] != 2048 {
+		t.Errorf("metric slot = %v", row[1])
+	}
+}
+
+func TestObserveEncodesLabelSignal(t *testing.T) {
+	enc := woe.NewEncoder()
+	// Reflector 192.0.2.1 always attacks (label true), 192.0.2.9 is benign.
+	for min := int64(1); min <= 40; min++ {
+		r1 := flow(min, "192.0.2.1", 123, "198.51.100.7", 4096, 2, true)
+		r2 := flow(min, "192.0.2.9", 443, "203.0.113.5", 2048, 2, false)
+		ObserveRecord(enc, &r1)
+		ObserveRecord(enc, &r2)
+	}
+	attacker := enc.WoE("src_ip", woe.KeyAddr(netip.MustParseAddr("192.0.2.1")))
+	benign := enc.WoE("src_ip", woe.KeyAddr(netip.MustParseAddr("192.0.2.9")))
+	if attacker <= 1 {
+		t.Errorf("attacker WoE = %v, want > 1", attacker)
+	}
+	if benign >= -1 {
+		t.Errorf("benign WoE = %v, want < -1", benign)
+	}
+	port123 := enc.WoE("port_src", woe.KeyPort(123))
+	if port123 <= 0 {
+		t.Errorf("NTP port WoE = %v", port123)
+	}
+}
+
+// TestEndToEndSyntheticSeparability: aggregates from balanced synthetic
+// traffic, WoE-encoded, must carry enough signal that even a trivial
+// threshold on the summed WoE separates most labels.
+func TestEndToEndSyntheticSeparability(t *testing.T) {
+	g := synth.NewGenerator(synth.ProfileUS1())
+	flows := g.Generate(0, 240)
+	balanced, _ := balance.Flows(1, flows)
+
+	var aggs []*Aggregate
+	a := NewAggregator(nil, collect(&aggs))
+	for i := range balanced {
+		a.Add(&balanced[i].Record, balanced[i].Vector)
+	}
+	a.Close()
+	if len(aggs) < 50 {
+		t.Fatalf("aggregates = %d", len(aggs))
+	}
+	enc := woe.NewEncoder()
+	for i := range balanced {
+		ObserveRecord(enc, &balanced[i].Record)
+	}
+	correct := 0
+	for _, ag := range aggs {
+		row := Encode(enc, ag, nil)
+		var sum float64
+		for i := 0; i < len(row); i += 2 { // categorical slots only
+			if !math.IsNaN(row[i]) {
+				sum += row[i]
+			}
+		}
+		pred := sum > 0
+		if pred == ag.Label {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(aggs))
+	if acc < 0.85 {
+		t.Errorf("naive WoE-sum accuracy = %.3f, want > 0.85 (in-sample encoding)", acc)
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	g := synth.NewGenerator(synth.ProfileUS1())
+	flows := g.Generate(0, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := NewAggregator(nil, nil)
+		for j := range flows {
+			a.Add(&flows[j].Record, "")
+		}
+		a.Close()
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	g := synth.NewGenerator(synth.ProfileUS1())
+	flows := g.Generate(0, 5)
+	var aggs []*Aggregate
+	a := NewAggregator(nil, collect(&aggs))
+	for j := range flows {
+		a.Add(&flows[j].Record, "")
+	}
+	a.Close()
+	enc := woe.NewEncoder()
+	for j := range flows {
+		ObserveRecord(enc, &flows[j].Record)
+	}
+	var row []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row = Encode(enc, aggs[i%len(aggs)], row)
+	}
+}

@@ -1,0 +1,122 @@
+package ipfix
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/netip"
+	"sync/atomic"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+)
+
+// UDPCollector receives IPFIX messages over UDP, converts flow records to
+// netflow.Records, labels them against the blackhole registry and emits
+// them — the IPFIX twin of sflow.Collector.
+type UDPCollector struct {
+	// Label classifies destination IPs at a timestamp (bgp.Registry.Covered).
+	Label func(ip netip.Addr, at int64) bool
+	// Emit receives each converted record.
+	Emit func(*netflow.Record)
+	Log  *slog.Logger
+
+	Messages   atomic.Uint64
+	Records    atomic.Uint64
+	DecodeErrs atomic.Uint64
+
+	collector *Collector
+}
+
+// Listen receives messages on conn until the context is canceled.
+func (u *UDPCollector) Listen(ctx context.Context, conn net.PacketConn) error {
+	if u.collector == nil {
+		u.collector = NewCollector()
+	}
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		conn.Close()
+	}()
+
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("ipfix: read: %w", err)
+		}
+		u.Handle(buf[:n])
+	}
+}
+
+// Handle processes one message payload.
+func (u *UDPCollector) Handle(data []byte) {
+	if u.collector == nil {
+		u.collector = NewCollector()
+	}
+	recs, err := u.collector.Decode(data)
+	if err != nil && !errors.Is(err, ErrUnknownTemplate) {
+		u.DecodeErrs.Add(1)
+		if u.Log != nil {
+			u.Log.Debug("ipfix decode failed", "err", err)
+		}
+		return
+	}
+	u.Messages.Add(1)
+	for i := range recs {
+		nr := ToNetflow(&recs[i])
+		if u.Label != nil && u.Label(nr.DstIP, nr.Timestamp) {
+			nr.Blackholed = true
+		}
+		u.Records.Add(1)
+		if u.Emit != nil {
+			u.Emit(&nr)
+		}
+	}
+}
+
+// ToNetflow converts an IPFIX record into the pipeline's flow record.
+func ToNetflow(r *Record) netflow.Record {
+	return netflow.Record{
+		Timestamp:    int64(r.StartSeconds),
+		SrcIP:        r.SrcIP,
+		DstIP:        r.DstIP,
+		SrcPort:      r.SrcPort,
+		DstPort:      r.DstPort,
+		Protocol:     r.Protocol,
+		TCPFlags:     r.TCPFlags,
+		Fragment:     r.Fragment,
+		SrcMAC:       r.SrcMAC,
+		DstMAC:       r.DstMAC,
+		Packets:      r.Packets,
+		Bytes:        r.Bytes,
+		SamplingRate: r.SamplingRate,
+	}
+}
+
+// FromNetflow converts a pipeline record into an IPFIX record for export.
+func FromNetflow(r *netflow.Record) Record {
+	return Record{
+		StartSeconds: uint32(r.Timestamp),
+		SrcIP:        r.SrcIP,
+		DstIP:        r.DstIP,
+		SrcPort:      r.SrcPort,
+		DstPort:      r.DstPort,
+		Protocol:     r.Protocol,
+		TCPFlags:     r.TCPFlags,
+		Fragment:     r.Fragment,
+		SrcMAC:       r.SrcMAC,
+		DstMAC:       r.DstMAC,
+		Packets:      r.Packets,
+		Bytes:        r.Bytes,
+		SamplingRate: r.SamplingRate,
+	}
+}

@@ -1,0 +1,95 @@
+package ipfix
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+)
+
+func TestNetflowConversionRoundTrip(t *testing.T) {
+	nr := netflow.Record{
+		Timestamp: 1_627_000_000,
+		SrcIP:     netip.MustParseAddr("192.0.2.1"),
+		DstIP:     netip.MustParseAddr("198.51.100.7"),
+		SrcPort:   123, DstPort: 40000,
+		Protocol: 17, TCPFlags: 0x12, Fragment: true,
+		SrcMAC:  [6]byte{2, 0, 0, 0, 0, 1},
+		DstMAC:  [6]byte{2, 0, 0, 0, 0, 2},
+		Packets: 2048, Bytes: 958464, SamplingRate: 2048,
+	}
+	back := ToNetflow(&[]Record{FromNetflow(&nr)}[0])
+	if back != nr {
+		t.Fatalf("round trip:\n got  %+v\n want %+v", back, nr)
+	}
+}
+
+func TestUDPCollectorEndToEnd(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got []netflow.Record
+	victim := netip.MustParseAddr("198.51.100.7")
+	uc := &UDPCollector{
+		Label: func(ip netip.Addr, at int64) bool { return ip == victim },
+		Emit: func(r *netflow.Record) {
+			mu.Lock()
+			got = append(got, *r)
+			mu.Unlock()
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- uc.Listen(ctx, pc) }()
+
+	conn, err := net.Dial("udp", pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	e := &Exporter{DomainID: 3}
+	if _, err := conn.Write(e.Encode(nil, 0, sampleRecords())); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d records", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !got[0].Blackholed {
+		t.Error("victim record not labeled via the registry hook")
+	}
+	if got[1].Blackholed {
+		t.Error("non-victim record labeled")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleGarbage(t *testing.T) {
+	uc := &UDPCollector{}
+	uc.Handle([]byte{1, 2, 3})
+	if uc.DecodeErrs.Load() != 1 {
+		t.Error("decode error not counted")
+	}
+}

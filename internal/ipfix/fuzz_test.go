@@ -1,0 +1,12 @@
+package ipfix
+
+import "testing"
+
+func FuzzDecode(f *testing.F) {
+	e := &Exporter{DomainID: 7}
+	f.Add(e.Encode(nil, 0, sampleRecords()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCollector()
+		_, _ = c.Decode(data) // must never panic
+	})
+}

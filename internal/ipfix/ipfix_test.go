@@ -1,0 +1,197 @@
+package ipfix
+
+import (
+	"encoding/binary"
+	"errors"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{
+			StartSeconds: 1_627_000_000,
+			SrcIP:        netip.MustParseAddr("192.0.2.1"),
+			DstIP:        netip.MustParseAddr("198.51.100.7"),
+			SrcPort:      123, DstPort: 40000,
+			Protocol: 17, TCPFlags: 0, Fragment: false,
+			SrcMAC:  [6]byte{2, 0, 0, 0, 0, 1},
+			DstMAC:  [6]byte{2, 0, 0, 0, 0, 2},
+			Packets: 2048, Bytes: 2048 * 468, SamplingRate: 2048,
+		},
+		{
+			StartSeconds: 1_627_000_030,
+			SrcIP:        netip.MustParseAddr("203.0.113.9"),
+			DstIP:        netip.MustParseAddr("198.51.100.8"),
+			SrcPort:      0, DstPort: 0,
+			Protocol: 17, Fragment: true,
+			Packets: 1024, Bytes: 1024 * 1480, SamplingRate: 1024,
+		},
+	}
+}
+
+func TestExportCollectRoundTrip(t *testing.T) {
+	e := &Exporter{DomainID: 7}
+	c := NewCollector()
+	msg := e.Encode(nil, 1000, sampleRecords())
+	got, err := c.Decode(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRecords()
+	if len(got) != len(want) {
+		t.Fatalf("records = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d:\n got  %+v\n want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTemplateOnlyOnFirstMessage(t *testing.T) {
+	e := &Exporter{DomainID: 7}
+	first := e.Encode(nil, 1000, sampleRecords()[:1])
+	second := e.Encode(nil, 1001, sampleRecords()[:1])
+	if len(second) >= len(first) {
+		t.Errorf("second message (%dB) should be smaller than first (%dB): template omitted", len(second), len(first))
+	}
+	c := NewCollector()
+	if _, err := c.Decode(first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Decode(second); err != nil {
+		t.Fatalf("second message failed after template learned: %v", err)
+	}
+}
+
+func TestUnknownTemplate(t *testing.T) {
+	e := &Exporter{DomainID: 7}
+	e.sentTmpl = true // suppress the template set
+	msg := e.Encode(nil, 1000, sampleRecords()[:1])
+	c := NewCollector()
+	if _, err := c.Decode(msg); !errors.Is(err, ErrUnknownTemplate) {
+		t.Fatalf("err = %v, want ErrUnknownTemplate", err)
+	}
+	// Template refresh fixes it.
+	e.ResendTemplate()
+	msg2 := e.Encode(nil, 1001, sampleRecords()[:1])
+	if _, err := c.Decode(msg2); err != nil {
+		t.Fatal(err)
+	}
+	// And the previously failing data-only message now decodes.
+	if recs, err := c.Decode(msg); err != nil || len(recs) != 1 {
+		t.Fatalf("retry after refresh: %v (%d records)", err, len(recs))
+	}
+}
+
+func TestTemplatesArePerDomain(t *testing.T) {
+	e1 := &Exporter{DomainID: 1}
+	c := NewCollector()
+	if _, err := c.Decode(e1.Encode(nil, 0, sampleRecords()[:1])); err != nil {
+		t.Fatal(err)
+	}
+	// Same template ID in another domain is unknown.
+	e2 := &Exporter{DomainID: 2}
+	e2.sentTmpl = true
+	if _, err := c.Decode(e2.Encode(nil, 0, sampleRecords()[:1])); !errors.Is(err, ErrUnknownTemplate) {
+		t.Fatalf("cross-domain template leak: %v", err)
+	}
+}
+
+func TestSequenceNumbers(t *testing.T) {
+	e := &Exporter{DomainID: 7}
+	m1 := e.Encode(nil, 0, sampleRecords())
+	m2 := e.Encode(nil, 0, sampleRecords()[:1])
+	s1 := binary.BigEndian.Uint32(m1[8:12])
+	s2 := binary.BigEndian.Uint32(m2[8:12])
+	if s1 != 0 || s2 != 2 {
+		t.Errorf("sequence numbers = %d, %d; want 0, 2 (data records exported)", s1, s2)
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	c := NewCollector()
+	if _, err := c.Decode([]byte{1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+	e := &Exporter{DomainID: 7}
+	msg := e.Encode(nil, 0, sampleRecords()[:1])
+	bad := append([]byte(nil), msg...)
+	bad[0], bad[1] = 0, 9
+	if _, err := c.Decode(bad); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("version: %v", err)
+	}
+	// Truncated mid-set.
+	if _, err := c.Decode(msg[:20]); err == nil {
+		t.Error("truncated message accepted")
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	c := NewCollector()
+	f := func(data []byte) bool {
+		_, _ = c.Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnterpriseFieldsSkipped(t *testing.T) {
+	// Hand-craft a template with an enterprise field and ensure records
+	// still decode (element skipped by length).
+	var buf []byte
+	buf = binary.BigEndian.AppendUint16(buf, version10)
+	buf = append(buf, 0, 0)
+	buf = binary.BigEndian.AppendUint32(buf, 0) // export time
+	buf = binary.BigEndian.AppendUint32(buf, 0) // seq
+	buf = binary.BigEndian.AppendUint32(buf, 9) // domain
+	// Template set: id 300, 2 fields: enterprise(0x8000|99, len2, PEN) + srcPort.
+	set := []byte{}
+	set = binary.BigEndian.AppendUint16(set, 300)
+	set = binary.BigEndian.AppendUint16(set, 2)
+	set = binary.BigEndian.AppendUint16(set, 0x8000|99)
+	set = binary.BigEndian.AppendUint16(set, 2)
+	set = binary.BigEndian.AppendUint32(set, 4242) // PEN
+	set = binary.BigEndian.AppendUint16(set, IESrcPort)
+	set = binary.BigEndian.AppendUint16(set, 2)
+	buf = binary.BigEndian.AppendUint16(buf, templateSetID)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(set)+4))
+	buf = append(buf, set...)
+	// Data set id 300: one record: [2B enterprise][2B srcPort].
+	data := []byte{0xAA, 0xBB, 0x00, 0x7B} // srcPort 123
+	buf = binary.BigEndian.AppendUint16(buf, 300)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(data)+4))
+	buf = append(buf, data...)
+	binary.BigEndian.PutUint16(buf[2:4], uint16(len(buf)))
+
+	recs, err := NewCollector().Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].SrcPort != 123 {
+		t.Fatalf("records = %+v", recs)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	e := &Exporter{DomainID: 7}
+	c := NewCollector()
+	recs := sampleRecords()
+	// Prime the template.
+	if _, err := c.Decode(e.Encode(nil, 0, recs)); err != nil {
+		b.Fatal(err)
+	}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = e.Encode(buf[:0], uint32(i), recs)
+		if _, err := c.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

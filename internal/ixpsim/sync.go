@@ -1,0 +1,79 @@
+package ixpsim
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
+	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
+)
+
+// markerPrefix is a sync beacon inside the RFC 2544 benchmarking range: the
+// member session announces and immediately withdraws it to establish a
+// happens-before edge with all previously sent updates (BGP sessions are
+// ordered byte streams, so once the marker round-trips, every earlier
+// update has been applied to the registry).
+var markerPrefix = netip.MustParsePrefix("198.18.255.254/32")
+
+const pollInterval = 500 * time.Microsecond
+
+
+// syncBGP round-trips the marker through the route server.
+func syncBGP(ctx context.Context, member *bgp.Conn, reg *bgp.Registry, nextHop netip.Addr, at int64) error {
+	if err := member.AnnounceBlackhole(markerPrefix, nextHop); err != nil {
+		return fmt.Errorf("ixpsim: marker announce: %w", err)
+	}
+	marker := markerPrefix.Addr()
+	if err := pollUntil(ctx, func() bool { return reg.Covered(marker, at) }); err != nil {
+		return fmt.Errorf("ixpsim: waiting for marker announce: %w", err)
+	}
+	if err := member.WithdrawBlackhole(markerPrefix); err != nil {
+		return fmt.Errorf("ixpsim: marker withdraw: %w", err)
+	}
+	if err := pollUntil(ctx, func() bool { return !reg.Covered(marker, at) }); err != nil {
+		return fmt.Errorf("ixpsim: waiting for marker withdraw: %w", err)
+	}
+	return nil
+}
+
+// waitSamples waits until the collector has seen total samples, tolerating
+// loopback UDP loss by giving up once progress stalls.
+func waitSamples(ctx context.Context, c *sflow.Collector, total uint64) error {
+	last := c.Stats.Samples.Load()
+	stall := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		cur := c.Stats.Samples.Load()
+		if cur >= total {
+			return nil
+		}
+		if cur == last {
+			stall++
+			if stall > 400 { // ~200 ms without progress: count it as loss
+				return nil
+			}
+		} else {
+			stall = 0
+			last = cur
+		}
+		time.Sleep(pollInterval)
+	}
+}
+
+func pollUntil(ctx context.Context, cond func() bool) error {
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("ixpsim: condition not reached within 10s")
+		}
+		time.Sleep(pollInterval)
+	}
+	return nil
+}

@@ -1,0 +1,256 @@
+// Package bayes implements the four naive Bayes variants of the paper's
+// model comparison: Gaussian (NB-G), multinomial (NB-M), complement (NB-C)
+// and Bernoulli (NB-B). The non-Gaussian variants expect non-negative
+// inputs and are fed min-max-normalized features by their Figure 8
+// pipelines.
+package bayes
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects the naive Bayes variant.
+type Kind int
+
+// Variants.
+const (
+	Gaussian Kind = iota
+	Multinomial
+	Complement
+	Bernoulli
+)
+
+// String names the variant as in the paper's tables.
+func (k Kind) String() string {
+	switch k {
+	case Gaussian:
+		return "NB-G"
+	case Multinomial:
+		return "NB-M"
+	case Complement:
+		return "NB-C"
+	case Bernoulli:
+		return "NB-B"
+	default:
+		return fmt.Sprintf("NB(%d)", int(k))
+	}
+}
+
+// Options are the naive Bayes hyperparameters (Appendix C grid).
+type Options struct {
+	Kind Kind
+	// VarSmoothing applies to the Gaussian variant (grid 1e-9 .. 1).
+	VarSmoothing float64
+	// Alpha is the additive smoothing of the counting variants
+	// (grid 1e-8 .. 10).
+	Alpha float64
+	// BinarizeAt thresholds features for the Bernoulli variant.
+	BinarizeAt float64
+}
+
+// DefaultOptions returns sensible defaults per variant.
+func DefaultOptions(kind Kind) Options {
+	return Options{Kind: kind, VarSmoothing: 1e-9, Alpha: 1.0, BinarizeAt: 0.5}
+}
+
+// Model is a fitted naive Bayes classifier.
+type Model struct {
+	opts Options
+	// class priors (log).
+	logPrior [2]float64
+	// Gaussian: per class per feature mean/variance.
+	mean, vari [2][]float64
+	// Counting variants: per class per feature log probabilities.
+	logProb [2][]float64
+	// Bernoulli: log(1-p) complement table.
+	logProbNeg [2][]float64
+	cols       int
+}
+
+// New returns an unfitted model.
+func New(opts Options) *Model {
+	if opts.VarSmoothing <= 0 {
+		opts.VarSmoothing = 1e-9
+	}
+	if opts.Alpha <= 0 {
+		opts.Alpha = 1e-10
+	}
+	return &Model{opts: opts}
+}
+
+// Fit estimates the class-conditional distributions.
+func (m *Model) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("bayes: empty training set")
+	}
+	rows, cols := len(x), len(x[0])
+	m.cols = cols
+	var count [2]int
+	for _, v := range y {
+		count[v]++
+	}
+	if count[0] == 0 || count[1] == 0 {
+		return fmt.Errorf("bayes: training set has a single class")
+	}
+	for c := 0; c < 2; c++ {
+		m.logPrior[c] = math.Log(float64(count[c]) / float64(rows))
+	}
+
+	switch m.opts.Kind {
+	case Gaussian:
+		var maxVar float64
+		for c := 0; c < 2; c++ {
+			m.mean[c] = make([]float64, cols)
+			m.vari[c] = make([]float64, cols)
+		}
+		for i, row := range x {
+			c := y[i]
+			for j, v := range row {
+				m.mean[c][j] += v
+			}
+		}
+		for c := 0; c < 2; c++ {
+			for j := range m.mean[c] {
+				m.mean[c][j] /= float64(count[c])
+			}
+		}
+		for i, row := range x {
+			c := y[i]
+			for j, v := range row {
+				d := v - m.mean[c][j]
+				m.vari[c][j] += d * d
+			}
+		}
+		for c := 0; c < 2; c++ {
+			for j := range m.vari[c] {
+				m.vari[c][j] /= float64(count[c])
+				if m.vari[c][j] > maxVar {
+					maxVar = m.vari[c][j]
+				}
+			}
+		}
+		smooth := m.opts.VarSmoothing * maxVar
+		if smooth <= 0 {
+			smooth = 1e-12
+		}
+		for c := 0; c < 2; c++ {
+			for j := range m.vari[c] {
+				m.vari[c][j] += smooth
+			}
+		}
+
+	case Multinomial, Complement:
+		var sums [2][]float64
+		var totals [2]float64
+		for c := 0; c < 2; c++ {
+			sums[c] = make([]float64, cols)
+		}
+		for i, row := range x {
+			c := y[i]
+			for j, v := range row {
+				if v < 0 {
+					return fmt.Errorf("bayes: %s requires non-negative features (row %d col %d = %v)", m.opts.Kind, i, j, v)
+				}
+				sums[c][j] += v
+				totals[c] += v
+			}
+		}
+		for c := 0; c < 2; c++ {
+			m.logProb[c] = make([]float64, cols)
+			src := c
+			if m.opts.Kind == Complement {
+				src = 1 - c // complement: use the other class's counts
+			}
+			den := totals[src] + m.opts.Alpha*float64(cols)
+			for j := 0; j < cols; j++ {
+				p := (sums[src][j] + m.opts.Alpha) / den
+				m.logProb[c][j] = math.Log(p)
+				if m.opts.Kind == Complement {
+					// CNB weights are the negated complement log-probs.
+					m.logProb[c][j] = -m.logProb[c][j]
+				}
+			}
+		}
+
+	case Bernoulli:
+		var on [2][]float64
+		for c := 0; c < 2; c++ {
+			on[c] = make([]float64, cols)
+		}
+		for i, row := range x {
+			c := y[i]
+			for j, v := range row {
+				if v > m.opts.BinarizeAt {
+					on[c][j]++
+				}
+			}
+		}
+		for c := 0; c < 2; c++ {
+			m.logProb[c] = make([]float64, cols)
+			m.logProbNeg[c] = make([]float64, cols)
+			den := float64(count[c]) + 2*m.opts.Alpha
+			for j := 0; j < cols; j++ {
+				p := (on[c][j] + m.opts.Alpha) / den
+				m.logProb[c][j] = math.Log(p)
+				m.logProbNeg[c][j] = math.Log(1 - p)
+			}
+		}
+	default:
+		return fmt.Errorf("bayes: unknown kind %d", m.opts.Kind)
+	}
+	return nil
+}
+
+// logLikelihood returns the joint log likelihood of the row under class c.
+func (m *Model) logLikelihood(row []float64, c int) float64 {
+	ll := m.logPrior[c]
+	switch m.opts.Kind {
+	case Gaussian:
+		for j, v := range row {
+			if j >= m.cols {
+				break
+			}
+			d := v - m.mean[c][j]
+			ll += -0.5*math.Log(2*math.Pi*m.vari[c][j]) - d*d/(2*m.vari[c][j])
+		}
+	case Multinomial, Complement:
+		for j, v := range row {
+			if j >= m.cols {
+				break
+			}
+			if v < 0 {
+				v = 0
+			}
+			ll += v * m.logProb[c][j]
+		}
+	case Bernoulli:
+		for j, v := range row {
+			if j >= m.cols {
+				break
+			}
+			if v > m.opts.BinarizeAt {
+				ll += m.logProb[c][j]
+			} else {
+				ll += m.logProbNeg[c][j]
+			}
+		}
+	}
+	return ll
+}
+
+// Score returns the log-likelihood margin of the positive class.
+func (m *Model) Score(row []float64) float64 {
+	return m.logLikelihood(row, 1) - m.logLikelihood(row, 0)
+}
+
+// Predict labels rows by maximum joint likelihood.
+func (m *Model) Predict(x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		if m.Score(row) >= 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,175 @@
+package bayes
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/mltest"
+)
+
+func toUnit(x [][]float64) [][]float64 {
+	// Shift/scale into [0,1] for the counting variants.
+	lo, hi := x[0][0], x[0][0]
+	for _, row := range x {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			o[j] = (v - lo) / (hi - lo)
+		}
+		out[i] = o
+	}
+	return out
+}
+
+func TestGaussianBlobs(t *testing.T) {
+	x, y := mltest.Blobs(1, 400, 5, 3)
+	m := New(DefaultOptions(Gaussian))
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := mltest.Blobs(2, 200, 5, 3)
+	if acc := mltest.Accuracy(yt, m.Predict(xt)); acc < 0.97 {
+		t.Errorf("gaussian NB accuracy = %.3f (blobs are its ideal case)", acc)
+	}
+}
+
+// proportionData builds classes that differ in feature *proportions* (what
+// multinomial models discriminate on): class 0 concentrates mass on the
+// first half of the features, class 1 on the second half.
+func proportionData(seed uint64, n int) ([][]float64, []int) {
+	x := make([][]float64, 0, 2*n)
+	y := make([]int, 0, 2*n)
+	for c := 0; c < 2; c++ {
+		for i := 0; i < n; i++ {
+			row := make([]float64, 6)
+			for j := range row {
+				base := 0.1
+				if (j < 3) == (c == 0) {
+					base = 1.0
+				}
+				row[j] = base * (0.5 + float64((int(seed)+i*7+j*13)%100)/100.0)
+			}
+			x = append(x, row)
+			y = append(y, c)
+		}
+	}
+	return x, y
+}
+
+func TestCountingVariants(t *testing.T) {
+	x, y := proportionData(3, 300)
+	xt, yt := proportionData(1234, 150)
+	for _, kind := range []Kind{Multinomial, Complement, Bernoulli} {
+		m := New(DefaultOptions(kind))
+		if err := m.Fit(x, y); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		acc := mltest.Accuracy(yt, m.Predict(xt))
+		if acc < 0.9 {
+			t.Errorf("%v accuracy = %.3f", kind, acc)
+		}
+	}
+}
+
+func TestMultinomialRejectsNegative(t *testing.T) {
+	m := New(DefaultOptions(Multinomial))
+	err := m.Fit([][]float64{{1, -2}, {3, 4}}, []int{0, 1})
+	if err == nil || !strings.Contains(err.Error(), "non-negative") {
+		t.Fatalf("err = %v, want non-negative complaint", err)
+	}
+}
+
+func TestSingleClassRejected(t *testing.T) {
+	m := New(DefaultOptions(Gaussian))
+	if err := m.Fit([][]float64{{1}, {2}}, []int{1, 1}); err == nil {
+		t.Fatal("single-class training must error (no class-conditional contrast)")
+	}
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("empty set must error")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for kind, want := range map[Kind]string{
+		Gaussian: "NB-G", Multinomial: "NB-M", Complement: "NB-C", Bernoulli: "NB-B",
+	} {
+		if kind.String() != want {
+			t.Errorf("%d.String() = %q, want %q", kind, kind.String(), want)
+		}
+	}
+}
+
+func TestGaussianVarSmoothing(t *testing.T) {
+	// A constant feature has zero variance; smoothing must prevent division
+	// by zero and keep predictions finite.
+	x := [][]float64{{1, 5}, {2, 5}, {10, 5}, {11, 5}}
+	y := []int{0, 0, 1, 1}
+	m := New(Options{Kind: Gaussian, VarSmoothing: 1e-9})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict([][]float64{{1.5, 5}, {10.5, 5}})
+	if pred[0] != 0 || pred[1] != 1 {
+		t.Errorf("pred = %v", pred)
+	}
+}
+
+func TestComplementDiffersFromMultinomial(t *testing.T) {
+	// On imbalanced data CNB and MNB must not be identical models.
+	x, y := mltest.Blobs(5, 300, 4, 2)
+	var xi [][]float64
+	var yi []int
+	kept := 0
+	for i := range x {
+		if y[i] == 1 {
+			if kept > 30 {
+				continue
+			}
+			kept++
+		}
+		xi = append(xi, x[i])
+		yi = append(yi, y[i])
+	}
+	xu := toUnit(xi)
+	mn := New(DefaultOptions(Multinomial))
+	cn := New(DefaultOptions(Complement))
+	if err := mn.Fit(xu, yi); err != nil {
+		t.Fatal(err)
+	}
+	if err := cn.Fit(xu, yi); err != nil {
+		t.Fatal(err)
+	}
+	diff := false
+	for _, row := range xu {
+		if mn.Score(row) != cn.Score(row) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("complement NB scores identical to multinomial NB")
+	}
+}
+
+func BenchmarkGaussianPredict(b *testing.B) {
+	x, y := mltest.Blobs(1, 1000, 20, 2)
+	m := New(DefaultOptions(Gaussian))
+	if err := m.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score(x[i%len(x)])
+	}
+}

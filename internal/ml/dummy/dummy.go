@@ -1,0 +1,33 @@
+// Package dummy implements the DUM baseline of the paper's comparison: a
+// classifier that guesses each label uniformly at random — the worst
+// conceivable classifier, anchoring all metric tables at ≈0.5.
+package dummy
+
+import "math/rand/v2"
+
+// Model guesses labels with equal probability.
+type Model struct {
+	Seed uint64
+	rng  *rand.Rand
+}
+
+// New returns a dummy classifier.
+func New(seed uint64) *Model { return &Model{Seed: seed} }
+
+// Fit ignores the data.
+func (m *Model) Fit(x [][]float64, y []int) error {
+	m.rng = rand.New(rand.NewPCG(m.Seed, m.Seed+1))
+	return nil
+}
+
+// Predict flips a fair coin per row.
+func (m *Model) Predict(x [][]float64) []int {
+	if m.rng == nil {
+		m.rng = rand.New(rand.NewPCG(m.Seed, m.Seed+1))
+	}
+	out := make([]int, len(x))
+	for i := range out {
+		out[i] = int(m.rng.Uint32() & 1)
+	}
+	return out
+}

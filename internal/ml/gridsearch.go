@@ -1,0 +1,58 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params is one hyperparameter assignment.
+type Params map[string]float64
+
+// Grid enumerates the cartesian product of per-parameter value lists
+// (Table 4's parameter spaces).
+func Grid(space map[string][]float64) []Params {
+	names := make([]string, 0, len(space))
+	for n := range space {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := []Params{{}}
+	for _, name := range names {
+		var next []Params
+		for _, base := range out {
+			for _, v := range space[name] {
+				p := make(Params, len(base)+1)
+				for k, bv := range base {
+					p[k] = bv
+				}
+				p[name] = v
+				next = append(next, p)
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// GridResult is the cross-validated score of one parameter assignment.
+type GridResult struct {
+	Params Params
+	Score  float64 // mean Fβ=0.5 across folds
+}
+
+// GridSearch evaluates every parameter assignment with k-fold cross
+// validation and returns all results sorted by descending score. build maps
+// an assignment to a fresh pipeline.
+func GridSearch(space map[string][]float64, build func(Params) *Pipeline, d *Dataset, seed uint64, k int) ([]GridResult, error) {
+	grid := Grid(space)
+	results := make([]GridResult, 0, len(grid))
+	for _, params := range grid {
+		score, err := CrossValidate(func() *Pipeline { return build(params) }, d, seed, k)
+		if err != nil {
+			return nil, fmt.Errorf("ml: grid point %v: %w", params, err)
+		}
+		results = append(results, GridResult{Params: params, Score: score})
+	}
+	sort.SliceStable(results, func(i, j int) bool { return results[i].Score > results[j].Score })
+	return results, nil
+}

@@ -1,0 +1,261 @@
+// Package nn implements the paper's neural network model: a multi-layer
+// perceptron with one ReLU hidden layer, dropout regularization and a
+// sigmoid output, trained with Adam on the binary cross-entropy loss. The
+// Figure 8 pipeline standardizes and PCA-projects inputs before this model;
+// the hyperparameters follow the Appendix C grid (hidden neurons, dropout,
+// learning rate).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Options are the MLP hyperparameters.
+type Options struct {
+	Hidden       int     // paper grid: {4, 8, 16, 32}
+	Dropout      float64 // paper grid: {0, 0.3, 0.6, 0.9}
+	LearningRate float64 // paper grid: 1e-5 .. 2.5e-3
+	Epochs       int
+	BatchSize    int
+	Seed         uint64
+}
+
+// DefaultOptions returns a practical operating point from the paper's grid.
+func DefaultOptions() Options {
+	return Options{
+		Hidden:       16,
+		Dropout:      0.3,
+		LearningRate: 2.5e-3,
+		Epochs:       40,
+		BatchSize:    256,
+		Seed:         1,
+	}
+}
+
+// Model is a fitted MLP.
+type Model struct {
+	opts   Options
+	w1     [][]float64 // [hidden][in]
+	b1     []float64
+	w2     []float64 // [hidden]
+	b2     float64
+	inDim  int
+}
+
+// New returns an unfitted model.
+func New(opts Options) *Model {
+	if opts.Hidden <= 0 {
+		opts.Hidden = 16
+	}
+	if opts.Epochs <= 0 {
+		opts.Epochs = 40
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 256
+	}
+	if opts.LearningRate <= 0 {
+		opts.LearningRate = 1e-3
+	}
+	if opts.Dropout < 0 || opts.Dropout >= 1 {
+		opts.Dropout = 0
+	}
+	return &Model{opts: opts}
+}
+
+type adam struct {
+	m, v []float64
+	t    int
+}
+
+func newAdam(n int) *adam { return &adam{m: make([]float64, n), v: make([]float64, n)} }
+
+const (
+	beta1 = 0.9
+	beta2 = 0.999
+	eps   = 1e-8
+)
+
+func (a *adam) step(params, grads []float64, lr float64) {
+	a.t++
+	c1 := 1 - math.Pow(beta1, float64(a.t))
+	c2 := 1 - math.Pow(beta2, float64(a.t))
+	for i := range params {
+		a.m[i] = beta1*a.m[i] + (1-beta1)*grads[i]
+		a.v[i] = beta2*a.v[i] + (1-beta2)*grads[i]*grads[i]
+		params[i] -= lr * (a.m[i] / c1) / (math.Sqrt(a.v[i]/c2) + eps)
+	}
+}
+
+// Fit trains the network.
+func (m *Model) Fit(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("nn: empty training set")
+	}
+	rows, in := len(x), len(x[0])
+	h := m.opts.Hidden
+	m.inDim = in
+	rng := rand.New(rand.NewPCG(m.opts.Seed, m.opts.Seed*0x9E3779B97F4A7C15+1))
+
+	// He initialization.
+	m.w1 = make([][]float64, h)
+	scale := math.Sqrt(2 / float64(in))
+	for i := range m.w1 {
+		m.w1[i] = make([]float64, in)
+		for j := range m.w1[i] {
+			m.w1[i][j] = rng.NormFloat64() * scale
+		}
+	}
+	m.b1 = make([]float64, h)
+	m.w2 = make([]float64, h)
+	s2 := math.Sqrt(2 / float64(h))
+	for i := range m.w2 {
+		m.w2[i] = rng.NormFloat64() * s2
+	}
+	m.b2 = 0
+
+	// Flatten parameters for Adam: w1 rows, b1, w2, b2.
+	nParams := h*in + h + h + 1
+	grads := make([]float64, nParams)
+	params := make([]float64, nParams)
+	opt := newAdam(nParams)
+	pack := func() {
+		k := 0
+		for i := 0; i < h; i++ {
+			copy(params[k:], m.w1[i])
+			k += in
+		}
+		copy(params[k:], m.b1)
+		k += h
+		copy(params[k:], m.w2)
+		k += h
+		params[k] = m.b2
+	}
+	unpack := func() {
+		k := 0
+		for i := 0; i < h; i++ {
+			copy(m.w1[i], params[k:k+in])
+			k += in
+		}
+		copy(m.b1, params[k:k+h])
+		k += h
+		copy(m.w2, params[k:k+h])
+		k += h
+		m.b2 = params[k]
+	}
+	pack()
+
+	idx := make([]int, rows)
+	for i := range idx {
+		idx[i] = i
+	}
+	hidden := make([]float64, h)
+	mask := make([]bool, h)
+	keep := 1 - m.opts.Dropout
+
+	for e := 0; e < m.opts.Epochs; e++ {
+		rng.Shuffle(rows, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < rows; start += m.opts.BatchSize {
+			end := start + m.opts.BatchSize
+			if end > rows {
+				end = rows
+			}
+			for i := range grads {
+				grads[i] = 0
+			}
+			for _, r := range idx[start:end] {
+				row := x[r]
+				// Forward with inverted dropout.
+				for i := 0; i < h; i++ {
+					z := m.b1[i]
+					wi := m.w1[i]
+					for j, v := range row {
+						z += wi[j] * v
+					}
+					if z < 0 {
+						z = 0
+					}
+					if m.opts.Dropout > 0 {
+						mask[i] = rng.Float64() < keep
+						if mask[i] {
+							z /= keep
+						} else {
+							z = 0
+						}
+					} else {
+						mask[i] = true
+					}
+					hidden[i] = z
+				}
+				z2 := m.b2
+				for i := 0; i < h; i++ {
+					z2 += m.w2[i] * hidden[i]
+				}
+				p := 1 / (1 + math.Exp(-z2))
+				dz2 := p - float64(y[r]) // dL/dz2 for BCE + sigmoid
+
+				// Backward.
+				k := h * in
+				for i := 0; i < h; i++ {
+					grads[k+h+i] += dz2 * hidden[i] // w2 grads
+				}
+				grads[k+h+h] += dz2 // b2
+				for i := 0; i < h; i++ {
+					if !mask[i] || hidden[i] <= 0 {
+						continue
+					}
+					dh := dz2 * m.w2[i] / keepIf(m.opts.Dropout > 0, keep)
+					gi := i * in
+					for j, v := range row {
+						grads[gi+j] += dh * v
+					}
+					grads[k+i] += dh // b1
+				}
+			}
+			n := float64(end - start)
+			for i := range grads {
+				grads[i] /= n
+			}
+			opt.step(params, grads, m.opts.LearningRate)
+			unpack()
+		}
+	}
+	return nil
+}
+
+func keepIf(cond bool, keep float64) float64 {
+	if cond {
+		return keep
+	}
+	return 1
+}
+
+// Score returns the predicted probability of the positive class.
+func (m *Model) Score(row []float64) float64 {
+	z2 := m.b2
+	for i := range m.w1 {
+		z := m.b1[i]
+		wi := m.w1[i]
+		for j, v := range row {
+			if j < len(wi) {
+				z += wi[j] * v
+			}
+		}
+		if z > 0 {
+			z2 += m.w2[i] * z
+		}
+	}
+	return 1 / (1 + math.Exp(-z2))
+}
+
+// Predict labels rows at the 0.5 threshold.
+func (m *Model) Predict(x [][]float64) []int {
+	out := make([]int, len(x))
+	for i, row := range x {
+		if m.Score(row) >= 0.5 {
+			out[i] = 1
+		}
+	}
+	return out
+}

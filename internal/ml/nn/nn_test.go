@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/mltest"
+)
+
+func TestFitBlobs(t *testing.T) {
+	x, y := mltest.Blobs(1, 400, 5, 3)
+	m := New(Options{Hidden: 8, Dropout: 0, LearningRate: 2.5e-3, Epochs: 30, BatchSize: 64, Seed: 1})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := mltest.Blobs(2, 200, 5, 3)
+	if acc := mltest.Accuracy(yt, m.Predict(xt)); acc < 0.95 {
+		t.Errorf("test accuracy = %.3f", acc)
+	}
+}
+
+func TestFitXOR(t *testing.T) {
+	x, y := mltest.XOR(3, 1000)
+	m := New(Options{Hidden: 16, Dropout: 0, LearningRate: 5e-3, Epochs: 150, BatchSize: 64, Seed: 4})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := mltest.XOR(5, 400)
+	if acc := mltest.Accuracy(yt, m.Predict(xt)); acc < 0.9 {
+		t.Errorf("XOR accuracy = %.3f (hidden layer must capture the interaction)", acc)
+	}
+}
+
+func TestDropoutStillLearns(t *testing.T) {
+	x, y := mltest.Blobs(7, 400, 5, 3)
+	m := New(Options{Hidden: 16, Dropout: 0.3, LearningRate: 2.5e-3, Epochs: 40, BatchSize: 64, Seed: 2})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := mltest.Blobs(8, 200, 5, 3)
+	if acc := mltest.Accuracy(yt, m.Predict(xt)); acc < 0.93 {
+		t.Errorf("accuracy with dropout = %.3f", acc)
+	}
+}
+
+func TestEmptyTrainingSet(t *testing.T) {
+	if err := New(DefaultOptions()).Fit(nil, nil); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestScoresAreProbabilities(t *testing.T) {
+	x, y := mltest.Blobs(9, 200, 3, 2)
+	m := New(Options{Hidden: 8, Epochs: 10, BatchSize: 64, LearningRate: 1e-3, Seed: 5})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range x[:50] {
+		s := m.Score(row)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	x, y := mltest.Blobs(11, 200, 4, 2)
+	m1 := New(DefaultOptions())
+	m2 := New(DefaultOptions())
+	if err := m1.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range x[:50] {
+		if m1.Score(row) != m2.Score(row) {
+			t.Fatalf("row %d: scores differ between identical fits", i)
+		}
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	x, y := mltest.Blobs(1, 1000, 20, 2)
+	opts := Options{Hidden: 16, Dropout: 0.3, LearningRate: 2.5e-3, Epochs: 10, BatchSize: 256, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(opts)
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

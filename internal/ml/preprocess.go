@@ -1,0 +1,355 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// Imputer replaces NaN values with a constant (the Figure 8 pipelines use
+// -1 for missing ranking slots).
+type Imputer struct {
+	Value float64
+}
+
+// Fit is a no-op; the imputer is stateless.
+func (im *Imputer) Fit(x [][]float64, y []int) {}
+
+// Transform replaces NaNs.
+func (im *Imputer) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			if math.IsNaN(v) {
+				o[j] = im.Value
+			} else {
+				o[j] = v
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// StandardScaler standardizes columns to zero mean and unit variance.
+type StandardScaler struct {
+	mean, std []float64
+}
+
+// Fit computes per-column mean and standard deviation.
+func (s *StandardScaler) Fit(x [][]float64, y []int) {
+	if len(x) == 0 {
+		return
+	}
+	cols := len(x[0])
+	s.mean = make([]float64, cols)
+	s.std = make([]float64, cols)
+	for _, row := range x {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range x {
+		for j, v := range row {
+			d := v - s.mean[j]
+			s.std[j] += d * d
+		}
+	}
+	for j := range s.std {
+		s.std[j] = math.Sqrt(s.std[j] / n)
+		if s.std[j] == 0 {
+			s.std[j] = 1
+		}
+	}
+}
+
+// Transform standardizes rows.
+func (s *StandardScaler) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			if j < len(s.mean) {
+				o[j] = (v - s.mean[j]) / s.std[j]
+			} else {
+				o[j] = v
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// MinMaxNormalizer maps each column to [0, 1] (the N stage feeding the
+// multinomial/complement/Bernoulli naive Bayes models, which need
+// non-negative inputs).
+type MinMaxNormalizer struct {
+	min, max []float64
+}
+
+// Fit records per-column ranges.
+func (n *MinMaxNormalizer) Fit(x [][]float64, y []int) {
+	if len(x) == 0 {
+		return
+	}
+	cols := len(x[0])
+	n.min = make([]float64, cols)
+	n.max = make([]float64, cols)
+	for j := 0; j < cols; j++ {
+		n.min[j], n.max[j] = math.Inf(1), math.Inf(-1)
+	}
+	for _, row := range x {
+		for j, v := range row {
+			if v < n.min[j] {
+				n.min[j] = v
+			}
+			if v > n.max[j] {
+				n.max[j] = v
+			}
+		}
+	}
+}
+
+// Transform rescales rows, clamping unseen values into [0, 1].
+func (n *MinMaxNormalizer) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(row))
+		for j, v := range row {
+			if j >= len(n.min) || n.max[j] == n.min[j] {
+				o[j] = 0
+				continue
+			}
+			t := (v - n.min[j]) / (n.max[j] - n.min[j])
+			if t < 0 {
+				t = 0
+			} else if t > 1 {
+				t = 1
+			}
+			o[j] = t
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// VarianceThreshold drops columns whose variance is below a floor — the FR
+// (feature reduction) stage that removes the constant ranking slots the
+// deliberate over-generation of features produces.
+type VarianceThreshold struct {
+	Min  float64
+	keep []int
+}
+
+// Fit selects the surviving columns.
+func (v *VarianceThreshold) Fit(x [][]float64, y []int) {
+	v.keep = nil
+	if len(x) == 0 {
+		return
+	}
+	cols := len(x[0])
+	n := float64(len(x))
+	for j := 0; j < cols; j++ {
+		var sum, sum2 float64
+		for _, row := range x {
+			sum += row[j]
+			sum2 += row[j] * row[j]
+		}
+		mean := sum / n
+		if sum2/n-mean*mean > v.Min {
+			v.keep = append(v.keep, j)
+		}
+	}
+	// Never drop everything.
+	if len(v.keep) == 0 {
+		for j := 0; j < cols; j++ {
+			v.keep = append(v.keep, j)
+		}
+	}
+}
+
+// Kept returns the retained column indices.
+func (v *VarianceThreshold) Kept() []int { return v.keep }
+
+// Transform projects rows onto the kept columns.
+func (v *VarianceThreshold) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(v.keep))
+		for k, j := range v.keep {
+			if j < len(row) {
+				o[k] = row[j]
+			}
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// PCA projects standardized data onto its leading principal components. The
+// eigendecomposition uses the cyclic Jacobi method on the covariance
+// matrix, which is robust and exact for the ≤200 columns of this pipeline.
+type PCA struct {
+	// Components is the number of output dimensions.
+	Components int
+
+	mean       []float64
+	components [][]float64 // [Components][cols]
+	explained  []float64   // variance explained per component (ratios)
+}
+
+// Fit computes the principal components of x.
+func (p *PCA) Fit(x [][]float64, y []int) {
+	if len(x) == 0 {
+		return
+	}
+	cols := len(x[0])
+	k := p.Components
+	if k <= 0 || k > cols {
+		k = cols
+	}
+	p.mean = make([]float64, cols)
+	for _, row := range x {
+		for j, v := range row {
+			p.mean[j] += v
+		}
+	}
+	n := float64(len(x))
+	for j := range p.mean {
+		p.mean[j] /= n
+	}
+	// Covariance matrix.
+	cov := make([][]float64, cols)
+	for i := range cov {
+		cov[i] = make([]float64, cols)
+	}
+	for _, row := range x {
+		for i := 0; i < cols; i++ {
+			di := row[i] - p.mean[i]
+			ci := cov[i]
+			for j := i; j < cols; j++ {
+				ci[j] += di * (row[j] - p.mean[j])
+			}
+		}
+	}
+	for i := 0; i < cols; i++ {
+		for j := i; j < cols; j++ {
+			cov[i][j] /= n
+			cov[j][i] = cov[i][j]
+		}
+	}
+	vals, vecs := jacobiEigen(cov)
+	order := make([]int, cols)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+
+	var total float64
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	p.components = make([][]float64, k)
+	p.explained = make([]float64, k)
+	for c := 0; c < k; c++ {
+		idx := order[c]
+		comp := make([]float64, cols)
+		for j := 0; j < cols; j++ {
+			comp[j] = vecs[j][idx]
+		}
+		p.components[c] = comp
+		if total > 0 {
+			p.explained[c] = math.Max(vals[idx], 0) / total
+		}
+	}
+}
+
+// ExplainedVarianceRatio returns the per-component explained variance
+// ratios (Figure 16b).
+func (p *PCA) ExplainedVarianceRatio() []float64 { return p.explained }
+
+// Transform projects rows onto the components.
+func (p *PCA) Transform(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, row := range x {
+		o := make([]float64, len(p.components))
+		for c, comp := range p.components {
+			var dot float64
+			for j, v := range row {
+				if j < len(comp) {
+					dot += (v - p.mean[j]) * comp[j]
+				}
+			}
+			o[c] = dot
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// jacobiEigen diagonalizes a symmetric matrix, returning eigenvalues and
+// the matrix of column eigenvectors.
+func jacobiEigen(a [][]float64) ([]float64, [][]float64) {
+	n := len(a)
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := make([][]float64, n)
+	for i := range v {
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if math.Abs(m[i][j]) < 1e-15 {
+					continue
+				}
+				theta := (m[j][j] - m[i][i]) / (2 * m[i][j])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mik, mjk := m[i][k], m[j][k]
+					m[i][k] = c*mik - s*mjk
+					m[j][k] = s*mik + c*mjk
+				}
+				for k := 0; k < n; k++ {
+					mki, mkj := m[k][i], m[k][j]
+					m[k][i] = c*mki - s*mkj
+					m[k][j] = s*mki + c*mkj
+				}
+				for k := 0; k < n; k++ {
+					vki, vkj := v[k][i], v[k][j]
+					v[k][i] = c*vki - s*vkj
+					v[k][j] = s*vki + c*vkj
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, v
+}

@@ -1,0 +1,157 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Recursive feature elimination (the other §5.2.2 step-3 reduction besides
+// PCA): repeatedly fit the model, drop the weakest fraction of features by
+// the model's importance, and keep the subset with the best cross-validated
+// score.
+
+// Importancer is implemented by models exposing per-feature importances
+// aligned with the training columns (e.g. xgb.Model.GainImportance).
+type Importancer interface {
+	GainImportance() []float64
+}
+
+// RFEResult is the outcome of recursive feature elimination.
+type RFEResult struct {
+	// Kept are the selected original column indices, ascending.
+	Kept []int
+	// Score is the validation Fβ=0.5 of the winning subset.
+	Score float64
+	// Trace records (feature count, score) per elimination round.
+	Trace []RFERound
+}
+
+// RFERound is one elimination step.
+type RFERound struct {
+	Features int
+	Score    float64
+}
+
+// RFE runs recursive feature elimination: starting from all columns, each
+// round fits build() on the current subset, scores it on a held-out third,
+// and drops the weakest `dropFrac` of features by importance until fewer
+// than minFeatures remain. Returns the best-scoring subset seen.
+func RFE(build func() Classifier, d *Dataset, seed uint64, dropFrac float64, minFeatures int) (*RFEResult, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: rfe on empty dataset")
+	}
+	if dropFrac <= 0 || dropFrac >= 1 {
+		dropFrac = 0.25
+	}
+	if minFeatures < 1 {
+		minFeatures = 1
+	}
+	rng := rand.New(rand.NewPCG(seed, seed^0x94D049BB133111EB))
+	perm := rng.Perm(d.Len())
+	cut := d.Len() * 2 / 3
+	trainIdx, valIdx := perm[:cut], perm[cut:]
+
+	cols := make([]int, d.Cols())
+	for i := range cols {
+		cols[i] = i
+	}
+	best := &RFEResult{Score: -1}
+	for len(cols) >= minFeatures {
+		model := build()
+		xtr := project(d, trainIdx, cols)
+		ytr := labels(d, trainIdx)
+		if err := model.Fit(xtr, ytr); err != nil {
+			return nil, fmt.Errorf("ml: rfe fit with %d features: %w", len(cols), err)
+		}
+		xva := project(d, valIdx, cols)
+		score := Confuse(labels(d, valIdx), model.Predict(xva)).FBeta(0.5)
+		best.Trace = append(best.Trace, RFERound{Features: len(cols), Score: score})
+		// Ties prefer the smaller subset (later rounds), like RFECV.
+		if score >= best.Score {
+			best.Score = score
+			best.Kept = append([]int(nil), cols...)
+		}
+		imp, ok := model.(Importancer)
+		if !ok {
+			return nil, fmt.Errorf("ml: rfe model %T exposes no importances", model)
+		}
+		gains := imp.GainImportance()
+		if len(gains) != len(cols) {
+			return nil, fmt.Errorf("ml: rfe importance length %d != %d features", len(gains), len(cols))
+		}
+		drop := int(float64(len(cols)) * dropFrac)
+		if drop < 1 {
+			drop = 1
+		}
+		if len(cols)-drop < minFeatures {
+			break
+		}
+		order := make([]int, len(cols))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return gains[order[a]] < gains[order[b]] })
+		dropSet := make(map[int]bool, drop)
+		for _, i := range order[:drop] {
+			dropSet[i] = true
+		}
+		next := cols[:0]
+		for i, c := range cols {
+			if !dropSet[i] {
+				next = append(next, c)
+			}
+		}
+		cols = next
+	}
+	sort.Ints(best.Kept)
+	return best, nil
+}
+
+func project(d *Dataset, rows, cols []int) [][]float64 {
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			row[j] = d.X[r][c]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func labels(d *Dataset, rows []int) []int {
+	out := make([]int, len(rows))
+	for i, r := range rows {
+		out[i] = d.Y[r]
+	}
+	return out
+}
+
+// StratifiedFolds partitions row indices into k folds preserving the class
+// ratio per fold (the stratified K-folding §3 mentions as the conventional
+// balancing alternative that the streaming balancer replaces at scale).
+func (d *Dataset) StratifiedFolds(seed uint64, k int) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	rng := rand.New(rand.NewPCG(seed, seed*0x2545F4914F6CDD1D+3))
+	var pos, neg []int
+	for i, y := range d.Y {
+		if y == 1 {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	rng.Shuffle(len(pos), func(i, j int) { pos[i], pos[j] = pos[j], pos[i] })
+	rng.Shuffle(len(neg), func(i, j int) { neg[i], neg[j] = neg[j], neg[i] })
+	folds := make([][]int, k)
+	for i, idx := range pos {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	for i, idx := range neg {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}

@@ -1,0 +1,140 @@
+package ml
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/xgb"
+)
+
+// noisyDataset: 3 informative columns + 17 noise columns.
+func noisyDataset(t *testing.T, seed uint64, n int) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed+1))
+	x := make([][]float64, n)
+	y := make([]int, n)
+	for i := range x {
+		row := make([]float64, 20)
+		label := i % 2
+		for j := 0; j < 3; j++ {
+			row[j] = float64(label)*2.5 + rng.NormFloat64()
+		}
+		for j := 3; j < 20; j++ {
+			row[j] = rng.NormFloat64()
+		}
+		x[i] = row
+		y[i] = label
+	}
+	d, err := NewDataset(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRFESelectsInformativeColumns(t *testing.T) {
+	d := noisyDataset(t, 1, 600)
+	res, err := RFE(func() Classifier {
+		return xgb.New(xgb.Options{Estimators: 8, MaxDepth: 3, Bins: 16})
+	}, d, 7, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score < 0.9 {
+		t.Errorf("best score = %.3f", res.Score)
+	}
+	if len(res.Kept) >= 20 {
+		t.Errorf("RFE kept everything (%d columns)", len(res.Kept))
+	}
+	// The informative columns survive in the winning subset.
+	kept := map[int]bool{}
+	for _, c := range res.Kept {
+		kept[c] = true
+	}
+	informative := 0
+	for j := 0; j < 3; j++ {
+		if kept[j] {
+			informative++
+		}
+	}
+	if informative == 0 {
+		t.Errorf("no informative column survived; kept %v", res.Kept)
+	}
+	// Trace is recorded with decreasing feature counts.
+	if len(res.Trace) < 2 {
+		t.Fatalf("trace = %v", res.Trace)
+	}
+	for i := 1; i < len(res.Trace); i++ {
+		if res.Trace[i].Features >= res.Trace[i-1].Features {
+			t.Fatal("trace feature counts not decreasing")
+		}
+	}
+}
+
+func TestRFEErrors(t *testing.T) {
+	if _, err := RFE(func() Classifier {
+		return xgb.New(xgb.DefaultOptions())
+	}, &Dataset{}, 1, 0.3, 1); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	// Model without importances.
+	d := noisyDataset(t, 2, 60)
+	if _, err := RFE(func() Classifier { return noImp{} }, d, 1, 0.3, 1); err == nil {
+		t.Error("importance-less model accepted")
+	}
+}
+
+type noImp struct{}
+
+func (noImp) Fit(x [][]float64, y []int) error { return nil }
+func (noImp) Predict(x [][]float64) []int      { return make([]int, len(x)) }
+
+func TestStratifiedFolds(t *testing.T) {
+	// 90:10 imbalance; every fold keeps roughly the same ratio.
+	x := make([][]float64, 200)
+	y := make([]int, 200)
+	for i := range x {
+		x[i] = []float64{float64(i)}
+		if i < 20 {
+			y[i] = 1
+		}
+	}
+	d, err := NewDataset(x, y, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds := d.StratifiedFolds(3, 4)
+	seen := map[int]bool{}
+	for f, idxs := range folds {
+		pos := 0
+		for _, i := range idxs {
+			if seen[i] {
+				t.Fatal("index in two folds")
+			}
+			seen[i] = true
+			pos += y[i]
+		}
+		if pos != 5 {
+			t.Errorf("fold %d: %d positives of %d, want 5 (stratified)", f, pos, len(idxs))
+		}
+	}
+	if len(seen) != 200 {
+		t.Fatalf("folds cover %d of 200", len(seen))
+	}
+}
+
+func TestStratifiedFoldsDegenerate(t *testing.T) {
+	d, _ := NewDataset([][]float64{{1}, {2}, {3}}, []int{0, 0, 0}, nil)
+	folds := d.StratifiedFolds(1, 2)
+	total := 0
+	for _, f := range folds {
+		total += len(f)
+	}
+	if total != 3 {
+		t.Errorf("covered %d of 3", total)
+	}
+	// k < 2 clamps.
+	if len(d.StratifiedFolds(1, 0)) != 2 {
+		t.Error("k clamp")
+	}
+}

@@ -1,0 +1,91 @@
+package xgb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Serialization of fitted models: the JSON schema carries the full tree
+// ensemble, base score and gain importances, so a trained XGB model can be
+// shipped between vantage points (§6.4 model transfer) or persisted across
+// daemon restarts.
+
+type nodeJSON struct {
+	Feature int     `json:"f"`
+	Thresh  float64 `json:"t,omitempty"`
+	Left    int     `json:"l,omitempty"`
+	Right   int     `json:"r,omitempty"`
+	Leaf    float64 `json:"v,omitempty"`
+	DefLeft bool    `json:"d,omitempty"`
+}
+
+type modelJSON struct {
+	Options Options      `json:"options"`
+	Base    float64      `json:"base"`
+	Cols    int          `json:"cols"`
+	Gain    []float64    `json:"gain"`
+	Trees   [][]nodeJSON `json:"trees"`
+}
+
+// Save writes the fitted model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	out := modelJSON{
+		Options: m.opts,
+		Base:    m.base,
+		Cols:    m.cols,
+		Gain:    m.gain,
+		Trees:   make([][]nodeJSON, len(m.trees)),
+	}
+	for i, t := range m.trees {
+		nodes := make([]nodeJSON, len(t.nodes))
+		for j, n := range t.nodes {
+			nodes[j] = nodeJSON{
+				Feature: n.feature, Thresh: n.thresh,
+				Left: n.left, Right: n.right,
+				Leaf: n.leaf, DefLeft: n.defLeft,
+			}
+		}
+		out.Trees[i] = nodes
+	}
+	if err := json.NewEncoder(w).Encode(&out); err != nil {
+		return fmt.Errorf("xgb: saving model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("xgb: loading model: %w", err)
+	}
+	m := New(in.Options)
+	m.base = in.Base
+	m.cols = in.Cols
+	m.gain = in.Gain
+	m.trees = make([]tree, len(in.Trees))
+	for i, nodes := range in.Trees {
+		t := tree{nodes: make([]node, len(nodes))}
+		for j, n := range nodes {
+			if n.Feature >= 0 {
+				if n.Feature >= in.Cols {
+					return nil, fmt.Errorf("xgb: tree %d node %d: feature %d out of range %d", i, j, n.Feature, in.Cols)
+				}
+				if n.Left <= j || n.Right <= j || n.Left >= len(nodes) || n.Right >= len(nodes) {
+					return nil, fmt.Errorf("xgb: tree %d node %d: invalid child links %d/%d", i, j, n.Left, n.Right)
+				}
+			}
+			t.nodes[j] = node{
+				feature: n.Feature, thresh: n.Thresh,
+				left: n.Left, right: n.Right,
+				leaf: n.Leaf, defLeft: n.DefLeft,
+			}
+		}
+		if len(t.nodes) == 0 {
+			return nil, fmt.Errorf("xgb: tree %d is empty", i)
+		}
+		m.trees[i] = t
+	}
+	return m, nil
+}

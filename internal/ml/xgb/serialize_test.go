@@ -1,0 +1,54 @@
+package xgb
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/mltest"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	x, y := mltest.Blobs(21, 300, 6, 2.5)
+	m := New(Options{Estimators: 12, MaxDepth: 5, Bins: 32})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTrees() != m.NumTrees() {
+		t.Fatalf("trees: %d != %d", got.NumTrees(), m.NumTrees())
+	}
+	xt, _ := mltest.Blobs(22, 200, 6, 2.5)
+	for i, row := range xt {
+		if m.Score(row) != got.Score(row) {
+			t.Fatalf("row %d: score %v != %v", i, got.Score(row), m.Score(row))
+		}
+	}
+	gi1, gi2 := m.GainImportance(), got.GainImportance()
+	for i := range gi1 {
+		if gi1[i] != gi2[i] {
+			t.Fatal("gain importances differ")
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"{",
+		`{"options":{},"cols":2,"trees":[[]]}`, // empty tree
+		`{"options":{},"cols":2,"trees":[[{"f":5,"l":1,"r":2},{"f":-1},{"f":-1}]]}`,  // feature out of range
+		`{"options":{},"cols":9,"trees":[[{"f":5,"l":0,"r":2},{"f":-1},{"f":-1}]]}`,  // backward child link
+		`{"options":{},"cols":9,"trees":[[{"f":5,"l":1,"r":99},{"f":-1},{"f":-1}]]}`, // child out of range
+	}
+	for i, c := range cases {
+		if _, err := Load(bytes.NewReader([]byte(c))); err == nil {
+			t.Errorf("case %d accepted: %s", i, c)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package xgb
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/mltest"
+)
+
+func TestFitBlobs(t *testing.T) {
+	x, y := mltest.Blobs(1, 400, 5, 3)
+	m := New(Options{Estimators: 10, MaxDepth: 4, LearningRate: 0.3, Lambda: 1, Bins: 32})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(y, m.Predict(x)); acc < 0.98 {
+		t.Errorf("train accuracy on separable blobs = %.3f", acc)
+	}
+	xt, yt := mltest.Blobs(2, 200, 5, 3)
+	if acc := mltest.Accuracy(yt, m.Predict(xt)); acc < 0.95 {
+		t.Errorf("test accuracy = %.3f", acc)
+	}
+}
+
+func TestFitXOR(t *testing.T) {
+	x, y := mltest.XOR(3, 800)
+	m := New(Options{Estimators: 30, MaxDepth: 4, LearningRate: 0.3, Lambda: 1, Bins: 32})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := mltest.XOR(4, 400)
+	if acc := mltest.Accuracy(yt, m.Predict(xt)); acc < 0.95 {
+		t.Errorf("XOR accuracy = %.3f (trees must capture the interaction)", acc)
+	}
+}
+
+func TestFitRing(t *testing.T) {
+	x, y := mltest.Ring(5, 1500)
+	m := New(DefaultOptions())
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, yt := mltest.Ring(6, 500)
+	if acc := mltest.Accuracy(yt, m.Predict(xt)); acc < 0.9 {
+		t.Errorf("ring accuracy = %.3f", acc)
+	}
+}
+
+func TestEmptyTrainingSet(t *testing.T) {
+	m := New(DefaultOptions())
+	if err := m.Fit(nil, nil); err == nil {
+		t.Fatal("want error on empty training set")
+	}
+}
+
+func TestSingleClass(t *testing.T) {
+	x := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []int{1, 1, 1}
+	m := New(Options{Estimators: 3, MaxDepth: 2})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Predict(x) {
+		if p != 1 {
+			t.Error("single-class training must predict that class")
+		}
+	}
+}
+
+func TestMissingValues(t *testing.T) {
+	nan := math.NaN()
+	// Feature 0 separates; some rows have it missing and feature 1 decides.
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		x = append(x, []float64{float64(i % 2), 0})
+		y = append(y, i%2)
+	}
+	for i := 0; i < 100; i++ {
+		x = append(x, []float64{nan, 1})
+		y = append(y, 1)
+	}
+	m := New(Options{Estimators: 10, MaxDepth: 3, Bins: 8})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(y, m.Predict(x)); acc < 0.95 {
+		t.Errorf("accuracy with NaNs = %.3f", acc)
+	}
+	// Prediction on unseen NaN rows must not panic.
+	_ = m.Predict([][]float64{{nan, nan}})
+}
+
+func TestGainImportance(t *testing.T) {
+	// Feature 2 fully determines the label; 0 and 1 are noise.
+	x, y := mltest.Blobs(7, 300, 1, 4)
+	wide := make([][]float64, len(x))
+	for i := range x {
+		wide[i] = []float64{float64(i % 7), float64(i % 3), x[i][0]}
+	}
+	m := New(Options{Estimators: 8, MaxDepth: 3, Bins: 16})
+	if err := m.Fit(wide, y); err != nil {
+		t.Fatal(err)
+	}
+	imp := m.GainImportance()
+	if len(imp) != 3 {
+		t.Fatalf("importance len = %d", len(imp))
+	}
+	if imp[2] <= imp[0] || imp[2] <= imp[1] {
+		t.Errorf("informative feature gain %v not dominant over noise %v/%v", imp[2], imp[0], imp[1])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	x, y := mltest.Blobs(11, 200, 4, 2)
+	m1, m2 := New(DefaultOptions()), New(DefaultOptions())
+	if err := m1.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xt, _ := mltest.Blobs(12, 100, 4, 2)
+	p1, p2 := m1.Predict(xt), m2.Predict(xt)
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatal("XGB training is not deterministic")
+		}
+	}
+	if m1.NumTrees() != len(p1)/len(p1)*m1.opts.Estimators {
+		t.Logf("trees = %d", m1.NumTrees())
+	}
+}
+
+func TestScoreMonotoneWithMargin(t *testing.T) {
+	x, y := mltest.Blobs(13, 300, 2, 4)
+	m := New(Options{Estimators: 10, MaxDepth: 3, Bins: 32})
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	// Scores are probabilities.
+	for _, row := range x[:50] {
+		s := m.Score(row)
+		if s < 0 || s > 1 {
+			t.Fatalf("score %v outside [0,1]", s)
+		}
+	}
+	// A point deep in class-1 territory scores higher than deep class-0.
+	hi := m.Score([]float64{4, 4})
+	lo := m.Score([]float64{0, 0})
+	if hi <= lo {
+		t.Errorf("score(class1 center)=%v <= score(class0 center)=%v", hi, lo)
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	e := quantileEdges([]float64{1, 1, 1, 2, 2, 3, 4, 5, 6, 7}, 4)
+	for i := 1; i < len(e); i++ {
+		if e[i] <= e[i-1] {
+			t.Fatalf("edges not strictly increasing: %v", e)
+		}
+	}
+	if len(quantileEdges(nil, 4)) != 0 {
+		t.Error("empty input must give no edges")
+	}
+	// Constant feature: no edges, never split.
+	if len(quantileEdges([]float64{5, 5, 5, 5}, 8)) != 0 {
+		t.Error("constant feature must give no edges")
+	}
+}
+
+func BenchmarkFit(b *testing.B) {
+	x, y := mltest.Blobs(1, 2000, 20, 2)
+	opts := Options{Estimators: 24, MaxDepth: 8, LearningRate: 0.3, Lambda: 1, Bins: 64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(opts)
+		if err := m.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	x, y := mltest.Blobs(1, 2000, 20, 2)
+	m := New(DefaultOptions())
+	if err := m.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Score(x[i%len(x)])
+	}
+}

@@ -1,0 +1,20 @@
+package packet
+
+import "testing"
+
+func FuzzDecode(f *testing.F) {
+	var b Builder
+	b.Ethernet(macB, macA, EtherTypeIPv4, 0).
+		IPv4([4]byte{192, 0, 2, 1}, [4]byte{198, 51, 100, 7}, ProtoUDP, 128, IPv4Opts{}).
+		UDP(123, 4444, 108).Payload(100)
+	f.Add(append([]byte(nil), b.Bytes()...))
+	b.Reset()
+	b.Ethernet(macB, macA, EtherTypeIPv6, 1000).
+		IPv6([16]byte{0x20, 0x01}, [16]byte{0x20, 0x02}, ProtoTCP, 20, 64).
+		TCP(443, 50000, 1, 2, FlagSYN, 1024)
+	f.Add(append([]byte(nil), b.Bytes()...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Packet
+		_ = p.Decode(data) // must never panic
+	})
+}

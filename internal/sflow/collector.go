@@ -1,0 +1,189 @@
+package sflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/packet"
+)
+
+// Labeler decides whether a destination IP was blackholed at a given time.
+// *bgp.Registry's Covered method satisfies this signature.
+type Labeler func(ip netip.Addr, at int64) bool
+
+// CollectorStats counts collector activity; all fields are updated
+// atomically and safe to read concurrently.
+type CollectorStats struct {
+	Datagrams   atomic.Uint64
+	Samples     atomic.Uint64
+	Records     atomic.Uint64
+	DecodeErrs  atomic.Uint64
+	NonIP       atomic.Uint64
+	Blackholed  atomic.Uint64
+}
+
+// Collector receives sFlow v5 datagrams over UDP, converts each flow sample
+// into a netflow.Record (scaling packet and byte counts by the sampling
+// rate), labels it against the blackhole registry, and hands it to Emit.
+type Collector struct {
+	// Label classifies destination IPs; nil means nothing is blackholed.
+	Label Labeler
+	// Emit receives each converted record. It is called from the receive
+	// loop, so it must be fast or hand off to a channel.
+	Emit func(*netflow.Record)
+	// Clock supplies record timestamps; defaults to time.Now().Unix.
+	Clock func() int64
+	Log   *slog.Logger
+
+	Stats CollectorStats
+}
+
+// SampleToRecord converts one flow sample into a flow record. It returns
+// false when the sample does not contain a decodable IP packet.
+func (c *Collector) SampleToRecord(s *FlowSample, at int64, rec *netflow.Record) bool {
+	var p packet.Packet
+	if err := p.Decode(s.Header); err != nil {
+		c.Stats.DecodeErrs.Add(1)
+		return false
+	}
+	rate := s.SamplingRate
+	if rate == 0 {
+		rate = 1
+	}
+	*rec = netflow.Record{
+		Timestamp:    at,
+		Protocol:     uint8(p.Protocol()),
+		SrcMAC:       p.Eth.SrcMAC,
+		DstMAC:       p.Eth.DstMAC,
+		Packets:      uint64(rate),
+		Bytes:        uint64(rate) * uint64(s.FrameLength),
+		SamplingRate: rate,
+	}
+	switch {
+	case p.Has(packet.LayerIPv4):
+		rec.SrcIP = netip.AddrFrom4(p.IP4.SrcIP)
+		rec.DstIP = netip.AddrFrom4(p.IP4.DstIP)
+		rec.Fragment = p.IP4.FragOffset != 0
+	case p.Has(packet.LayerIPv6):
+		rec.SrcIP = netip.AddrFrom16(p.IP6.SrcIP)
+		rec.DstIP = netip.AddrFrom16(p.IP6.DstIP)
+	default:
+		c.Stats.NonIP.Add(1)
+		return false
+	}
+	rec.SrcPort, rec.DstPort = p.Ports()
+	if p.Has(packet.LayerTCP) {
+		rec.TCPFlags = p.TCP.Flags
+	}
+	if c.Label != nil && c.Label(rec.DstIP, at) {
+		rec.Blackholed = true
+		c.Stats.Blackholed.Add(1)
+	}
+	return true
+}
+
+// HandleDatagram decodes one datagram payload and emits its records.
+func (c *Collector) HandleDatagram(data []byte) {
+	d, err := Decode(data)
+	if err != nil {
+		c.Stats.DecodeErrs.Add(1)
+		if c.Log != nil {
+			c.Log.Debug("sflow decode failed", "err", err)
+		}
+		return
+	}
+	c.Stats.Datagrams.Add(1)
+	at := c.now()
+	var rec netflow.Record
+	for i := range d.Samples {
+		c.Stats.Samples.Add(1)
+		if !c.SampleToRecord(&d.Samples[i], at, &rec) {
+			continue
+		}
+		c.Stats.Records.Add(1)
+		if c.Emit != nil {
+			c.Emit(&rec)
+		}
+	}
+}
+
+func (c *Collector) now() int64 {
+	if c.Clock != nil {
+		return c.Clock()
+	}
+	return time.Now().Unix()
+}
+
+// Listen receives datagrams on conn until the context is canceled. It always
+// closes conn before returning.
+func (c *Collector) Listen(ctx context.Context, conn net.PacketConn) error {
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+		}
+		conn.Close()
+	}()
+
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("sflow: read: %w", err)
+		}
+		c.HandleDatagram(buf[:n])
+	}
+}
+
+// Exporter sends sFlow datagrams over UDP; the simulated IXP fabric uses it
+// to emulate member switches.
+type Exporter struct {
+	conn  net.Conn
+	agent netip.Addr
+	seq   uint32
+	buf   []byte
+}
+
+// NewExporter dials the collector address.
+func NewExporter(collectorAddr string, agent netip.Addr) (*Exporter, error) {
+	conn, err := net.Dial("udp", collectorAddr)
+	if err != nil {
+		return nil, fmt.Errorf("sflow: dial %s: %w", collectorAddr, err)
+	}
+	return &Exporter{conn: conn, agent: agent}, nil
+}
+
+// Send exports a batch of flow samples as one datagram.
+func (e *Exporter) Send(samples []FlowSample) error {
+	e.seq++
+	d := Datagram{
+		AgentAddress: e.agent,
+		Sequence:     e.seq,
+		Uptime:       e.seq * 1000,
+		Samples:      samples,
+	}
+	buf, err := Append(e.buf[:0], &d)
+	if err != nil {
+		return err
+	}
+	e.buf = buf
+	if _, err := e.conn.Write(buf); err != nil {
+		return fmt.Errorf("sflow: send: %w", err)
+	}
+	return nil
+}
+
+// Close releases the exporter's socket.
+func (e *Exporter) Close() error { return e.conn.Close() }

@@ -1,0 +1,12 @@
+package sflow
+
+import "testing"
+
+func FuzzDecode(f *testing.F) {
+	if buf, err := Append(nil, sampleDatagram()); err == nil {
+		f.Add(buf)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Decode(data) // must never panic
+	})
+}

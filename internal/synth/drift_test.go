@@ -1,0 +1,86 @@
+package synth
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestRealisticImbalance(t *testing.T) {
+	p := ProfileUS1().RealisticImbalance()
+	g := NewGenerator(p)
+	flows := g.Generate(0, 600)
+	attack := 0
+	for i := range flows {
+		if flows[i].Attack {
+			attack++
+		}
+	}
+	share := float64(attack) / float64(len(flows))
+	if share > 0.02 {
+		t.Errorf("attack flow share = %.4f, want < 2%% under realistic imbalance", share)
+	}
+	if attack == 0 {
+		t.Error("no attacks at all — experiments need a nonzero blackhole class")
+	}
+}
+
+func TestReflectorChurn(t *testing.T) {
+	p := testProfile()
+	p.ReflectorChurnPerDay = 0.5 // fast churn for the test
+	g := NewGenerator(p)
+	before := append([]netip.Addr(nil), g.refl["NTP"]...)
+	g.Generate(0, 3*1440) // three days
+	after := g.refl["NTP"]
+	changed := 0
+	for i := range before {
+		if before[i] != after[i] {
+			changed++
+		}
+	}
+	if changed < len(before)/3 {
+		t.Errorf("only %d of %d reflectors churned over 3 days at 50%%/day", changed, len(before))
+	}
+
+	// Churn disabled: pools must stay identical.
+	p2 := testProfile()
+	p2.ReflectorChurnPerDay = 0
+	g2 := NewGenerator(p2)
+	before2 := append([]netip.Addr(nil), g2.refl["NTP"]...)
+	g2.Generate(0, 1440)
+	for i := range before2 {
+		if before2[i] != g2.refl["NTP"][i] {
+			t.Fatal("reflector changed with churn disabled")
+		}
+	}
+}
+
+func TestChurnDegradesStaleKnowledge(t *testing.T) {
+	// The Fig. 11 mechanism in miniature: the overlap between a pool
+	// snapshot and the live pool decays with time.
+	p := testProfile()
+	p.ReflectorChurnPerDay = 0.3
+	g := NewGenerator(p)
+	snap := map[netip.Addr]bool{}
+	for _, ip := range g.refl["DNS"] {
+		snap[ip] = true
+	}
+	overlapAt := func() float64 {
+		n := 0
+		for _, ip := range g.refl["DNS"] {
+			if snap[ip] {
+				n++
+			}
+		}
+		return float64(n) / float64(len(g.refl["DNS"]))
+	}
+	g.Generate(0, 1440)
+	day1 := overlapAt()
+	g.Generate(1440, 5*1440)
+	day5 := overlapAt()
+	if !(day1 > day5) {
+		t.Errorf("overlap must decay: day1 %.3f, day5 %.3f", day1, day5)
+	}
+	if day5 > 0.5 {
+		t.Errorf("after 5 days at 30%%/day churn, overlap = %.3f, want < 0.5", day5)
+	}
+}

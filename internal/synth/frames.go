@@ -1,0 +1,91 @@
+package synth
+
+import (
+	"fmt"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/packet"
+	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
+)
+
+// MaxSampledHeader is the number of leading frame bytes an sFlow agent
+// exports per sample (a typical switch configuration).
+const MaxSampledHeader = 128
+
+// FrameFor builds the wire-format Ethernet frame of one sampled flow, used
+// by the live IXP simulation to feed real sFlow datagrams to the collector.
+// The frame is truncated to MaxSampledHeader bytes as a switch would.
+func FrameFor(f *Flow, b *packet.Builder) ([]byte, error) {
+	b.Reset()
+	frameLen := int(f.Bytes / f.Packets)
+	if frameLen < 60 {
+		frameLen = 60
+	}
+
+	src := f.SrcIP.As4()
+	dst := f.DstIP.As4()
+	if !f.SrcIP.Is4() && !f.SrcIP.Is4In6() {
+		return nil, fmt.Errorf("synth: only IPv4 frames are generated, got %v", f.SrcIP)
+	}
+	ipLen := frameLen - 14 // bytes available past Ethernet
+	proto := packet.IPProtocol(f.Protocol)
+
+	b.Ethernet(f.DstMAC, f.SrcMAC, packet.EtherTypeIPv4, 0)
+	switch {
+	case f.Fragment:
+		b.IPv4(src, dst, proto, uint16(ipLen), packet.IPv4Opts{
+			Flags: 0x1, FragOffset: 185, ID: uint16(f.Timestamp),
+		})
+		pay := payloadLen(frameLen, 14+20)
+		b.Payload(pay)
+	case proto == packet.ProtoTCP:
+		b.IPv4(src, dst, proto, uint16(ipLen), packet.IPv4Opts{ID: uint16(f.Timestamp)})
+		b.TCP(f.SrcPort, f.DstPort, 0, 0, f.TCPFlags, 65535)
+		b.Payload(payloadLen(frameLen, 14+20+20))
+	case proto == packet.ProtoUDP:
+		b.IPv4(src, dst, proto, uint16(ipLen), packet.IPv4Opts{ID: uint16(f.Timestamp)})
+		b.UDP(f.SrcPort, f.DstPort, uint16(ipLen-20))
+		b.Payload(payloadLen(frameLen, 14+20+8))
+	case proto == packet.ProtoICMP:
+		b.IPv4(src, dst, proto, uint16(ipLen), packet.IPv4Opts{ID: uint16(f.Timestamp)})
+		b.ICMP(8, 0)
+		b.Payload(payloadLen(frameLen, 14+20+4))
+	default: // GRE and friends: raw IP payload
+		b.IPv4(src, dst, proto, uint16(ipLen), packet.IPv4Opts{ID: uint16(f.Timestamp)})
+		b.Payload(payloadLen(frameLen, 14+20))
+	}
+	frame := b.Bytes()
+	if len(frame) > MaxSampledHeader {
+		frame = frame[:MaxSampledHeader]
+	}
+	return frame, nil
+}
+
+// payloadLen caps the generated payload so the in-memory frame never
+// exceeds the sampled header export size (the full frame length is carried
+// in the sample's FrameLength field instead).
+func payloadLen(frameLen, hdr int) int {
+	n := frameLen - hdr
+	if n < 0 {
+		n = 0
+	}
+	if hdr+n > MaxSampledHeader {
+		n = MaxSampledHeader - hdr
+	}
+	return n
+}
+
+// SampleFor converts one flow into an sFlow flow sample.
+func SampleFor(f *Flow, seq uint32, b *packet.Builder) (sflow.FlowSample, error) {
+	frame, err := FrameFor(f, b)
+	if err != nil {
+		return sflow.FlowSample{}, err
+	}
+	return sflow.FlowSample{
+		Sequence:     seq,
+		SourceID:     1,
+		SamplingRate: f.SamplingRate,
+		SamplePool:   seq * f.SamplingRate,
+		FrameLength:  uint32(f.Bytes / f.Packets),
+		Header:       frame,
+	}, nil
+}

@@ -1,0 +1,209 @@
+package synth
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+)
+
+// Member is one IXP member network: its ASN, the MAC address of its router
+// facing the peering LAN (the ingress identity the feature aggregation uses)
+// and the address space it originates.
+type Member struct {
+	ASN    uint16
+	MAC    [6]byte
+	Prefix netip.Prefix
+	// UsesBlackholing: members that do not subscribe to the blackholing
+	// service never announce blackholes for their victims.
+	UsesBlackholing bool
+}
+
+// Profile parameterizes the synthetic traffic of one IXP vantage point.
+type Profile struct {
+	// Name identifies the vantage point (e.g. "IXP-CE1").
+	Name string
+	// Seed drives all randomness for this profile.
+	Seed uint64
+	// Members is the number of connected ASes.
+	Members int
+	// BenignFlowsPerMin is the mean number of benign sampled flows per
+	// one-minute bin.
+	BenignFlowsPerMin int
+	// TargetIPs is the size of the benign destination pool.
+	TargetIPs int
+	// BenignSrcIPs is the size of the benign source pool.
+	BenignSrcIPs int
+	// ReflectorsPerVector is the size of each attack vector's reflector
+	// source pool at this vantage point. Pools are seeded per (IXP, vector)
+	// and thus nearly disjoint between IXPs (Fig. 12, middle).
+	ReflectorsPerVector int
+	// EpisodeRatePerMin is the Poisson arrival rate of attack episodes.
+	EpisodeRatePerMin float64
+	// EpisodeDurMeanMin is the mean episode duration in minutes.
+	EpisodeDurMeanMin float64
+	// AttackFlowsPerMin is the mean sampled attack flows per minute of one
+	// episode.
+	AttackFlowsPerMin int
+	// VictimBenignRatio is the benign flow rate toward a victim during an
+	// episode, as a fraction of the attack rate. It produces the ~12.5 %
+	// benign contamination of blackholed traffic (Fig. 4a).
+	VictimBenignRatio float64
+	// BlackholeProb is the probability that a victim's member announces a
+	// blackhole for the victim (members not using blackholing forward
+	// unwanted traffic unfiltered, which is exactly the traffic the
+	// pipeline samples).
+	BlackholeProb float64
+	// BlackholeDelayMin is the mean delay between attack start and the
+	// blackhole announcement.
+	BlackholeDelayMin float64
+	// SamplingRate is the 1:N packet sampling rate of the fabric.
+	SamplingRate uint32
+	// ReflectorChurnPerDay is the fraction of each vector's reflector pool
+	// replaced by fresh hosts per day — the temporal drift that makes
+	// one-shot-trained models decay (§6.3): abused reflectors get patched
+	// or firewalled while new ones appear.
+	ReflectorChurnPerDay float64
+	// VectorWeights gives the relative prevalence of each attack vector by
+	// name; vectors absent from the map are not used. Nil selects
+	// DefaultVectorWeights.
+	VectorWeights map[string]float64
+	// VectorStart optionally maps vector names to the unix second at which
+	// the vector first appears at this vantage point (new vectors emerging
+	// over time, Fig. 13). Vectors absent from the map are active from the
+	// beginning.
+	VectorStart map[string]int64
+}
+
+// DefaultVectorWeights is the attack vector mix of the ML training set.
+// WS-Discovery is nearly absent from blackholing traffic (Fig. 4b) but does
+// appear in the self-attack set.
+var DefaultVectorWeights = map[string]float64{
+	"UDP Fragm.":   0.09,
+	"DNS":          0.17,
+	"NTP":          0.20,
+	"SNMP":         0.10,
+	"LDAP":         0.12,
+	"SSDP":         0.08,
+	"Apple RD":     0.06,
+	"memcached":    0.05,
+	"chargen":      0.03,
+	"rpcbind":      0.02,
+	"MSSQL":        0.02,
+	"NetBIOS":      0.015,
+	"RIP":          0.01,
+	"OpenVPN":      0.01,
+	"TFTP":         0.01,
+	"Ubiquiti SD":  0.005,
+	"DNS (TCP)":    0.01,
+	"GRE":          0.008,
+	"WS-Discovery": 0.001,
+}
+
+// SASVectorWeights is the vector mix of the self-attack set: booter-style
+// attacks bought from DDoS-for-hire services, including WS-Discovery.
+var SASVectorWeights = map[string]float64{
+	"UDP Fragm.":   0.10,
+	"DNS":          0.18,
+	"NTP":          0.22,
+	"SNMP":         0.09,
+	"LDAP":         0.11,
+	"SSDP":         0.09,
+	"Apple RD":     0.05,
+	"memcached":    0.04,
+	"chargen":      0.03,
+	"WS-Discovery": 0.05,
+	"rpcbind":      0.02,
+	"MSSQL":        0.02,
+}
+
+// Date returns the unix time of a UTC calendar date, the time base used by
+// the experiment harness (the paper's capture windows are given as dates).
+func Date(year int, month time.Month, day int) int64 {
+	return time.Date(year, month, day, 0, 0, 0, 0, time.UTC).Unix()
+}
+
+// The five studied vantage points (Table 2), scaled down so the relative
+// order of traffic volumes is preserved while experiments stay laptop-sized.
+// IXP-CE1 is the largest (>800 ASes, >10 Tbps peak), IXP-CE2 the smallest.
+func profileScaled(name string, seed uint64, members, benignPerMin int, episodeRate float64) Profile {
+	return Profile{
+		Name:                 name,
+		Seed:                 seed,
+		Members:              members,
+		BenignFlowsPerMin:    benignPerMin,
+		TargetIPs:            benignPerMin / 2,
+		BenignSrcIPs:         benignPerMin * 2,
+		ReflectorsPerVector:  260,
+		EpisodeRatePerMin:    episodeRate,
+		EpisodeDurMeanMin:    18,
+		AttackFlowsPerMin:    55,
+		VictimBenignRatio:    0.14,
+		BlackholeProb:        0.95,
+		BlackholeDelayMin:    0.15,
+		SamplingRate:         2048,
+		ReflectorChurnPerDay: 0.06,
+		VectorWeights:        DefaultVectorWeights,
+	}
+}
+
+// ProfileCE1 models IXP-CE1 (central Europe, >800 ASes, >10 Tbps).
+func ProfileCE1() Profile { return profileScaled("IXP-CE1", 0xCE1, 800, 3200, 0.42) }
+
+// ProfileUS1 models IXP-US1 (US east coast, >250 ASes, >1 Tbps).
+func ProfileUS1() Profile { return profileScaled("IXP-US1", 0xA51, 250, 900, 0.20) }
+
+// ProfileSE models IXP-SE (southern Europe, 209 ASes, 0.69 Tbps). Its two
+// year window carries the vector-emergence schedule of Fig. 13: SNMP and
+// SSDP blackholing begins around week 2020-00, memcached around 2020-20.
+func ProfileSE() Profile {
+	p := profileScaled("IXP-SE", 0x5E, 209, 600, 0.15)
+	p.VectorStart = map[string]int64{
+		"SNMP":      Date(2019, time.December, 30),
+		"SSDP":      Date(2020, time.January, 27),
+		"memcached": Date(2020, time.May, 18),
+	}
+	return p
+}
+
+// ProfileUS2 models IXP-US2 (US south, 103 ASes, 0.53 Tbps).
+func ProfileUS2() Profile { return profileScaled("IXP-US2", 0xA52, 103, 420, 0.08) }
+
+// ProfileCE2 models IXP-CE2 (central Europe, 211 ASes, 0.12 Tbps).
+func ProfileCE2() Profile { return profileScaled("IXP-CE2", 0xCE2, 211, 260, 0.05) }
+
+// RealisticImbalance rescales a profile's attack intensity to the
+// imbalance observed at real IXPs, where blackholed traffic stays below
+// ~0.8 % of total bytes and below ~0.5 % of flows (Fig. 3a, Table 2). The
+// standard profiles keep a far higher attack share so that ML experiments
+// obtain enough positive samples per generated minute; dataset-statistics
+// experiments use this variant instead.
+func (p Profile) RealisticImbalance() Profile {
+	p.EpisodeRatePerMin *= 0.03
+	p.AttackFlowsPerMin = p.AttackFlowsPerMin / 2
+	return p
+}
+
+// Profiles returns all five vantage points ordered by decreasing size, the
+// order used in Table 2.
+func Profiles() []Profile {
+	return []Profile{ProfileCE1(), ProfileUS1(), ProfileSE(), ProfileUS2(), ProfileCE2()}
+}
+
+// ProfileByName looks a profile up by its vantage point name.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("synth: unknown profile %q", name)
+}
+
+// SASProfile parameterizes the self-attack set: controlled booter attacks
+// against a dedicated victim AS, captured over 9 days (§4.1) with benign
+// background from the same window.
+func SASProfile() Profile {
+	p := profileScaled("SAS", 0x5A5, 80, 450, 0)
+	p.VectorWeights = SASVectorWeights
+	return p
+}

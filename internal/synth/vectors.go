@@ -1,0 +1,164 @@
+// Package synth generates synthetic IXP traffic: a benign service mix plus
+// reflection/amplification DDoS attack episodes, with per-IXP profiles and
+// blackholing behaviour. It substitutes for the paper's proprietary sampled
+// flow data (50 TB across five IXPs) while preserving the statistical
+// properties the pipeline depends on: the share of well-known DDoS ports in
+// blackholed vs benign traffic (Fig. 4a), per-vector packet size signatures
+// (Fig. 4b), the tiny unbalanced blackholing share (Fig. 3a), near-disjoint
+// per-IXP reflector pools (Fig. 12 middle), and the appearance of new attack
+// vectors over time (Fig. 13).
+//
+// All randomness flows from explicit seeds; a Generator is deterministic.
+package synth
+
+import "github.com/ixp-scrubber/ixpscrubber/internal/packet"
+
+// Vector describes one DDoS attack vector: the reflection service abused,
+// and the packet-level signature its attack traffic exhibits.
+type Vector struct {
+	// Name is the display name used across the paper's figures.
+	Name string
+	// Protocol is the IP protocol of the attack traffic.
+	Protocol packet.IPProtocol
+	// SrcPort is the abused service port; reflection traffic arrives *from*
+	// this port. 0 means randomized (e.g. direct floods, GRE).
+	SrcPort uint16
+	// SizeMean and SizeStd parameterize the truncated-normal frame size
+	// distribution in bytes (Ethernet frame, header included).
+	SizeMean, SizeStd float64
+	// FragmentShare is the fraction of attack packets that are non-first IP
+	// fragments (no L4 header), as large amplification replies fragment.
+	FragmentShare float64
+	// SprayPorts: attack traffic is sprayed over random destination ports
+	// (true for most reflection vectors).
+	SprayPorts bool
+	// WellKnown marks ports counted as "well-known DDoS ports" in Fig. 4a.
+	WellKnown bool
+}
+
+// The attack vector catalog. Service ports and characteristic packet sizes
+// follow the paper (Fig. 4) and the measurement literature it cites: NTP
+// monlist replies ~468 B frames, DNS/LDAP/memcached amplification close to
+// MTU with heavy fragmentation, SSDP/WS-Discovery mid-sized XML replies.
+var (
+	VectorNTP = Vector{Name: "NTP", Protocol: packet.ProtoUDP, SrcPort: 123,
+		SizeMean: 468, SizeStd: 30, FragmentShare: 0.02, SprayPorts: true, WellKnown: true}
+	VectorDNS = Vector{Name: "DNS", Protocol: packet.ProtoUDP, SrcPort: 53,
+		SizeMean: 1280, SizeStd: 300, FragmentShare: 0.25, SprayPorts: true, WellKnown: true}
+	VectorSNMP = Vector{Name: "SNMP", Protocol: packet.ProtoUDP, SrcPort: 161,
+		SizeMean: 1180, SizeStd: 250, FragmentShare: 0.20, SprayPorts: true, WellKnown: true}
+	VectorLDAP = Vector{Name: "LDAP", Protocol: packet.ProtoUDP, SrcPort: 389,
+		SizeMean: 1420, SizeStd: 120, FragmentShare: 0.35, SprayPorts: true, WellKnown: true}
+	VectorSSDP = Vector{Name: "SSDP", Protocol: packet.ProtoUDP, SrcPort: 1900,
+		SizeMean: 340, SizeStd: 60, FragmentShare: 0.0, SprayPorts: true, WellKnown: true}
+	VectorMemcached = Vector{Name: "memcached", Protocol: packet.ProtoUDP, SrcPort: 11211,
+		SizeMean: 1440, SizeStd: 80, FragmentShare: 0.45, SprayPorts: true, WellKnown: true}
+	VectorChargen = Vector{Name: "chargen", Protocol: packet.ProtoUDP, SrcPort: 19,
+		SizeMean: 1020, SizeStd: 400, FragmentShare: 0.05, SprayPorts: true, WellKnown: true}
+	VectorWSDiscovery = Vector{Name: "WS-Discovery", Protocol: packet.ProtoUDP, SrcPort: 3702,
+		SizeMean: 630, SizeStd: 120, FragmentShare: 0.0, SprayPorts: true, WellKnown: true}
+	VectorCLDAP = Vector{Name: "CLDAP", Protocol: packet.ProtoUDP, SrcPort: 389,
+		SizeMean: 1420, SizeStd: 120, FragmentShare: 0.35, SprayPorts: true, WellKnown: true}
+	VectorRpcbind = Vector{Name: "rpcbind", Protocol: packet.ProtoUDP, SrcPort: 111,
+		SizeMean: 340, SizeStd: 40, FragmentShare: 0.0, SprayPorts: true, WellKnown: true}
+	VectorMSSQL = Vector{Name: "MSSQL", Protocol: packet.ProtoUDP, SrcPort: 1434,
+		SizeMean: 620, SizeStd: 90, FragmentShare: 0.0, SprayPorts: true, WellKnown: true}
+	VectorNetBIOS = Vector{Name: "NetBIOS", Protocol: packet.ProtoUDP, SrcPort: 137,
+		SizeMean: 250, SizeStd: 40, FragmentShare: 0.0, SprayPorts: true, WellKnown: true}
+	VectorRIP = Vector{Name: "RIP", Protocol: packet.ProtoUDP, SrcPort: 520,
+		SizeMean: 500, SizeStd: 30, FragmentShare: 0.0, SprayPorts: true, WellKnown: true}
+	VectorOpenVPN = Vector{Name: "OpenVPN", Protocol: packet.ProtoUDP, SrcPort: 1194,
+		SizeMean: 120, SizeStd: 30, FragmentShare: 0.0, SprayPorts: true, WellKnown: true}
+	VectorTFTP = Vector{Name: "TFTP", Protocol: packet.ProtoUDP, SrcPort: 69,
+		SizeMean: 540, SizeStd: 50, FragmentShare: 0.0, SprayPorts: true, WellKnown: true}
+	VectorAppleRD = Vector{Name: "Apple RD", Protocol: packet.ProtoUDP, SrcPort: 3283,
+		SizeMean: 1030, SizeStd: 90, FragmentShare: 0.05, SprayPorts: true, WellKnown: true}
+	VectorUbiquiti = Vector{Name: "Ubiquiti SD", Protocol: packet.ProtoUDP, SrcPort: 10001,
+		SizeMean: 200, SizeStd: 30, FragmentShare: 0.0, SprayPorts: true, WellKnown: true}
+	VectorDNSTCP = Vector{Name: "DNS (TCP)", Protocol: packet.ProtoTCP, SrcPort: 53,
+		SizeMean: 700, SizeStd: 200, FragmentShare: 0.0, SprayPorts: true, WellKnown: true}
+	VectorGRE = Vector{Name: "GRE", Protocol: packet.ProtoGRE, SrcPort: 0,
+		SizeMean: 540, SizeStd: 100, FragmentShare: 0.0, SprayPorts: false, WellKnown: false}
+	// VectorUDPFragments models pure fragment floods (and the fragment tails
+	// of amplification attacks observed in isolation).
+	VectorUDPFragments = Vector{Name: "UDP Fragm.", Protocol: packet.ProtoUDP, SrcPort: 0,
+		SizeMean: 1480, SizeStd: 60, FragmentShare: 1.0, SprayPorts: true, WellKnown: false}
+)
+
+// AllVectors lists the full catalog in a stable order.
+var AllVectors = []Vector{
+	VectorNTP, VectorDNS, VectorSNMP, VectorLDAP, VectorSSDP, VectorMemcached,
+	VectorChargen, VectorWSDiscovery, VectorCLDAP, VectorRpcbind, VectorMSSQL,
+	VectorNetBIOS, VectorRIP, VectorOpenVPN, VectorTFTP, VectorAppleRD,
+	VectorUbiquiti, VectorDNSTCP, VectorGRE, VectorUDPFragments,
+}
+
+// Top7Vectors are the attack vectors broken out per-vector in Table 3.
+var Top7Vectors = []Vector{
+	VectorUDPFragments, VectorDNS, VectorNTP, VectorSNMP, VectorLDAP, VectorSSDP, VectorAppleRD,
+}
+
+// WellKnownDDoSPorts maps (protocol, source port) pairs counted as
+// "well-known DDoS ports" in the dataset validation (Fig. 4a).
+var WellKnownDDoSPorts = func() map[[2]uint32]string {
+	m := make(map[[2]uint32]string)
+	for _, v := range AllVectors {
+		if v.WellKnown {
+			m[[2]uint32{uint32(v.Protocol), uint32(v.SrcPort)}] = v.Name
+		}
+	}
+	return m
+}()
+
+// IsWellKnownDDoSPort reports whether traffic from the given protocol and
+// source port counts as a well-known DDoS service.
+func IsWellKnownDDoSPort(protocol uint8, srcPort uint16) bool {
+	_, ok := WellKnownDDoSPorts[[2]uint32{uint32(protocol), uint32(srcPort)}]
+	return ok
+}
+
+// VectorOf classifies a flow by (protocol, srcPort, fragment) into a vector
+// name, mirroring how the paper attributes flows to attack vectors. Returns
+// "" for flows matching no catalog vector.
+func VectorOf(protocol uint8, srcPort uint16, fragment bool) string {
+	if fragment {
+		return VectorUDPFragments.Name
+	}
+	if name, ok := WellKnownDDoSPorts[[2]uint32{uint32(protocol), uint32(srcPort)}]; ok {
+		return name
+	}
+	if packet.IPProtocol(protocol) == packet.ProtoGRE {
+		return VectorGRE.Name
+	}
+	return ""
+}
+
+// BenignService describes one legitimate service in the background mix.
+type BenignService struct {
+	Name      string
+	Protocol  packet.IPProtocol
+	Port      uint16 // the server-side port
+	SizeMean  float64
+	SizeStd   float64
+	Weight    float64 // relative share of benign flows
+	// ServerIsSource: response-heavy services mostly appear with the server
+	// port as source at the IXP (content flowing toward members).
+	ServerIsSource bool
+}
+
+// BenignServices is the background service mix. Weights are chosen so that
+// ~7.5 % of benign flows originate from well-known DDoS service ports
+// (benign NTP, DNS resolution, SNMP management traffic; Fig. 4a).
+var BenignServices = []BenignService{
+	{Name: "HTTPS", Protocol: packet.ProtoTCP, Port: 443, SizeMean: 900, SizeStd: 520, Weight: 0.46, ServerIsSource: true},
+	{Name: "HTTP", Protocol: packet.ProtoTCP, Port: 80, SizeMean: 820, SizeStd: 500, Weight: 0.17, ServerIsSource: true},
+	{Name: "QUIC", Protocol: packet.ProtoUDP, Port: 443, SizeMean: 1100, SizeStd: 350, Weight: 0.155, ServerIsSource: true},
+	{Name: "DNS", Protocol: packet.ProtoUDP, Port: 53, SizeMean: 120, SizeStd: 60, Weight: 0.045, ServerIsSource: true},
+	{Name: "NTP", Protocol: packet.ProtoUDP, Port: 123, SizeMean: 90, SizeStd: 8, Weight: 0.02, ServerIsSource: true},
+	{Name: "SNMP", Protocol: packet.ProtoUDP, Port: 161, SizeMean: 150, SizeStd: 60, Weight: 0.008, ServerIsSource: true},
+	{Name: "SSH", Protocol: packet.ProtoTCP, Port: 22, SizeMean: 210, SizeStd: 150, Weight: 0.03, ServerIsSource: false},
+	{Name: "SMTP", Protocol: packet.ProtoTCP, Port: 25, SizeMean: 420, SizeStd: 280, Weight: 0.03, ServerIsSource: false},
+	{Name: "RTMP", Protocol: packet.ProtoTCP, Port: 1935, SizeMean: 1200, SizeStd: 300, Weight: 0.04, ServerIsSource: true},
+	{Name: "BGP", Protocol: packet.ProtoTCP, Port: 179, SizeMean: 110, SizeStd: 40, Weight: 0.002, ServerIsSource: false},
+	{Name: "Ephemeral", Protocol: packet.ProtoTCP, Port: 0, SizeMean: 640, SizeStd: 430, Weight: 0.04, ServerIsSource: false},
+}

@@ -1,0 +1,172 @@
+package tagging
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ruleJSON is the export schema, following the released rule list
+// (github.com/DE-CIX/ripe84-learning-acls): header fields are present when
+// constrained and absent when wildcarded; port fields carry either a number
+// or the spray marker; packet_size carries a half-open interval.
+type ruleJSON struct {
+	ID                string  `json:"id"`
+	Protocol          *uint32 `json:"protocol,omitempty"`
+	PortSrc           string  `json:"port_src,omitempty"`
+	PortDst           string  `json:"port_dst,omitempty"`
+	PacketSize        string  `json:"packet_size,omitempty"`
+	Fragment          bool    `json:"fragment,omitempty"`
+	Confidence        float64 `json:"confidence"`
+	AntecedentSupport float64 `json:"antecedent_support"`
+	RuleStatus        string  `json:"rule_status"`
+	Notes             string  `json:"notes,omitempty"`
+}
+
+// sprayMarker encodes "not a popular port" (the released rules use negated
+// port sets like "~{0,17,19,...}" for the same concept).
+const sprayMarker = "~popular"
+
+func ruleToJSON(r *Rule) ruleJSON {
+	j := ruleJSON{
+		ID:                r.ID,
+		Confidence:        r.Confidence,
+		AntecedentSupport: r.Support,
+		RuleStatus:        string(r.Status),
+		Notes:             r.Notes,
+	}
+	for _, it := range r.Antecedent {
+		switch it.Field() {
+		case FieldProtocol:
+			v := it.Value()
+			j.Protocol = &v
+		case FieldSrcPort:
+			j.PortSrc = portString(it.Value())
+		case FieldDstPort:
+			j.PortDst = portString(it.Value())
+		case FieldSize:
+			j.PacketSize = SizeBinLabel(it.Value())
+		case FieldFragment:
+			j.Fragment = true
+		}
+	}
+	return j
+}
+
+func portString(v uint32) string {
+	if v == PortOther {
+		return sprayMarker
+	}
+	return strconv.FormatUint(uint64(v), 10)
+}
+
+func parsePort(s string) (uint32, error) {
+	if s == sprayMarker || strings.HasPrefix(s, "~") {
+		return PortOther, nil
+	}
+	v, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("tagging: bad port %q: %w", s, err)
+	}
+	return uint32(v), nil
+}
+
+func parseSizeBin(s string) (uint32, error) {
+	// Format "(lo,hi]" or "(lo,inf)".
+	inner := strings.Trim(s, "(])")
+	lo, _, ok := strings.Cut(inner, ",")
+	if !ok {
+		return 0, fmt.Errorf("tagging: bad packet_size %q", s)
+	}
+	v, err := strconv.ParseUint(lo, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("tagging: bad packet_size %q: %w", s, err)
+	}
+	return uint32(v) / SizeBinWidth, nil
+}
+
+func ruleFromJSON(j *ruleJSON) (Rule, error) {
+	var items []Item
+	if j.Protocol != nil {
+		items = append(items, NewItem(FieldProtocol, *j.Protocol))
+	}
+	if j.PortSrc != "" {
+		v, err := parsePort(j.PortSrc)
+		if err != nil {
+			return Rule{}, err
+		}
+		items = append(items, NewItem(FieldSrcPort, v))
+	}
+	if j.PortDst != "" {
+		v, err := parsePort(j.PortDst)
+		if err != nil {
+			return Rule{}, err
+		}
+		items = append(items, NewItem(FieldDstPort, v))
+	}
+	if j.PacketSize != "" {
+		v, err := parseSizeBin(j.PacketSize)
+		if err != nil {
+			return Rule{}, err
+		}
+		items = append(items, NewItem(FieldSize, v))
+	}
+	if j.Fragment {
+		items = append(items, NewItem(FieldFragment, 1))
+	}
+	if len(items) == 0 {
+		return Rule{}, fmt.Errorf("tagging: rule %q has an empty antecedent", j.ID)
+	}
+	items = sortedCopy(items)
+	st := Status(j.RuleStatus)
+	switch st {
+	case StatusStaging, StatusAccept, StatusDecline:
+	case "":
+		st = StatusStaging
+	default:
+		return Rule{}, fmt.Errorf("tagging: rule %q has unknown status %q", j.ID, j.RuleStatus)
+	}
+	r := Rule{
+		ID:         ruleID(items),
+		Antecedent: items,
+		Confidence: j.Confidence,
+		Support:    j.AntecedentSupport,
+		Status:     st,
+		Notes:      j.Notes,
+	}
+	return r, nil
+}
+
+// Export writes the rule set as a JSON array in the released format.
+func (s *RuleSet) Export(w io.Writer) error {
+	rules := s.Rules()
+	out := make([]ruleJSON, len(rules))
+	for i := range rules {
+		out[i] = ruleToJSON(&rules[i])
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("tagging: exporting rules: %w", err)
+	}
+	return nil
+}
+
+// Import reads a JSON rule list and returns a RuleSet.
+func Import(r io.Reader) (*RuleSet, error) {
+	var raw []ruleJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("tagging: parsing rule list: %w", err)
+	}
+	rules := make([]Rule, 0, len(raw))
+	for i := range raw {
+		rule, err := ruleFromJSON(&raw[i])
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, rule)
+	}
+	return NewRuleSet(rules), nil
+}

@@ -1,0 +1,75 @@
+package tagging
+
+import (
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+)
+
+// Tagger matches flows against a set of accepted rules. It is the flow
+// tagging step preserved through aggregation (§5.1) and the basis of both
+// the RBC baseline classifier and ACL generation. Matching is optimized
+// with a protocol/fragment pre-index so the per-flow cost is proportional
+// to the few candidate rules, not the whole rule set.
+type Tagger struct {
+	rules []Rule
+	// byKey indexes rule positions by (protocol present? value : 0xFF,
+	// fragment constrained).
+	byProto map[uint32][]int
+	anyProt []int
+}
+
+// NewTagger builds a Tagger over the given rules (typically
+// RuleSet.Accepted()).
+func NewTagger(rules []Rule) *Tagger {
+	t := &Tagger{
+		rules:   append([]Rule(nil), rules...),
+		byProto: make(map[uint32][]int),
+	}
+	for i := range t.rules {
+		proto := uint32(0xFFFFFFFF)
+		for _, it := range t.rules[i].Antecedent {
+			if it.Field() == FieldProtocol {
+				proto = it.Value()
+			}
+		}
+		if proto == 0xFFFFFFFF {
+			t.anyProt = append(t.anyProt, i)
+		} else {
+			t.byProto[proto] = append(t.byProto[proto], i)
+		}
+	}
+	return t
+}
+
+// Rules returns the tagger's rules.
+func (t *Tagger) Rules() []Rule { return t.rules }
+
+// Match appends the indices (into Rules()) of every rule matching the
+// record and returns the slice.
+func (t *Tagger) Match(rec *netflow.Record, dst []int) []int {
+	for _, i := range t.byProto[uint32(rec.Protocol)] {
+		if t.rules[i].Match(rec) {
+			dst = append(dst, i)
+		}
+	}
+	for _, i := range t.anyProt {
+		if t.rules[i].Match(rec) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+// Matches reports whether any rule matches the record.
+func (t *Tagger) Matches(rec *netflow.Record) bool {
+	for _, i := range t.byProto[uint32(rec.Protocol)] {
+		if t.rules[i].Match(rec) {
+			return true
+		}
+	}
+	for _, i := range t.anyProt {
+		if t.rules[i].Match(rec) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,386 @@
+// Package woe implements Weight of Evidence encoding of categorical
+// features (§5.2.2): every categorical value x (source IP, port, member
+// MAC, protocol) maps to WoE(x) = ln(P(X=x | y=1) / P(X=x | y=0)) with
+// add-one smoothing, where y is the blackhole label.
+//
+// The encoder is the model's long-term memory of suspicious ports,
+// reflector IPs and DDoS-prone member ports, and it encapsulates the
+// *local* knowledge of a vantage point: transferring a classifier while
+// keeping the local encoder is what makes models geographically portable
+// (§6.4).
+package woe
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Encoder accumulates per-domain value counts under both labels and maps
+// values to their WoE. Observe/Fit may be interleaved: WoE values are
+// recomputed lazily after new observations. Encoder is safe for concurrent
+// reads after Fit; Observe must not race with reads.
+type Encoder struct {
+	// Smoothing is the pseudocount added to both counts of the WoE ratio
+	// (the paper's division-by-zero guard uses 1.0, the default). Larger
+	// values shrink rarely-seen values toward neutral, which stabilizes
+	// training on small corpora where single observations would otherwise
+	// inject ±0.7 of label noise per value.
+	Smoothing float64
+	// MinCount is the evidence floor: values observed fewer than MinCount
+	// times encode as neutral 0.0, exactly like unknown values at
+	// prediction time. Tree models are scale-invariant, so shrinking noisy
+	// singletons is not enough — they must be indistinguishable from
+	// unknowns. Zero means no floor (every observation counts).
+	MinCount int
+
+	mu      sync.RWMutex
+	domains map[string]*domain
+	// overrides pins values to operator-chosen WoE (white/blacklisting,
+	// §6.6); they survive refits.
+	overrides map[string]map[uint64]float64
+	posTotal  uint64
+	negTotal  uint64
+	dirty     bool
+}
+
+type domain struct {
+	pos map[uint64]uint64
+	neg map[uint64]uint64
+	woe map[uint64]float64
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{
+		domains:   make(map[string]*domain),
+		overrides: make(map[string]map[uint64]float64),
+	}
+}
+
+func (e *Encoder) domain(name string) *domain {
+	d := e.domains[name]
+	if d == nil {
+		d = &domain{
+			pos: make(map[uint64]uint64),
+			neg: make(map[uint64]uint64),
+			woe: make(map[uint64]float64),
+		}
+		e.domains[name] = d
+	}
+	return d
+}
+
+// Observe counts one occurrence of value key in the domain under the label.
+func (e *Encoder) Observe(domainName string, key uint64, label bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	d := e.domain(domainName)
+	if label {
+		d.pos[key]++
+		e.posTotal++
+	} else {
+		d.neg[key]++
+		e.negTotal++
+	}
+	e.dirty = true
+}
+
+// Fit recomputes the WoE mapping from the accumulated counts.
+func (e *Encoder) Fit() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.fitLocked()
+}
+
+func (e *Encoder) fitLocked() {
+	base := e.Smoothing
+	if base <= 0 {
+		base = 1
+	}
+	alpha := base
+	pt, nt := float64(e.posTotal), float64(e.negTotal)
+	for _, d := range e.domains {
+		for k := range d.woe {
+			delete(d.woe, k)
+		}
+		for k := range d.pos {
+			if int(d.pos[k]+d.neg[k]) < e.MinCount {
+				continue // below the evidence floor: neutral like unknowns
+			}
+			d.woe[k] = woeValue(float64(d.pos[k]), float64(d.neg[k]), pt, nt, alpha)
+		}
+		for k := range d.neg {
+			if _, ok := d.woe[k]; ok {
+				continue
+			}
+			if int(d.pos[k]+d.neg[k]) < e.MinCount {
+				continue
+			}
+			d.woe[k] = woeValue(0, float64(d.neg[k]), pt, nt, alpha)
+		}
+	}
+	e.dirty = false
+}
+
+// woeValue computes ln(P(x|1)/P(x|0)) with additive smoothing of the counts
+// (the paper's division-by-zero guard uses alpha = 1).
+func woeValue(pos, neg, posTotal, negTotal, alpha float64) float64 {
+	p1 := (pos + alpha) / (posTotal + alpha)
+	p0 := (neg + alpha) / (negTotal + alpha)
+	return math.Log(p1 / p0)
+}
+
+// WoE returns the encoding of a value; unknown values encode as 0.0
+// (neutral), as during prediction in the paper.
+func (e *Encoder) WoE(domainName string, key uint64) float64 {
+	e.mu.RLock()
+	if e.dirty {
+		e.mu.RUnlock()
+		e.Fit()
+		e.mu.RLock()
+	}
+	defer e.mu.RUnlock()
+	if ov, ok := e.overrides[domainName]; ok {
+		if w, ok := ov[key]; ok {
+			return w
+		}
+	}
+	d, ok := e.domains[domainName]
+	if !ok {
+		return 0
+	}
+	w, ok := d.woe[key]
+	if !ok {
+		return 0
+	}
+	return w
+}
+
+// Override pins a value's WoE regardless of observations — the operator
+// control of §6.6 (e.g. whitelisting a source IP with a strongly negative
+// WoE, or pinning DDoS service ports positive).
+func (e *Encoder) Override(domainName string, key uint64, woe float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ov := e.overrides[domainName]
+	if ov == nil {
+		ov = make(map[uint64]float64)
+		e.overrides[domainName] = ov
+	}
+	ov[key] = woe
+}
+
+// ClearOverride removes a pinned value.
+func (e *Encoder) ClearOverride(domainName string, key uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ov, ok := e.overrides[domainName]; ok {
+		delete(ov, key)
+	}
+}
+
+// Domains lists the fitted domains sorted by name.
+func (e *Encoder) Domains() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]string, 0, len(e.domains))
+	for name := range e.domains {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Above returns the keys of a domain whose WoE exceeds the threshold — the
+// "reflector knowledge" view used for the cross-IXP overlap analysis
+// (Fig. 12, middle: WoE > 1.0 means e times more likely inside the
+// blackhole).
+func (e *Encoder) Above(domainName string, threshold float64) []uint64 {
+	e.mu.RLock()
+	if e.dirty {
+		e.mu.RUnlock()
+		e.Fit()
+		e.mu.RLock()
+	}
+	defer e.mu.RUnlock()
+	d, ok := e.domains[domainName]
+	if !ok {
+		return nil
+	}
+	var out []uint64
+	for k, w := range d.woe {
+		if w > threshold {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Overlap computes the Jaccard-style overlap of two encoders' high-WoE keys
+// in one domain: |A ∩ B| / |A ∪ B|.
+func Overlap(a, b *Encoder, domainName string, threshold float64) float64 {
+	ka := a.Above(domainName, threshold)
+	kb := b.Above(domainName, threshold)
+	if len(ka) == 0 && len(kb) == 0 {
+		return 0
+	}
+	set := make(map[uint64]bool, len(ka))
+	for _, k := range ka {
+		set[k] = true
+	}
+	inter := 0
+	for _, k := range kb {
+		if set[k] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(ka)+len(kb)-inter)
+}
+
+// Merge folds the counts of another encoder into this one (training a
+// joint encoder over several vantage points).
+func (e *Encoder) Merge(other *Encoder) {
+	other.mu.RLock()
+	defer other.mu.RUnlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name, od := range other.domains {
+		d := e.domain(name)
+		for k, c := range od.pos {
+			d.pos[k] += c
+		}
+		for k, c := range od.neg {
+			d.neg[k] += c
+		}
+	}
+	e.posTotal += other.posTotal
+	e.negTotal += other.negTotal
+	e.dirty = true
+}
+
+// Key helpers: stable uint64 keys for the categorical value types.
+
+// KeyAddr keys an IP address.
+func KeyAddr(a netip.Addr) uint64 {
+	if a.Is4() || a.Is4In6() {
+		b := a.Unmap().As4()
+		return uint64(binary.BigEndian.Uint32(b[:]))
+	}
+	b := a.As16()
+	return binary.BigEndian.Uint64(b[:8]) ^ binary.BigEndian.Uint64(b[8:])<<1 | 1<<63
+}
+
+// KeyMAC keys a hardware address.
+func KeyMAC(m [6]byte) uint64 {
+	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
+// KeyPort keys a transport port.
+func KeyPort(p uint16) uint64 { return uint64(p) }
+
+// KeyProto keys an IP protocol number.
+func KeyProto(p uint8) uint64 { return uint64(p) }
+
+// Serialization model: the raw per-label counts plus overrides. Shipping
+// counts (rather than fitted WoE values) keeps the encoder's long-term
+// memory alive across restarts and lets a receiver continue observing.
+
+type domainJSON struct {
+	Pos map[string]uint64 `json:"pos"`
+	Neg map[string]uint64 `json:"neg"`
+}
+
+type encoderJSON struct {
+	PosTotal  uint64                        `json:"pos_total"`
+	NegTotal  uint64                        `json:"neg_total"`
+	Domains   map[string]domainJSON         `json:"domains"`
+	Overrides map[string]map[string]float64 `json:"overrides,omitempty"`
+}
+
+func countsToJSON(m map[uint64]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[strconv.FormatUint(k, 10)] = v
+	}
+	return out
+}
+
+func countsFromJSON(m map[string]uint64, dst map[uint64]uint64) error {
+	for ks, v := range m {
+		k, err := strconv.ParseUint(ks, 10, 64)
+		if err != nil {
+			return fmt.Errorf("woe: bad key %q: %w", ks, err)
+		}
+		dst[k] = v
+	}
+	return nil
+}
+
+// Save writes the encoder state as JSON.
+func (e *Encoder) Save(w io.Writer) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := encoderJSON{
+		PosTotal:  e.posTotal,
+		NegTotal:  e.negTotal,
+		Domains:   make(map[string]domainJSON),
+		Overrides: make(map[string]map[string]float64),
+	}
+	for name, d := range e.domains {
+		out.Domains[name] = domainJSON{Pos: countsToJSON(d.pos), Neg: countsToJSON(d.neg)}
+	}
+	for name, ov := range e.overrides {
+		if len(ov) == 0 {
+			continue
+		}
+		m := make(map[string]float64, len(ov))
+		for k, v := range ov {
+			m[strconv.FormatUint(k, 10)] = v
+		}
+		out.Overrides[name] = m
+	}
+	if err := json.NewEncoder(w).Encode(&out); err != nil {
+		return fmt.Errorf("woe: saving encoder: %w", err)
+	}
+	return nil
+}
+
+// Load reads an encoder saved with Save. The result carries full counts, so
+// further Observe calls extend the loaded statistics.
+func Load(r io.Reader) (*Encoder, error) {
+	var in encoderJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("woe: loading encoder: %w", err)
+	}
+	e := NewEncoder()
+	e.posTotal, e.negTotal = in.PosTotal, in.NegTotal
+	for name, dj := range in.Domains {
+		d := e.domain(name)
+		if err := countsFromJSON(dj.Pos, d.pos); err != nil {
+			return nil, err
+		}
+		if err := countsFromJSON(dj.Neg, d.neg); err != nil {
+			return nil, err
+		}
+	}
+	for name, m := range in.Overrides {
+		for ks, v := range m {
+			k, err := strconv.ParseUint(ks, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("woe: bad override key %q in %s: %w", ks, name, err)
+			}
+			e.Override(name, k, v)
+		}
+	}
+	e.dirty = true
+	return e, nil
+}
