@@ -63,6 +63,33 @@ func BenchmarkFig14b(b *testing.B)  { benchExperiment(b, "fig14b") }
 func BenchmarkFig16a(b *testing.B)  { benchExperiment(b, "fig16a") }
 func BenchmarkFig16b(b *testing.B)  { benchExperiment(b, "fig16b") }
 
+// BenchmarkHarnessWorkers measures the experiments harness fan-out at
+// explicit pool sizes: one RunMany over a bundle of independent artifacts
+// per iteration, with the shared corpus/bundle caches dropped first so
+// every iteration pays full regeneration cost. Compare the workers=1
+// sub-benchmark against the others to read the end-to-end speedup; the
+// rendered artifacts are identical at every pool size.
+func BenchmarkHarnessWorkers(b *testing.B) {
+	ids := []string{"rulecount", "fig3c", "fig4a", "table3"}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "workers=1", 2: "workers=2", 4: "workers=4", 8: "workers=8"}[workers], func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				experiments.ResetCaches()
+				n := 0
+				if err := experiments.RunMany(cfg, ids, func(*experiments.Result) { n++ }); err != nil {
+					b.Fatal(err)
+				}
+				if n != len(ids) {
+					b.Fatalf("visited %d of %d artifacts", n, len(ids))
+				}
+			}
+		})
+	}
+}
+
 // Ablation benches (DESIGN.md §5): they measure quality under a design
 // change and report it as a custom metric alongside cost.
 

@@ -20,11 +20,12 @@ import (
 
 func main() {
 	var (
-		run   = flag.String("run", "", "experiment ID to run, or 'all'")
-		scale = flag.Float64("scale", 1.0, "time-window scale factor (1.0 = documented baseline)")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
-		out   = flag.String("out", "", "also write results to this file")
-		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		run     = flag.String("run", "", "experiment ID to run, or 'all'")
+		scale   = flag.Float64("scale", 1.0, "time-window scale factor (1.0 = documented baseline)")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		out     = flag.String("out", "", "also write results to this file")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); outputs are identical at every value")
 	)
 	flag.Parse()
 
@@ -48,7 +49,7 @@ func main() {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
 
 	emit := func(res *experiments.Result) {
 		fmt.Fprintln(w, res.Render())

@@ -21,6 +21,7 @@ import (
 	"github.com/ixp-scrubber/ixpscrubber/internal/ml/tree"
 	"github.com/ixp-scrubber/ixpscrubber/internal/ml/xgb"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/par"
 	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
 	"github.com/ixp-scrubber/ixpscrubber/internal/woe"
 )
@@ -72,6 +73,11 @@ type Config struct {
 	// with the paper's data volumes every recurring value clears the floor,
 	// so the default matters only for small corpora.
 	WoEMinCount int
+	// Workers bounds the worker pool used for rule mining, feature
+	// encoding, and classifier training/scoring: 0 sizes from GOMAXPROCS,
+	// 1 forces the serial path. Outputs are bit-for-bit identical at every
+	// value (see internal/par).
+	Workers int
 }
 
 // DefaultConfig returns the recommended production configuration (XGB).
@@ -124,7 +130,11 @@ func (s *Scrubber) Encoder() *woe.Encoder { return s.encoder }
 // MineRules runs Step 1 on balanced flow records, merging fresh rules into
 // the rule set. With AutoAccept, staged rules are accepted immediately.
 func (s *Scrubber) MineRules(records []netflow.Record) (tagging.MiningReport, error) {
-	rules, rep := tagging.Mine(records, s.cfg.Mine)
+	mine := s.cfg.Mine
+	if mine.Workers == 0 {
+		mine.Workers = s.cfg.Workers
+	}
+	rules, rep := tagging.Mine(records, mine)
 	s.rules.Merge(rules)
 	if s.cfg.AutoAccept {
 		policy := tagging.DefaultAcceptPolicy()
@@ -173,6 +183,9 @@ func (s *Scrubber) buildPipeline() (*ml.Pipeline, error) {
 		opts.MaxDepth = 8 // histogram trees saturate well before the paper's 24
 		if s.cfg.XGB != nil {
 			opts = *s.cfg.XGB
+		}
+		if opts.Workers == 0 {
+			opts.Workers = s.cfg.Workers
 		}
 		return &ml.Pipeline{Name: string(s.cfg.Model),
 			Stages: []ml.Transformer{fr, im},
@@ -244,10 +257,9 @@ func (s *Scrubber) Fit(trainRecords []netflow.Record, train []*features.Aggregat
 	if p == nil {
 		return nil // RBC needs no fitting
 	}
-	x := make([][]float64, len(train))
+	x := s.encodeAll(train)
 	y := make([]int, len(train))
 	for i, a := range train {
-		x[i] = features.Encode(s.encoder, a, nil)
 		if a.Label {
 			y[i] = 1
 		}
@@ -256,6 +268,29 @@ func (s *Scrubber) Fit(trainRecords []netflow.Record, train []*features.Aggregat
 		return fmt.Errorf("core: fitting %s: %w", s.cfg.Model, err)
 	}
 	return nil
+}
+
+// encodeAll WoE-encodes a batch of aggregates into one flat backing array:
+// row i is the sub-slice [i*NumColumns, (i+1)*NumColumns), so the batch
+// costs a single allocation and rows never overlap. Encoding fans out over
+// row shards on the worker pool; every slot depends only on its own
+// aggregate and the read-only fitted encoder, so output is identical at any
+// worker count.
+func (s *Scrubber) encodeAll(aggs []*features.Aggregate) [][]float64 {
+	nc := features.NumColumns
+	flat := make([]float64, len(aggs)*nc)
+	x := make([][]float64, len(aggs))
+	s.encoder.EnsureFitted() // no lazy refits inside the parallel region
+	workers := par.Workers(s.cfg.Workers)
+	if len(aggs) < 64 {
+		workers = 1 // fan-out costs more than encoding a small batch
+	}
+	par.ForChunks(workers, len(aggs), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] = features.Encode(s.encoder, aggs[i], flat[i*nc:i*nc:(i+1)*nc])
+		}
+	})
+	return x
 }
 
 // Predict labels aggregates (1 = DDoS target).
@@ -272,11 +307,7 @@ func (s *Scrubber) Predict(aggs []*features.Aggregate) ([]int, error) {
 		}
 		return out, nil
 	}
-	x := make([][]float64, len(aggs))
-	for i, a := range aggs {
-		x[i] = features.Encode(s.encoder, a, nil)
-	}
-	return s.pipeline.Predict(x), nil
+	return s.pipeline.Predict(s.encodeAll(aggs)), nil
 }
 
 // Evaluate scores the fitted model on test aggregates.

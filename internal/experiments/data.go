@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
 	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
 )
 
@@ -14,10 +15,25 @@ import (
 type Config struct {
 	Scale float64
 	Seed  uint64
+	// Workers bounds the worker pool for the harness (concurrent artifact
+	// runners, the Table-3/5 model-zoo loop) and is threaded into every
+	// core.Scrubber the experiments build: 0 sizes from GOMAXPROCS, 1
+	// forces the serial path. Artifact contents are bit-for-bit identical
+	// at every value; only wall-clock (and therefore the µs/pred timing
+	// columns) changes.
+	Workers int
 }
 
 // DefaultConfig runs full-size experiments.
 func DefaultConfig() Config { return Config{Scale: 1.0, Seed: 1} }
+
+// coreDefaults is core.DefaultConfig with the harness worker knob threaded
+// through, so scrubbers built inside experiments share the pool sizing.
+func (c Config) coreDefaults() core.Config {
+	cc := core.DefaultConfig()
+	cc.Workers = c.Workers
+	return cc
+}
 
 // minutes scales a duration (in minutes) by the config, with a floor.
 func (c Config) minutes(base int64) int64 {
@@ -95,24 +111,43 @@ func newBalancerInto(c *corpus) *balance.Balancer[synth.Flow] {
 }
 
 // corpusCache shares corpora between experiments in one process (several
-// experiments read the same vantage point windows).
+// experiments read the same vantage point windows). Entries are built
+// singleflight: when concurrent experiments want the same window, one
+// builds while the others wait on the entry's Once — corpora take minutes
+// at full scale, so duplicate builds would erase the harness's parallel
+// speedup.
 var corpusCache = struct {
 	mu sync.Mutex
-	m  map[string]*corpus
-}{m: make(map[string]*corpus)}
+	m  map[string]*corpusEntry
+}{m: make(map[string]*corpusEntry)}
+
+type corpusEntry struct {
+	once sync.Once
+	c    *corpus
+}
 
 func cachedCorpus(key string, build func() *corpus) *corpus {
 	corpusCache.mu.Lock()
-	if c, ok := corpusCache.m[key]; ok {
-		corpusCache.mu.Unlock()
-		return c
+	e := corpusCache.m[key]
+	if e == nil {
+		e = &corpusEntry{}
+		corpusCache.m[key] = e
 	}
 	corpusCache.mu.Unlock()
-	c := build()
+	e.once.Do(func() { e.c = build() })
+	return e.c
+}
+
+// ResetCaches drops every shared corpus and bundle. Benchmarks call it so
+// serial-vs-parallel comparisons measure full regenerations rather than
+// cache hits; production code never needs it.
+func ResetCaches() {
 	corpusCache.mu.Lock()
-	corpusCache.m[key] = c
+	corpusCache.m = make(map[string]*corpusEntry)
 	corpusCache.mu.Unlock()
-	return c
+	bundleCache.mu.Lock()
+	bundleCache.m = make(map[string]*bundleEntry)
+	bundleCache.mu.Unlock()
 }
 
 // mlWindowMinutes is the base training+evaluation window of the model

@@ -21,7 +21,7 @@ func RunMulticlass(cfg Config) (*Result, error) {
 	}
 	c := mlCorpus(cfg, synth.ProfileUS1())
 	tr, te := splitCorpus(c, 2.0/3.0)
-	s := core.New(core.DefaultConfig())
+	s := core.New(cfg.coreDefaults())
 	trVec := make([]string, len(tr))
 	for i := range tr {
 		trVec[i] = tr[i].Vector

@@ -21,7 +21,7 @@ func RunFig14a(cfg Config) (*Result, error) {
 			"decisions, >=1 rule explains ~30% and up to 3 rules ~50% (cumulative distribution over rule counts)",
 	}
 	bundle := cachedBundle(cfg)
-	s := core.New(core.DefaultConfig())
+	s := core.New(cfg.coreDefaults())
 	s.SetRules(bundle.rules)
 	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
 		return nil, err
@@ -80,7 +80,7 @@ func RunFig14b(cfg Config) (*Result, error) {
 			"unknown-value 0.0), which is what makes mitigation by whitelisting work",
 	}
 	bundle := cachedBundle(cfg)
-	s := core.New(core.DefaultConfig())
+	s := core.New(cfg.coreDefaults())
 	s.SetRules(bundle.rules)
 	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
 		return nil, err
@@ -156,7 +156,7 @@ func RunFig16a(cfg Config) (*Result, error) {
 			"(the aggregation intentionally produces redundant columns for later reduction)",
 	}
 	bundle := cachedBundle(cfg)
-	s := core.New(core.DefaultConfig())
+	s := core.New(cfg.coreDefaults())
 	s.SetRules(bundle.rules)
 	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
 		return nil, err
@@ -249,7 +249,7 @@ func RunFig16b(cfg Config) (*Result, error) {
 			"nearly all of it (large reduction potential)",
 	}
 	bundle := cachedBundle(cfg)
-	s := core.New(core.DefaultConfig())
+	s := core.New(cfg.coreDefaults())
 	s.SetRules(bundle.rules)
 	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
 		return nil, err

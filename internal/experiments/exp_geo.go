@@ -39,7 +39,7 @@ func RunFig12(cfg Config) (*Result, error) {
 	for i, p := range profiles {
 		c := mlCorpus(cfg, p)
 		tr, te := splitCorpus(c, 2.0/3.0)
-		s := core.New(core.Config{Model: core.ModelXGB, Seed: cfg.Seed, AutoAccept: true, WoEMinCount: 4})
+		s := core.New(core.Config{Model: core.ModelXGB, Seed: cfg.Seed, AutoAccept: true, WoEMinCount: 4, Workers: cfg.Workers})
 		trVec := make([]string, len(tr))
 		for j := range tr {
 			trVec[j] = tr[j].Vector
@@ -63,7 +63,7 @@ func RunFig12(cfg Config) (*Result, error) {
 	}
 
 	// An ALL model trained on the union.
-	all := core.New(core.Config{Model: core.ModelXGB, Seed: cfg.Seed, AutoAccept: true, WoEMinCount: 4})
+	all := core.New(core.Config{Model: core.ModelXGB, Seed: cfg.Seed, AutoAccept: true, WoEMinCount: 4, Workers: cfg.Workers})
 	var allTrainFlows []synth.Flow
 	for _, p := range profiles {
 		tr, _ := splitCorpus(mlCorpus(cfg, p), 2.0/3.0)

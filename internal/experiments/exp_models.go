@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/core"
@@ -9,6 +10,7 @@ import (
 	"github.com/ixp-scrubber/ixpscrubber/internal/ml"
 	"github.com/ixp-scrubber/ixpscrubber/internal/ml/xgb"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/par"
 	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
 	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
 )
@@ -32,7 +34,9 @@ func buildBundle(cfg Config) *trainedBundle {
 		trainFlows = append(trainFlows, tr...)
 		testFlows = append(testFlows, te...)
 	}
-	s := core.New(core.DefaultConfig())
+	ccfg := core.DefaultConfig()
+	ccfg.Workers = cfg.Workers
+	s := core.New(ccfg)
 	trainRecords := synth.Records(trainFlows)
 	if _, err := s.MineRules(trainRecords); err != nil {
 		panic(err) // MineRules cannot fail today; keep the signature honest upstream
@@ -58,24 +62,36 @@ func buildBundle(cfg Config) *trainedBundle {
 	return bundle
 }
 
+// bundleCache shares the merged-training bundle between the model
+// experiments, singleflight like corpusCache: concurrent runners wanting
+// the same bundle wait for one build instead of duplicating it (or racing
+// on an unsynchronized cache).
 var bundleCache = struct {
-	key string
-	b   *trainedBundle
-}{}
+	mu sync.Mutex
+	m  map[string]*bundleEntry
+}{m: make(map[string]*bundleEntry)}
+
+type bundleEntry struct {
+	once sync.Once
+	b    *trainedBundle
+}
 
 func cachedBundle(cfg Config) *trainedBundle {
 	key := fmt.Sprintf("%v/%d", cfg.Scale, cfg.Seed)
-	if bundleCache.key == key {
-		return bundleCache.b
+	bundleCache.mu.Lock()
+	e := bundleCache.m[key]
+	if e == nil {
+		e = &bundleEntry{}
+		bundleCache.m[key] = e
 	}
-	b := buildBundle(cfg)
-	bundleCache.key, bundleCache.b = key, b
-	return b
+	bundleCache.mu.Unlock()
+	e.once.Do(func() { e.b = buildBundle(cfg) })
+	return e.b
 }
 
 // modelRow evaluates one model on the bundle and returns the Table 3 row.
 func modelRow(cfg Config, bundle *trainedBundle, model core.ModelName, vectors []string) ([]string, error) {
-	s := core.New(core.Config{Model: model, Seed: cfg.Seed + 7, AutoAccept: true, WoEMinCount: 4})
+	s := core.New(core.Config{Model: model, Seed: cfg.Seed + 7, AutoAccept: true, WoEMinCount: 4, Workers: cfg.Workers})
 	s.SetRules(bundle.rules)
 	start := time.Now()
 	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
@@ -160,12 +176,21 @@ func runModelTable(cfg Config, id string, models []core.ModelName) (*Result, err
 	header = append(header, vectors...)
 	header = append(header, "Fβ (SAS)")
 	tbl := Table{Name: "classification results", Header: header}
-	for _, m := range models {
-		row, err := modelRow(cfg, bundle, m, vectors)
-		if err != nil {
-			return nil, err
+	// Model-zoo fan-out: every model trains and scores independently on the
+	// shared read-only bundle. Rows land in per-model slots and are appended
+	// in Table 3/5 order below — parallel and serial runs emit the same
+	// table (the µs/pred timing column is wall-clock and varies run to run
+	// under either execution mode).
+	rows := make([][]string, len(models))
+	errs := make([]error, len(models))
+	par.For(cfg.Workers, len(models), func(i int) {
+		rows[i], errs[i] = modelRow(cfg, bundle, models[i], vectors)
+	})
+	for i := range models {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		tbl.Rows = append(tbl.Rows, row)
+		tbl.Rows = append(tbl.Rows, rows[i])
 	}
 	res.Tables = append(res.Tables, tbl)
 	return res, nil
@@ -200,7 +225,7 @@ func RunFig10(cfg Config) (*Result, error) {
 			"volume metrics — the known DDoS signatures (abused ports, packet sizes, reflector IPs)",
 	}
 	bundle := cachedBundle(cfg)
-	s := core.New(core.DefaultConfig())
+	s := core.New(cfg.coreDefaults())
 	s.SetRules(bundle.rules)
 	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
 		return nil, err
@@ -234,7 +259,7 @@ func RunTable4(cfg Config) (*Result, error) {
 	bundle := cachedBundle(cfg)
 	// Build the encoded dataset once (the paper samples 250k records; we
 	// sample proportionally).
-	s := core.New(core.DefaultConfig())
+	s := core.New(cfg.coreDefaults())
 	s.SetRules(bundle.rules)
 	if err := s.Fit(bundle.trainRecords, bundle.trainAggs); err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/par"
 	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
 )
 
@@ -43,8 +44,8 @@ func buildTemporalCorpus(cfg Config, p synth.Profile, days int) *temporalCorpus 
 }
 
 // trainOn fits a fresh XGB scrubber on the given days' flows.
-func trainOn(seed uint64, flows []synth.Flow) (*core.Scrubber, error) {
-	s := core.New(core.Config{Model: core.ModelXGB, Seed: seed, AutoAccept: true, WoEMinCount: 4})
+func trainOn(seed uint64, workers int, flows []synth.Flow) (*core.Scrubber, error) {
+	s := core.New(core.Config{Model: core.ModelXGB, Seed: seed, AutoAccept: true, WoEMinCount: 4, Workers: workers})
 	vectors := make([]string, len(flows))
 	for i := range flows {
 		vectors[i] = flows[i].Vector
@@ -108,7 +109,7 @@ func RunFig11a(cfg Config) (*Result, error) {
 			if win.n >= days {
 				continue
 			}
-			s, err := trainOn(cfg.Seed, concat(tc.byDay[:win.n]))
+			s, err := trainOn(cfg.Seed, cfg.Workers, concat(tc.byDay[:win.n]))
 			if err != nil {
 				return nil, err
 			}
@@ -154,20 +155,38 @@ func RunFig11b(cfg Config) (*Result, error) {
 				continue
 			}
 			series := Series{Name: fmt.Sprintf("%s sliding %s", site.Name, win.name)}
-			for d := win.n; d < days; d++ {
+			// Daily retrainings are independent (each day trains a fresh
+			// scrubber on its own trailing window), so they fan out across
+			// the pool; points land in per-day slots and are collected in
+			// day order below, identical to the serial loop.
+			type point struct {
+				fb  float64
+				ok  bool
+				err error
+			}
+			pts := make([]point, days)
+			par.For(cfg.Workers, days-win.n, func(k int) {
+				d := win.n + k
 				if len(tc.byDay[d]) == 0 {
-					continue
+					return
 				}
-				s, err := trainOn(cfg.Seed, concat(tc.byDay[d-win.n:d]))
+				s, err := trainOn(cfg.Seed, 1, concat(tc.byDay[d-win.n:d]))
 				if err != nil {
-					return nil, err
+					pts[d] = point{err: err}
+					return
 				}
 				fb, err := evalOn(s, tc.byDay[d])
-				if err != nil {
-					return nil, err
+				pts[d] = point{fb: fb, ok: err == nil, err: err}
+			})
+			for d := win.n; d < days; d++ {
+				if pts[d].err != nil {
+					return nil, pts[d].err
+				}
+				if !pts[d].ok {
+					continue
 				}
 				series.X = append(series.X, float64(d))
-				series.Y = append(series.Y, fb)
+				series.Y = append(series.Y, pts[d].fb)
 			}
 			res.Series = append(res.Series, series)
 			res.Notes = append(res.Notes, fmt.Sprintf("%s %s: median Fβ %.3f, min %.3f",

@@ -81,7 +81,7 @@ func RunFig13(cfg Config) (*Result, error) {
 
 	for w := 1; w < weeks-2; w++ {
 		// WoE accumulates the new week's observations.
-		s := core.New(core.Config{Model: core.ModelXGB, Seed: cfg.Seed, AutoAccept: true, WoEMinCount: 4})
+		s := core.New(core.Config{Model: core.ModelXGB, Seed: cfg.Seed, AutoAccept: true, WoEMinCount: 4, Workers: cfg.Workers})
 		trainFlows := concat(byWeek[:w])
 		trVec := make([]string, len(trainFlows))
 		for i := range trainFlows {

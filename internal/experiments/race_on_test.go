@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled lets wall-clock-heavy tests shrink their workload when the
+// race detector (5-20x slowdown) is on, so `go test -race` fits the
+// default package timeout on small runners.
+const raceEnabled = true

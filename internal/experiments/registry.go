@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/par"
 )
 
 // Runner executes one experiment.
@@ -11,26 +13,26 @@ type Runner func(Config) (*Result, error)
 // Registry maps experiment IDs to runners, in the order of the paper's
 // tables and figures.
 var Registry = map[string]Runner{
-	"table2":    RunTable2,
-	"fig3a":     RunFig3a,
-	"fig3c":     RunFig3c,
-	"fig4a":     RunFig4a,
-	"fig4b":     RunFig4b,
-	"rulecount": RunRuleCount,
-	"fig15":     RunFig15,
-	"operator":  RunOperatorStudy,
-	"table3":    RunTable3,
-	"table5":    RunTable5,
-	"table4":    RunTable4,
-	"fig10":     RunFig10,
-	"fig11a":    RunFig11a,
-	"fig11b":    RunFig11b,
-	"fig12":     RunFig12,
-	"fig13":     RunFig13,
-	"fig14a":    RunFig14a,
-	"fig14b":    RunFig14b,
-	"fig16a":    RunFig16a,
-	"fig16b":    RunFig16b,
+	"table2":     RunTable2,
+	"fig3a":      RunFig3a,
+	"fig3c":      RunFig3c,
+	"fig4a":      RunFig4a,
+	"fig4b":      RunFig4b,
+	"rulecount":  RunRuleCount,
+	"fig15":      RunFig15,
+	"operator":   RunOperatorStudy,
+	"table3":     RunTable3,
+	"table5":     RunTable5,
+	"table4":     RunTable4,
+	"fig10":      RunFig10,
+	"fig11a":     RunFig11a,
+	"fig11b":     RunFig11b,
+	"fig12":      RunFig12,
+	"fig13":      RunFig13,
+	"fig14a":     RunFig14a,
+	"fig14b":     RunFig14b,
+	"fig16a":     RunFig16a,
+	"fig16b":     RunFig16b,
 	"multiclass": RunMulticlass,
 }
 
@@ -64,15 +66,42 @@ func Run(id string, cfg Config) (*Result, error) {
 }
 
 // RunAll executes every experiment in paper order, invoking visit after
-// each one. It stops on the first error.
+// each one. It stops on the first error (in paper order).
 func RunAll(cfg Config, visit func(*Result)) error {
-	for _, id := range Order {
-		res, err := Run(id, cfg)
+	return RunMany(cfg, Order, visit)
+}
+
+// RunMany executes the given experiments concurrently on cfg.Workers
+// workers (0 = GOMAXPROCS, 1 = the serial path). Runners execute in
+// arbitrary order, but results land in per-experiment slots and visit is
+// invoked in ids order once all runners finish — an ordered reduction, so
+// the emitted artifact stream is identical to the serial harness. Shared
+// inputs (corpora, the merged training bundle) are built singleflight, so
+// concurrent runners wait for one build instead of duplicating it. On
+// failure the first error in ids order is returned, after visiting the
+// results that precede it — exactly what a serial run would have emitted.
+func RunMany(cfg Config, ids []string, visit func(*Result)) error {
+	results := make([]*Result, len(ids))
+	errs := make([]error, len(ids))
+	par.For(cfg.Workers, len(ids), func(i int) {
+		r, ok := Registry[ids[i]]
+		if !ok {
+			errs[i] = fmt.Errorf("experiments: unknown experiment %q (known: %v)", ids[i], IDs())
+			return
+		}
+		res, err := r(cfg)
 		if err != nil {
-			return fmt.Errorf("experiments: %s: %w", id, err)
+			errs[i] = fmt.Errorf("experiments: %s: %w", ids[i], err)
+			return
+		}
+		results[i] = res
+	})
+	for i := range ids {
+		if errs[i] != nil {
+			return errs[i]
 		}
 		if visit != nil {
-			visit(res)
+			visit(results[i])
 		}
 	}
 	return nil

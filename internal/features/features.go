@@ -127,10 +127,10 @@ type group struct {
 	target netip.Addr
 	label  bool
 	// per categorical: value -> (bytes, packets)
-	acc    [NumCats]map[uint64][2]uint64
-	rules  map[string]struct{}
-	vec    map[string]int
-	flows  int
+	acc   [NumCats]map[uint64][2]uint64
+	rules map[string]struct{}
+	vec   map[string]int
+	flows int
 }
 
 // Aggregator groups a minute-ordered flow stream. Call Add per flow, then
@@ -230,6 +230,7 @@ type kv struct {
 	key   uint64
 	bytes uint64
 	pkts  uint64
+	met   float64 // current ranking metric, precomputed before each sort
 }
 
 func (g *group) finish() *Aggregate {
@@ -246,30 +247,34 @@ func (g *group) finish() *Aggregate {
 			scratch = append(scratch, kv{key: k, bytes: bp[0], pkts: bp[1]})
 		}
 		for m := 0; m < NumMets; m++ {
-			metric := func(e kv) float64 {
+			// Precompute the metric column once per (categorical, metric):
+			// computing it inside the comparator would redo the division
+			// O(n log n) times per sort.
+			for i := range scratch {
+				e := &scratch[i]
 				switch m {
 				case MetPktSize:
 					if e.pkts == 0 {
-						return 0
+						e.met = 0
+					} else {
+						e.met = float64(e.bytes) / float64(e.pkts)
 					}
-					return float64(e.bytes) / float64(e.pkts)
 				case MetBytes:
-					return float64(e.bytes)
+					e.met = float64(e.bytes)
 				default:
-					return float64(e.pkts)
+					e.met = float64(e.pkts)
 				}
 			}
 			sort.Slice(scratch, func(i, j int) bool {
-				mi, mj := metric(scratch[i]), metric(scratch[j])
-				if mi != mj {
-					return mi > mj
+				if scratch[i].met != scratch[j].met {
+					return scratch[i].met > scratch[j].met
 				}
 				return scratch[i].key < scratch[j].key // deterministic ties
 			})
 			for r := 0; r < R && r < len(scratch); r++ {
 				agg.Keys[c][m][r] = scratch[r].key
 				agg.Present[c][m][r] = true
-				agg.Mets[c][m][r] = metric(scratch[r])
+				agg.Mets[c][m][r] = scratch[r].met
 			}
 		}
 	}

@@ -1,0 +1,133 @@
+package xgb
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/mltest"
+)
+
+// fitSerialized fits a model with the given worker count and returns the
+// serialized form plus predictions and scores on a held-out set. The
+// serialized form captures every tree node bit-for-bit, so comparing it
+// across worker counts proves the parallel trainer walks the exact same
+// split sequence as the serial one.
+func fitSerialized(t *testing.T, seed uint64, workers int) ([]byte, []int, []uint64, []float64) {
+	t.Helper()
+	x, y := mltest.Blobs(seed, 600, 8, 2.2)
+	opts := Options{Estimators: 16, MaxDepth: 5, LearningRate: 0.3, Lambda: 1, Bins: 64, Workers: workers}
+	m := New(opts)
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	xt, _ := mltest.Blobs(seed+100, 300, 8, 2.2)
+	preds := m.Predict(xt)
+	scores := make([]uint64, len(xt))
+	for i := range xt {
+		scores[i] = math.Float64bits(m.Score(xt[i]))
+	}
+	return buf.Bytes(), preds, scores, m.GainImportance()
+}
+
+// TestFitWorkersBitForBit proves the determinism contract of the parallel
+// trainer: for every seed, the model fitted with 2 or 8 workers is
+// byte-identical (serialized trees, predictions, raw score bits, gain
+// importances) to the serial Workers=1 fit.
+func TestFitWorkersBitForBit(t *testing.T) {
+	for _, seed := range []uint64{31, 32, 33} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			refModel, refPreds, refScores, refGain := fitSerialized(t, seed, 1)
+			for _, workers := range []int{2, 8} {
+				model, preds, scores, gain := fitSerialized(t, seed, workers)
+				if !bytes.Equal(model, refModel) {
+					t.Fatalf("workers=%d: serialized model differs from serial fit", workers)
+				}
+				for i := range refPreds {
+					if preds[i] != refPreds[i] {
+						t.Fatalf("workers=%d: prediction %d differs: %d vs %d", workers, i, preds[i], refPreds[i])
+					}
+				}
+				for i := range refScores {
+					if scores[i] != refScores[i] {
+						t.Fatalf("workers=%d: score bits differ at row %d", workers, i)
+					}
+				}
+				for i := range refGain {
+					if math.Float64bits(gain[i]) != math.Float64bits(refGain[i]) {
+						t.Fatalf("workers=%d: gain importance %d differs: %v vs %v", workers, i, gain[i], refGain[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPredictWorkersBitForBit checks that the sharded Predict path returns
+// exactly what the serial path returns on the same fitted model, including
+// rows with missing values.
+func TestPredictWorkersBitForBit(t *testing.T) {
+	x, y := mltest.Blobs(41, 500, 6, 2.5)
+	// Punch NaN holes so the missing-direction logic is on the scored path.
+	for i := 0; i < len(x); i += 7 {
+		x[i][i%6] = math.NaN()
+	}
+	serial := New(Options{Estimators: 12, MaxDepth: 4, Bins: 48, Workers: 1})
+	if err := serial.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	ref := serial.Predict(x)
+	for _, workers := range []int{2, 8} {
+		m := New(Options{Estimators: 12, MaxDepth: 4, Bins: 48, Workers: workers})
+		if err := m.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		got := m.Predict(x)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: Predict row %d = %d, serial = %d", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// BenchmarkFitWorkers measures the histogram trainer at explicit pool
+// sizes; compare the serial and parallel sub-benchmarks to read speedup.
+func BenchmarkFitWorkers(b *testing.B) {
+	x, y := mltest.Blobs(1, 4000, 24, 2)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := Options{Estimators: 24, MaxDepth: 8, LearningRate: 0.3, Lambda: 1, Bins: 64, Workers: workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := New(opts)
+				if err := m.Fit(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictWorkers measures batch prediction at explicit pool sizes.
+func BenchmarkPredictWorkers(b *testing.B) {
+	x, y := mltest.Blobs(1, 20000, 24, 2)
+	m := New(Options{Estimators: 24, MaxDepth: 8, Bins: 64, Workers: 1})
+	if err := m.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			m.opts.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m.Predict(x)
+			}
+		})
+	}
+}

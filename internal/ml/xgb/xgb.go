@@ -5,6 +5,13 @@
 // per Fit, and each tree node scans per-bin gradient statistics, giving
 // training cost O(rows·cols + nodes·cols·bins).
 //
+// Training and scoring are feature-/row-parallel on a bounded worker pool
+// (internal/par) with deterministic ordered reductions: every worker owns a
+// contiguous feature or row range, per-cell accumulation order matches the
+// serial loop, and split candidates merge in ascending feature order — so
+// tree structure and scores are bit-for-bit identical at every worker
+// count, including the Workers == 1 serial fallback.
+//
 // The implementation exposes per-feature total gain, the importance measure
 // plotted in Figure 10.
 package xgb
@@ -12,9 +19,9 @@ package xgb
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/par"
 )
 
 // Options are the XGBoost hyperparameters exercised by the Appendix C grid.
@@ -34,6 +41,11 @@ type Options struct {
 	MinChildWeight float64
 	// Bins is the number of histogram bins per feature.
 	Bins int
+	// Workers bounds the worker pool for Fit and Predict: 0 sizes from
+	// GOMAXPROCS, 1 forces the serial path. Results are identical at every
+	// value; the knob is an execution parameter, so it is not serialized
+	// with fitted models.
+	Workers int `json:"-"`
 }
 
 // DefaultOptions mirrors the paper's selected operating point with
@@ -119,6 +131,19 @@ func New(opts Options) *Model {
 	return &Model{opts: opts}
 }
 
+// minParallelWork is the work floor (inner-loop iterations) below which a
+// parallel region is not worth its goroutine fan-out and runs serially.
+// Purely a scheduling decision: outputs are identical either way.
+const minParallelWork = 4096
+
+// gate returns the worker count for a region with `work` inner iterations.
+func gate(workers, work int) int {
+	if work < minParallelWork {
+		return 1
+	}
+	return workers
+}
+
 // histogram layout: one (gradSum, hessSum, count) triple per (feature, bin).
 type histo struct {
 	g, h []float64
@@ -133,11 +158,16 @@ func newHisto(cols, bins int) *histo {
 	}
 }
 
-func (hg *histo) reset() {
-	for i := range hg.g {
-		hg.g[i] = 0
-		hg.h[i] = 0
-		hg.n[i] = 0
+// resetRange clears the cells of features [lo, hi) — each histogram worker
+// clears exactly the range it will accumulate.
+func (hg *histo) resetRange(lo, hi int) {
+	g := hg.g[lo*256 : hi*256]
+	h := hg.h[lo*256 : hi*256]
+	n := hg.n[lo*256 : hi*256]
+	for i := range g {
+		g[i] = 0
+		h[i] = 0
+		n[i] = 0
 	}
 }
 
@@ -150,6 +180,7 @@ func (m *Model) Fit(x [][]float64, y []int) error {
 	m.cols = cols
 	m.gain = make([]float64, cols)
 	m.trees = m.trees[:0]
+	workers := par.Workers(m.opts.Workers)
 
 	// Base score: log odds of the training positive rate.
 	pos := 0
@@ -161,48 +192,37 @@ func (m *Model) Fit(x [][]float64, y []int) error {
 	p := (float64(pos) + 1) / (float64(rows) + 2)
 	m.base = math.Log(p / (1 - p))
 
-	// Quantile binning per feature. binIdx[i*cols+j] = bin of x[i][j];
-	// bins index 0..Bins-1, missing = 255.
+	// Quantile binning per feature, feature-parallel: every worker owns a
+	// contiguous column range with a reusable sort buffer. binIdx[i*cols+j]
+	// = bin of x[i][j]; bins index 0..Bins-1, missing = 255.
 	bins := m.opts.Bins
 	if bins > 254 {
 		bins = 254
 	}
 	edges := make([][]float64, cols)
 	binIdx := make([]uint8, rows*cols)
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	colCh := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			vals := make([]float64, 0, rows)
-			for j := range colCh {
-				vals = vals[:0]
-				for i := 0; i < rows; i++ {
-					if !math.IsNaN(x[i][j]) {
-						vals = append(vals, x[i][j])
-					}
-				}
-				sort.Float64s(vals)
-				e := quantileEdges(vals, bins)
-				edges[j] = e
-				for i := 0; i < rows; i++ {
-					v := x[i][j]
-					if math.IsNaN(v) {
-						binIdx[i*cols+j] = 255
-						continue
-					}
-					binIdx[i*cols+j] = uint8(sort.SearchFloat64s(e, v))
+	par.ForChunks(gate(workers, rows*cols), cols, func(_, lo, hi int) {
+		vals := make([]float64, 0, rows)
+		for j := lo; j < hi; j++ {
+			vals = vals[:0]
+			for i := 0; i < rows; i++ {
+				if !math.IsNaN(x[i][j]) {
+					vals = append(vals, x[i][j])
 				}
 			}
-		}()
-	}
-	for j := 0; j < cols; j++ {
-		colCh <- j
-	}
-	close(colCh)
-	wg.Wait()
+			sort.Float64s(vals)
+			e := quantileEdges(vals, bins)
+			edges[j] = e
+			for i := 0; i < rows; i++ {
+				v := x[i][j]
+				if math.IsNaN(v) {
+					binIdx[i*cols+j] = 255
+					continue
+				}
+				binIdx[i*cols+j] = uint8(sort.SearchFloat64s(e, v))
+			}
+		}
+	})
 
 	margin := make([]float64, rows)
 	for i := range margin {
@@ -211,20 +231,27 @@ func (m *Model) Fit(x [][]float64, y []int) error {
 	grad := make([]float64, rows)
 	hess := make([]float64, rows)
 
+	b := newTreeBuilder(m, cols, workers)
 	for t := 0; t < m.opts.Estimators; t++ {
-		for i := 0; i < rows; i++ {
-			pi := sigmoid(margin[i])
-			grad[i] = pi - float64(y[i])
-			hess[i] = pi * (1 - pi)
-			if hess[i] < 1e-16 {
-				hess[i] = 1e-16
+		// Row-parallel gradient/hessian refresh: each row's statistics are
+		// independent, so sharding rows is trivially deterministic.
+		par.ForChunks(gate(workers, rows), rows, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pi := sigmoid(margin[i])
+				grad[i] = pi - float64(y[i])
+				hess[i] = pi * (1 - pi)
+				if hess[i] < 1e-16 {
+					hess[i] = 1e-16
+				}
 			}
-		}
-		tr := m.buildTree(x, binIdx, edges, grad, hess, cols)
+		})
+		tr := b.build(x, binIdx, edges, grad, hess)
 		m.trees = append(m.trees, tr)
-		for i := 0; i < rows; i++ {
-			margin[i] += tr.predict(x[i])
-		}
+		par.ForChunks(gate(workers, rows), rows, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				margin[i] += tr.predict(x[i])
+			}
+		})
 	}
 	return nil
 }
@@ -257,7 +284,39 @@ type buildItem struct {
 	hSum    float64
 }
 
-func (m *Model) buildTree(x [][]float64, binIdx []uint8, edges [][]float64, grad, hess []float64, cols int) tree {
+// splitCand is one worker's best split over its feature range.
+type splitCand struct {
+	gain     float64
+	feat     int
+	bin      int
+	missLeft bool
+}
+
+// treeBuilder carries the per-tree scratch state reused across boosting
+// rounds: the shared histogram (feature ranges are disjoint across workers)
+// and the per-feature missing-value sums.
+type treeBuilder struct {
+	m       *Model
+	cols    int
+	workers int
+	hg      *histo
+	missG   []float64
+	missH   []float64
+}
+
+func newTreeBuilder(m *Model, cols, workers int) *treeBuilder {
+	return &treeBuilder{
+		m:       m,
+		cols:    cols,
+		workers: workers,
+		hg:      newHisto(cols, 256),
+		missG:   make([]float64, cols),
+		missH:   make([]float64, cols),
+	}
+}
+
+func (b *treeBuilder) build(x [][]float64, binIdx []uint8, edges [][]float64, grad, hess []float64) tree {
+	m, cols := b.m, b.cols
 	rows := len(x)
 	all := make([]int, rows)
 	var g0, h0 float64
@@ -268,7 +327,6 @@ func (m *Model) buildTree(x [][]float64, binIdx []uint8, edges [][]float64, grad
 	}
 	tr := tree{nodes: []node{{feature: -1}}}
 	queue := []buildItem{{nodeIdx: 0, rows: all, depth: 0, gSum: g0, hSum: h0}}
-	hg := newHisto(cols, 256)
 	lambda := m.opts.Lambda
 
 	for len(queue) > 0 {
@@ -281,74 +339,99 @@ func (m *Model) buildTree(x [][]float64, binIdx []uint8, edges [][]float64, grad
 			continue
 		}
 
-		// Build histograms for this node.
-		hg.reset()
-		missG := make([]float64, cols)
-		missH := make([]float64, cols)
-		for _, r := range it.rows {
-			base := r * cols
-			for j := 0; j < cols; j++ {
-				b := binIdx[base+j]
-				if b == 255 {
-					missG[j] += grad[r]
-					missH[j] += hess[r]
-					continue
-				}
-				k := j*256 + int(b)
-				hg.g[k] += grad[r]
-				hg.h[k] += hess[r]
-				hg.n[k]++
-			}
+		// Histogram build + split scan for this node, feature-parallel:
+		// every worker owns a contiguous feature range, so each
+		// (feature, bin) cell is accumulated by exactly one worker in row
+		// order — the same floating-point sum as the serial loop. Each
+		// worker then scans only the histograms it built and reports its
+		// best candidate; candidates merge below in ascending feature order,
+		// reproducing the serial scan's first-strictly-greater tie-breaking.
+		nodeWorkers := gate(b.workers, len(it.rows)*cols)
+		if nodeWorkers > cols {
+			nodeWorkers = cols
 		}
-
+		cands := make([]splitCand, nodeWorkers)
 		parentScore := it.gSum * it.gSum / (it.hSum + lambda)
-		bestGain := m.opts.Gamma
-		bestFeat, bestBin := -1, -1
-		bestMissLeft := false
-		for j := 0; j < cols; j++ {
-			nb := len(edges[j]) + 1
-			var gl, hl float64
-			for b := 0; b < nb-1; b++ {
-				k := j*256 + b
-				gl += hg.g[k]
-				hl += hg.h[k]
-				// Try missing values going right (default) and left.
-				for _, missLeft := range [2]bool{false, true} {
-					gL, hL := gl, hl
-					if missLeft {
-						gL += missG[j]
-						hL += missH[j]
-					}
-					gR := it.gSum - gL
-					hR := it.hSum - hL
-					if hL < m.opts.MinChildWeight || hR < m.opts.MinChildWeight {
+		par.ForChunks(nodeWorkers, cols, func(w, lo, hi int) {
+			b.hg.resetRange(lo, hi)
+			hg := b.hg
+			missG := b.missG[lo:hi:hi]
+			missH := b.missH[lo:hi:hi]
+			for i := range missG {
+				missG[i] = 0
+				missH[i] = 0
+			}
+			for _, r := range it.rows {
+				base := r * cols
+				for j := lo; j < hi; j++ {
+					bin := binIdx[base+j]
+					if bin == 255 {
+						missG[j-lo] += grad[r]
+						missH[j-lo] += hess[r]
 						continue
 					}
-					gain := 0.5 * (gL*gL/(hL+lambda) + gR*gR/(hR+lambda) - parentScore)
-					if gain > bestGain {
-						bestGain = gain
-						bestFeat, bestBin = j, b
-						bestMissLeft = missLeft
+					k := j*256 + int(bin)
+					hg.g[k] += grad[r]
+					hg.h[k] += hess[r]
+					hg.n[k]++
+				}
+			}
+
+			best := splitCand{gain: m.opts.Gamma, feat: -1, bin: -1}
+			for j := lo; j < hi; j++ {
+				nb := len(edges[j]) + 1
+				var gl, hl float64
+				for bin := 0; bin < nb-1; bin++ {
+					k := j*256 + bin
+					gl += hg.g[k]
+					hl += hg.h[k]
+					// Try missing values going right (default) and left.
+					for _, missLeft := range [2]bool{false, true} {
+						gL, hL := gl, hl
+						if missLeft {
+							gL += missG[j-lo]
+							hL += missH[j-lo]
+						}
+						gR := it.gSum - gL
+						hR := it.hSum - hL
+						if hL < m.opts.MinChildWeight || hR < m.opts.MinChildWeight {
+							continue
+						}
+						gain := 0.5 * (gL*gL/(hL+lambda) + gR*gR/(hR+lambda) - parentScore)
+						if gain > best.gain {
+							best = splitCand{gain: gain, feat: j, bin: bin, missLeft: missLeft}
+						}
 					}
 				}
 			}
+			cands[w] = best
+		})
+
+		// Ordered reduction: chunk w covers lower features than chunk w+1,
+		// and within a chunk the serial tie-break already applied, so taking
+		// the first strictly-greater candidate equals the serial scan.
+		best := splitCand{gain: m.opts.Gamma, feat: -1, bin: -1}
+		for _, c := range cands {
+			if c.feat >= 0 && c.gain > best.gain {
+				best = c
+			}
 		}
-		if bestFeat < 0 {
+		if best.feat < 0 {
 			tr.nodes[it.nodeIdx] = node{feature: -1, leaf: leafWeight}
 			continue
 		}
-		m.gain[bestFeat] += bestGain
+		m.gain[best.feat] += best.gain
 
-		thresh := edges[bestFeat][bestBin]
+		thresh := edges[best.feat][best.bin]
 		var leftRows, rightRows []int
 		var gL, hL float64
 		for _, r := range it.rows {
-			b := binIdx[r*cols+bestFeat]
+			bin := binIdx[r*cols+best.feat]
 			goLeft := false
-			if b == 255 {
-				goLeft = bestMissLeft
+			if bin == 255 {
+				goLeft = best.missLeft
 			} else {
-				goLeft = int(b) <= bestBin
+				goLeft = int(bin) <= best.bin
 			}
 			if goLeft {
 				leftRows = append(leftRows, r)
@@ -365,11 +448,11 @@ func (m *Model) buildTree(x [][]float64, binIdx []uint8, edges [][]float64, grad
 		li := len(tr.nodes)
 		tr.nodes = append(tr.nodes, node{feature: -1}, node{feature: -1})
 		tr.nodes[it.nodeIdx] = node{
-			feature: bestFeat,
+			feature: best.feat,
 			thresh:  thresh,
 			left:    li,
 			right:   li + 1,
-			defLeft: bestMissLeft,
+			defLeft: best.missLeft,
 		}
 		queue = append(queue,
 			buildItem{nodeIdx: li, rows: leftRows, depth: it.depth + 1, gSum: gL, hSum: hL},
@@ -390,14 +473,18 @@ func (m *Model) Score(row []float64) float64 {
 	return sigmoid(z)
 }
 
-// Predict labels rows at the 0.5 probability threshold.
+// Predict labels rows at the 0.5 probability threshold. Rows are scored in
+// parallel shards; every output slot depends only on its own row, so the
+// result is identical at any worker count.
 func (m *Model) Predict(x [][]float64) []int {
 	out := make([]int, len(x))
-	for i, row := range x {
-		if m.Score(row) >= 0.5 {
-			out[i] = 1
+	par.ForChunks(gate(par.Workers(m.opts.Workers), len(x)*(1+len(m.trees))), len(x), func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if m.Score(x[i]) >= 0.5 {
+				out[i] = 1
+			}
 		}
-	}
+	})
 	return out
 }
 

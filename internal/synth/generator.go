@@ -275,7 +275,11 @@ func (g *Generator) churnReflectors() {
 		return
 	}
 	perMin := g.p.ReflectorChurnPerDay / 1440
-	for _, pool := range g.refl {
+	// Pools must churn in a fixed order: ranging over the map directly
+	// would consume g.rng in a different sequence every process run,
+	// making corpora (and everything trained on them) irreproducible.
+	for _, v := range AllVectors {
+		pool := g.refl[v.Name]
 		n := poisson(g.rng, perMin*float64(len(pool)))
 		for i := 0; i < n; i++ {
 			pool[g.rng.IntN(len(pool))] = g.randomPublicIP()

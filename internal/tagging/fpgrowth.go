@@ -2,6 +2,8 @@ package tagging
 
 import (
 	"sort"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/par"
 )
 
 // Itemset is a frequent itemset with its occurrence counts: Count over all
@@ -72,8 +74,19 @@ type Transaction struct {
 // itemset whose support count is at least minCount, with blackhole
 // co-occurrence counts. Identical transactions should be pre-aggregated by
 // the caller for speed (see AggregateTransactions); they are also handled
-// correctly if not.
+// correctly if not. The worker pool is sized from GOMAXPROCS; use
+// MineFrequentWorkers to pin it.
 func MineFrequent(txs []Transaction, minCount int) []Itemset {
+	return MineFrequentWorkers(txs, minCount, 0)
+}
+
+// MineFrequentWorkers is MineFrequent on a bounded worker pool: the
+// conditional trees of the top-level header-table items are mined
+// concurrently and their itemsets concatenated in header order, which
+// reproduces the serial DFS emission order exactly — output is bit-for-bit
+// identical for every worker count. workers <= 0 sizes from GOMAXPROCS;
+// workers == 1 is the serial path.
+func MineFrequentWorkers(txs []Transaction, minCount, workers int) []Itemset {
 	if minCount < 1 {
 		minCount = 1
 	}
@@ -85,8 +98,26 @@ func MineFrequent(txs []Transaction, minCount int) []Itemset {
 		}
 	}
 	tree := buildTree(txs, freq, minCount)
+	w := par.Workers(workers)
+	if w <= 1 || len(tree.headers) <= 1 {
+		var out []Itemset
+		mine(tree, nil, minCount, &out)
+		return out
+	}
+	// The built tree is read-only during mining: workers only walk parent
+	// and header chains and grow private conditional trees. Each header
+	// item's subtree lands in its own slot; the ordered concatenation below
+	// is the stable merge.
+	outs := make([][]Itemset, len(tree.headers))
+	par.For(w, len(tree.headers), func(hi int) {
+		var out []Itemset
+		mineHeader(tree, hi, nil, minCount, &out)
+		outs[hi] = out
+	})
 	var out []Itemset
-	mine(tree, nil, minCount, &out)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
 	return out
 }
 
@@ -151,78 +182,86 @@ func buildTree(txs []Transaction, freq map[Item]int, minCount int) *fpTree {
 	return t
 }
 
-// mine emits all frequent itemsets of tree suffixed with suffix.
+// mine emits all frequent itemsets of tree suffixed with suffix, serially,
+// in DFS order over the header table.
 func mine(t *fpTree, suffix []Item, minCount int, out *[]Itemset) {
 	for hi := range t.headers {
-		h := &t.headers[hi]
-		// Total support of item within this conditional tree.
-		total, totalBH := 0, 0
-		for n := h.head; n != nil; n = n.next {
-			total += n.count
-			totalBH += n.bhCount
-		}
-		if total < minCount {
-			continue
-		}
-		itemset := make([]Item, 0, len(suffix)+1)
-		itemset = append(itemset, h.item)
-		itemset = append(itemset, suffix...)
-		*out = append(*out, Itemset{Items: sortedCopy(itemset), Count: total, BHCount: totalBH})
-
-		// Conditional pattern base for this item.
-		condFreq := make(map[Item]int)
-		type path struct {
-			items   []Item
-			count   int
-			bhCount int
-		}
-		var paths []path
-		for n := h.head; n != nil; n = n.next {
-			var items []Item
-			for p := n.parent; p != nil && p.parent != nil; p = p.parent {
-				items = append(items, p.item)
-			}
-			if len(items) == 0 {
-				continue
-			}
-			paths = append(paths, path{items: items, count: n.count, bhCount: n.bhCount})
-			for _, it := range items {
-				condFreq[it] += n.count
-			}
-		}
-		if len(paths) == 0 {
-			continue
-		}
-		cond := newFPTree()
-		for it, c := range condFreq {
-			if c >= minCount {
-				cond.headers = append(cond.headers, headerEntry{item: it, count: c})
-			}
-		}
-		if len(cond.headers) == 0 {
-			continue
-		}
-		sort.Slice(cond.headers, func(i, j int) bool {
-			if cond.headers[i].count != cond.headers[j].count {
-				return cond.headers[i].count < cond.headers[j].count
-			}
-			return cond.headers[i].item < cond.headers[j].item
-		})
-		for i := range cond.headers {
-			cond.index[cond.headers[i].item] = i
-		}
-		for _, p := range paths {
-			kept := p.items[:0]
-			for _, it := range p.items {
-				if _, ok := cond.index[it]; ok {
-					kept = append(kept, it)
-				}
-			}
-			sort.Slice(kept, func(a, b int) bool { return cond.index[kept[a]] > cond.index[kept[b]] })
-			cond.insert(kept, p.count, p.bhCount)
-		}
-		mine(cond, itemset, minCount, out)
+		mineHeader(t, hi, suffix, minCount, out)
 	}
+}
+
+// mineHeader emits the frequent itemsets rooted at header item hi: the
+// itemset of the item itself followed by every itemset of its conditional
+// tree. It never mutates t, so distinct header items mine concurrently.
+func mineHeader(t *fpTree, hi int, suffix []Item, minCount int, out *[]Itemset) {
+	h := &t.headers[hi]
+	// Total support of item within this conditional tree.
+	total, totalBH := 0, 0
+	for n := h.head; n != nil; n = n.next {
+		total += n.count
+		totalBH += n.bhCount
+	}
+	if total < minCount {
+		return
+	}
+	itemset := make([]Item, 0, len(suffix)+1)
+	itemset = append(itemset, h.item)
+	itemset = append(itemset, suffix...)
+	*out = append(*out, Itemset{Items: sortedCopy(itemset), Count: total, BHCount: totalBH})
+
+	// Conditional pattern base for this item.
+	condFreq := make(map[Item]int)
+	type path struct {
+		items   []Item
+		count   int
+		bhCount int
+	}
+	var paths []path
+	for n := h.head; n != nil; n = n.next {
+		var items []Item
+		for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+			items = append(items, p.item)
+		}
+		if len(items) == 0 {
+			continue
+		}
+		paths = append(paths, path{items: items, count: n.count, bhCount: n.bhCount})
+		for _, it := range items {
+			condFreq[it] += n.count
+		}
+	}
+	if len(paths) == 0 {
+		return
+	}
+	cond := newFPTree()
+	for it, c := range condFreq {
+		if c >= minCount {
+			cond.headers = append(cond.headers, headerEntry{item: it, count: c})
+		}
+	}
+	if len(cond.headers) == 0 {
+		return
+	}
+	sort.Slice(cond.headers, func(i, j int) bool {
+		if cond.headers[i].count != cond.headers[j].count {
+			return cond.headers[i].count < cond.headers[j].count
+		}
+		return cond.headers[i].item < cond.headers[j].item
+	})
+	for i := range cond.headers {
+		cond.index[cond.headers[i].item] = i
+	}
+	for _, p := range paths {
+		kept := p.items[:0]
+		for _, it := range p.items {
+			if _, ok := cond.index[it]; ok {
+				kept = append(kept, it)
+			}
+		}
+		sort.Slice(kept, func(a, b int) bool { return cond.index[kept[a]] > cond.index[kept[b]] })
+		cond.insert(kept, p.count, p.bhCount)
+	}
+	mine(cond, itemset, minCount, out)
 }
 
 func sortedCopy(items []Item) []Item {
@@ -230,4 +269,3 @@ func sortedCopy(items []Item) []Item {
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
-

@@ -65,6 +65,9 @@ type MineOptions struct {
 	// (paper: 0.01 after the Appendix A sensitivity study).
 	LossConfidence float64
 	LossSupport    float64
+	// Workers bounds the FP-Growth worker pool: 0 sizes from GOMAXPROCS,
+	// 1 forces the serial path. Mined rules are identical at every value.
+	Workers int
 }
 
 // DefaultMineOptions returns the paper's operating point.
@@ -108,7 +111,7 @@ func MineTransactions(txs []Transaction, opts MineOptions) ([]Rule, MiningReport
 	if len(txs) == 0 {
 		return nil, rep
 	}
-	itemsets := MineFrequent(txs, opts.MinSupportCount)
+	itemsets := MineFrequentWorkers(txs, opts.MinSupportCount, opts.Workers)
 	rep.FrequentItemsets = len(itemsets)
 
 	// Index itemsets for consequent enumeration.

@@ -99,6 +99,17 @@ func (e *Encoder) Fit() {
 	e.fitLocked()
 }
 
+// EnsureFitted refits only if observations arrived since the last Fit.
+// Callers fanning WoE lookups across workers call this first so the lazy
+// refit inside WoE never serializes the parallel region.
+func (e *Encoder) EnsureFitted() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.dirty {
+		e.fitLocked()
+	}
+}
+
 func (e *Encoder) fitLocked() {
 	base := e.Smoothing
 	if base <= 0 {

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Runs the serial-vs-parallel sub-benchmarks (XGB fit/predict, FP-Growth
+# mining, the experiments harness) and records the results as
+# BENCH_PR1.json at the repo root, tagged with the core count so speedup
+# numbers are read against the hardware that produced them.
+#
+# Usage: scripts/bench.sh [-benchtime 1x] [-count 1]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime=1x
+count=1
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -benchtime) benchtime=$2; shift 2 ;;
+    -count) count=$2; shift 2 ;;
+    *) echo "usage: $0 [-benchtime DUR] [-count N]" >&2; exit 2 ;;
+    esac
+done
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'BenchmarkFitWorkers|BenchmarkPredictWorkers' \
+    -benchtime "$benchtime" -count "$count" ./internal/ml/xgb | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkMineFrequentWorkers' \
+    -benchtime "$benchtime" -count "$count" ./internal/tagging | tee -a "$tmp"
+go test -run '^$' -bench 'BenchmarkHarnessWorkers' \
+    -benchtime "$benchtime" -count "$count" . | tee -a "$tmp"
+
+awk -v cores="$(nproc)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"cores\": %d,\n  \"benchmarks\": [\n", date, cores
+    first = 1
+}
+$1 ~ /^Benchmark/ && $4 == "ns\/op" {
+    if (!first) printf ",\n"
+    first = 0
+    printf "    {\"name\": \"%s\", \"ns_per_op\": %s}", $1, $3
+}
+END { print "\n  ]\n}" }
+' "$tmp" > BENCH_PR1.json
+
+echo "wrote BENCH_PR1.json ($(nproc) cores)"
