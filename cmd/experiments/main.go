@@ -16,16 +16,18 @@ import (
 	"time"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/experiments"
+	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "", "experiment ID to run, or 'all'")
-		scale   = flag.Float64("scale", 1.0, "time-window scale factor (1.0 = documented baseline)")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
-		out     = flag.String("out", "", "also write results to this file")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); outputs are identical at every value")
+		run        = flag.String("run", "", "experiment ID to run, or 'all'")
+		scale      = flag.Float64("scale", 1.0, "time-window scale factor (1.0 = documented baseline)")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		out        = flag.String("out", "", "also write results to this file")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); outputs are identical at every value")
+		metricsOut = flag.String("metrics-out", "", "write per-artifact wall-time/output metrics (Prometheus text) to this file after the run")
 	)
 	flag.Parse()
 
@@ -50,6 +52,11 @@ func main() {
 		w = io.MultiWriter(os.Stdout, f)
 	}
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		cfg.Metrics = reg
+	}
 
 	emit := func(res *experiments.Result) {
 		fmt.Fprintln(w, res.Render())
@@ -70,4 +77,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(w, "total runtime: %s\n", time.Since(start).Round(time.Millisecond))
+	if reg != nil {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		werr := reg.WritePrometheus(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "experiments: writing metrics:", werr)
+			os.Exit(1)
+		}
+	}
 }

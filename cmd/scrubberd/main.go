@@ -9,16 +9,25 @@
 //
 //	scrubberd -sflow :6343 -bgp :1179 -train-every 60m -window 24h -acl-out acls.txt
 //
+// With -metrics, the daemon serves its observability surface on one mux:
+//
+//	/metrics        Prometheus text exposition of every pipeline stage
+//	/healthz        liveness (200 while the process runs)
+//	/readyz         readiness (200 once the first model has trained)
+//	/debug/pprof/   standard Go profiling endpoints
+//
 // Without real traffic sources, pair it with the live-ixp example, which
 // replays synthetic member traffic against both sockets.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
@@ -31,6 +40,7 @@ import (
 	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
 	"github.com/ixp-scrubber/ixpscrubber/internal/core"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
 	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
 )
 
@@ -43,16 +53,39 @@ func main() {
 		window     = flag.Duration("window", 24*time.Hour, "sliding training window")
 		aclOut     = flag.String("acl-out", "", "file to write generated ACLs to (stdout if empty)")
 		rulesOut   = flag.String("rules-out", "", "file to export the mined rule list to after each training round")
+		metrics    = flag.String("metrics", "", "HTTP address serving /metrics, /healthz, /readyz and /debug/pprof (e.g. :9090); empty disables")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	if err := run(ctx, log, *sflowAddr, *bgpAddr, uint16(*asn), *trainEvery, *window, *aclOut, *rulesOut); err != nil {
+	opts := options{
+		SFlowAddr:   *sflowAddr,
+		BGPAddr:     *bgpAddr,
+		ASN:         uint16(*asn),
+		TrainEvery:  *trainEvery,
+		Window:      *window,
+		ACLOut:      *aclOut,
+		RulesOut:    *rulesOut,
+		MetricsAddr: *metrics,
+	}
+	if err := run(ctx, log, opts); err != nil {
 		log.Error("scrubberd failed", "err", err)
 		os.Exit(1)
 	}
+}
+
+// options configures one daemon instance.
+type options struct {
+	SFlowAddr   string
+	BGPAddr     string
+	ASN         uint16
+	TrainEvery  time.Duration
+	Window      time.Duration
+	ACLOut      string
+	RulesOut    string
+	MetricsAddr string // empty disables the observability server
 }
 
 // slidingStore holds the balanced records of the training window.
@@ -83,26 +116,76 @@ func (s *slidingStore) snapshot(now time.Time) []netflow.Record {
 	return append([]netflow.Record(nil), s.records...)
 }
 
-func run(ctx context.Context, log *slog.Logger, sflowAddr, bgpAddr string, asn uint16, trainEvery, window time.Duration, aclOut, rulesOut string) error {
+// trainMetrics instruments the daemon's training loop and ACL output; the
+// zero value (no registry) disables everything.
+type trainMetrics struct {
+	rounds        *obs.Counter
+	failures      *obs.Counter
+	skipped       *obs.Counter
+	duration      *obs.Histogram
+	windowRecords *obs.Gauge
+	flagged       *obs.Gauge
+	aclWrites     *obs.Counter
+	aclEntries    *obs.Gauge
+}
+
+func newTrainMetrics(r *obs.Registry) *trainMetrics {
+	return &trainMetrics{
+		rounds: r.Counter("ixps_training_rounds_total",
+			"Training rounds completed successfully."),
+		failures: r.Counter("ixps_training_failures_total",
+			"Training rounds that returned an error."),
+		skipped: r.Counter("ixps_training_skipped_total",
+			"Training ticks skipped for lack of balanced records."),
+		duration: r.Histogram("ixps_training_duration_seconds",
+			"Wall time of one full training round (mine + fit + classify + ACLs).", nil),
+		windowRecords: r.Gauge("ixps_training_window_records",
+			"Balanced records inside the sliding training window."),
+		flagged: r.Gauge("ixps_flagged_targets",
+			"Targets flagged as DDoS victims by the last round."),
+		aclWrites: r.Counter("ixps_acl_writes_total",
+			"ACL files written (or printed) after training rounds."),
+		aclEntries: r.Gauge("ixps_acl_entries",
+			"ACL entries generated by the last round."),
+	}
+}
+
+func run(ctx context.Context, log *slog.Logger, o options) error {
+	// Observability first, so every stage can register before traffic.
+	var (
+		reg    *obs.Registry
+		health obs.Health
+		tm     *trainMetrics
+	)
+	if o.MetricsAddr != "" {
+		reg = obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+		tm = newTrainMetrics(reg)
+	}
+
 	// BGP route server feeding the blackhole registry.
-	ln, err := net.Listen("tcp", bgpAddr)
+	ln, err := net.Listen("tcp", o.BGPAddr)
 	if err != nil {
 		return fmt.Errorf("bgp listen: %w", err)
 	}
 	registry := bgp.NewRegistry()
-	rs := &bgp.RouteServer{ASN: asn, RouterID: [4]byte{10, 0, 0, 1}, Registry: registry, Log: log}
+	rs := &bgp.RouteServer{ASN: o.ASN, RouterID: [4]byte{10, 0, 0, 1}, Registry: registry, Log: log}
+	if reg != nil {
+		rs.RegisterMetrics(reg)
+	}
 	rsDone := make(chan error, 1)
 	go func() { rsDone <- rs.Serve(ctx, ln) }()
 	log.Info("route server listening", "addr", ln.Addr())
 
 	// sFlow collector feeding the online balancer.
-	pc, err := net.ListenPacket("udp", sflowAddr)
+	pc, err := net.ListenPacket("udp", o.SFlowAddr)
 	if err != nil {
 		return fmt.Errorf("sflow listen: %w", err)
 	}
-	store := &slidingStore{window: window}
+	store := &slidingStore{window: o.Window}
 	bal := balance.ForRecords(uint64(time.Now().UnixNano()), store.add)
 	var balMu sync.Mutex
+	var balMetrics *balance.Metrics
 	collector := &sflow.Collector{
 		Label: registry.Covered,
 		Log:   log,
@@ -112,40 +195,97 @@ func run(ctx context.Context, log *slog.Logger, sflowAddr, bgpAddr string, asn u
 			balMu.Unlock()
 		},
 	}
+	if reg != nil {
+		collector.RegisterMetrics(reg)
+		balMetrics = balance.RegisterMetrics(reg)
+	}
 	colDone := make(chan error, 1)
 	go func() { colDone <- collector.Listen(ctx, pc) }()
 	log.Info("sflow collector listening", "addr", pc.LocalAddr())
 
-	ticker := time.NewTicker(trainEvery)
+	// Observability server, once the pipeline stages are registered.
+	var srvDone chan error
+	if reg != nil {
+		mln, err := net.Listen("tcp", o.MetricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listen: %w", err)
+		}
+		srv := &http.Server{Handler: obs.NewMux(reg, &health)}
+		srvDone = make(chan error, 1)
+		go func() {
+			if err := srv.Serve(mln); !errors.Is(err, http.ErrServerClosed) {
+				srvDone <- err
+				return
+			}
+			srvDone <- nil
+		}()
+		go func() {
+			<-ctx.Done()
+			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(shutCtx)
+		}()
+		log.Info("observability server listening", "addr", mln.Addr())
+	}
+
+	ticker := time.NewTicker(o.TrainEvery)
 	defer ticker.Stop()
 	scrubber := core.New(core.DefaultConfig())
+	if reg != nil {
+		scrubber.SetMetrics(core.RegisterMetrics(reg))
+	}
 
 	for {
 		select {
 		case <-ctx.Done():
 			err1 := <-rsDone
 			err2 := <-colDone
+			var err3 error
+			if srvDone != nil {
+				err3 = <-srvDone
+			}
 			if err1 != nil {
 				return err1
 			}
-			return err2
+			if err2 != nil {
+				return err2
+			}
+			return err3
 		case now := <-ticker.C:
 			balMu.Lock()
 			bal.Flush()
+			balMetrics.Publish(&bal.Stats)
 			balMu.Unlock()
 			records := store.snapshot(now)
+			if tm != nil {
+				tm.windowRecords.Set(float64(len(records)))
+			}
 			if len(records) < 100 {
+				if tm != nil {
+					tm.skipped.Inc()
+				}
 				log.Info("not enough balanced records to train yet", "records", len(records))
 				continue
 			}
-			if err := trainAndClassify(log, scrubber, records, aclOut, rulesOut); err != nil {
+			start := time.Now()
+			if err := trainAndClassify(log, scrubber, records, o.ACLOut, o.RulesOut, tm); err != nil {
+				if tm != nil {
+					tm.failures.Inc()
+				}
 				log.Error("training round failed", "err", err)
+				continue
 			}
+			if tm != nil {
+				tm.rounds.Inc()
+				tm.duration.ObserveSince(start)
+			}
+			// The daemon is ready once it serves a trained model.
+			health.SetReady(true)
 		}
 	}
 }
 
-func trainAndClassify(log *slog.Logger, s *core.Scrubber, records []netflow.Record, aclOut, rulesOut string) error {
+func trainAndClassify(log *slog.Logger, s *core.Scrubber, records []netflow.Record, aclOut, rulesOut string, tm *trainMetrics) error {
 	start := time.Now()
 	rep, err := s.MineRules(records)
 	if err != nil {
@@ -175,6 +315,11 @@ func trainAndClassify(log *slog.Logger, s *core.Scrubber, records []netflow.Reco
 		fmt.Print(text)
 	} else if err := os.WriteFile(aclOut, []byte(text), 0o644); err != nil {
 		return fmt.Errorf("writing ACLs: %w", err)
+	}
+	if tm != nil {
+		tm.aclWrites.Inc()
+		tm.aclEntries.Set(float64(len(entries)))
+		tm.flagged.Set(float64(len(targets)))
 	}
 	if rulesOut != "" {
 		f, err := os.Create(rulesOut)

@@ -2,11 +2,14 @@ package main
 
 import (
 	"context"
+	"io"
 	"log/slog"
 	"net"
+	"net/http"
 	"net/netip"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -17,42 +20,35 @@ import (
 	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
 )
 
-// TestDaemonEndToEnd boots the daemon on loopback ports, replays synthetic
-// member traffic over real sFlow and BGP sessions, waits for a training
-// round, and checks that ACLs were generated for flagged targets.
-func TestDaemonEndToEnd(t *testing.T) {
-	if testing.Short() {
-		t.Skip("live sockets")
+// reservePort grabs a loopback port of the given network and releases it,
+// so the daemon can bind it moments later.
+func reservePort(t *testing.T, network string) string {
+	t.Helper()
+	if network == "udp" {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := pc.LocalAddr().String()
+		pc.Close()
+		return addr
 	}
-	dir := t.TempDir()
-	aclOut := filepath.Join(dir, "acls.txt")
-	rulesOut := filepath.Join(dir, "rules.json")
-	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
-
-	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
-	defer cancel()
-
-	// Reserve loopback ports.
-	sfl, err := net.ListenPacket("udp", "127.0.0.1:0")
+	ln, err := net.Listen(network, "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	sflowAddr := sfl.LocalAddr().String()
-	sfl.Close()
-	bln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	bgpAddr := bln.Addr().String()
-	bln.Close()
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
 
-	done := make(chan error, 1)
-	go func() {
-		done <- run(ctx, log, sflowAddr, bgpAddr, 64999, 500*time.Millisecond, time.Hour, aclOut, rulesOut)
-	}()
-
-	// Wait for the daemon's sockets.
+// replaySynthetic connects to the daemon's BGP and sFlow sockets and
+// replays 21 synthetic minutes of member traffic: blackhole announcements
+// as the generator schedules them, every flow as an sFlow sample.
+func replaySynthetic(ctx context.Context, t *testing.T, sflowAddr, bgpAddr string) {
+	t.Helper()
 	var member *bgp.Conn
+	var err error
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		member, err = bgp.Dial(ctx, bgpAddr, bgp.Open{ASN: 64501, HoldTime: 90, RouterID: [4]byte{10, 0, 0, 1}})
@@ -128,9 +124,43 @@ func TestDaemonEndToEnd(t *testing.T) {
 		// when GOMAXPROCS is small.
 		time.Sleep(15 * time.Millisecond)
 	}
+}
+
+// TestDaemonEndToEnd boots the daemon on loopback ports, replays synthetic
+// member traffic over real sFlow and BGP sessions, waits for a training
+// round, and checks that ACLs were generated for flagged targets.
+func TestDaemonEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets")
+	}
+	dir := t.TempDir()
+	aclOut := filepath.Join(dir, "acls.txt")
+	rulesOut := filepath.Join(dir, "rules.json")
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	sflowAddr := reservePort(t, "udp")
+	bgpAddr := reservePort(t, "tcp")
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, log, options{
+			SFlowAddr:  sflowAddr,
+			BGPAddr:    bgpAddr,
+			ASN:        64999,
+			TrainEvery: 500 * time.Millisecond,
+			Window:     time.Hour,
+			ACLOut:     aclOut,
+			RulesOut:   rulesOut,
+		})
+	}()
+
+	replaySynthetic(ctx, t, sflowAddr, bgpAddr)
 
 	// Wait for a training round to produce rules and ACLs.
-	deadline = time.Now().Add(60 * time.Second)
+	deadline := time.Now().Add(60 * time.Second)
 	for {
 		if fi, err := os.Stat(rulesOut); err == nil && fi.Size() > 2 {
 			break
@@ -151,5 +181,153 @@ func TestDaemonEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(string(aclText), "IXP Scrubber generated ACL") {
 		t.Errorf("ACL output malformed:\n%.200s", aclText)
+	}
+}
+
+// httpGet fetches one observability endpoint, returning status and body.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		return 0, ""
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+// parseMetrics reads Prometheus text exposition into sample -> value,
+// keyed by the full sample name including labels.
+func parseMetrics(body string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// TestDaemonMetricsEndToEnd boots the daemon with the observability server
+// enabled, replays synthetic traffic and blackhole announcements, and
+// asserts that /readyz flips after the first training round and that
+// /metrics exposes nonzero counters for every pipeline stage.
+func TestDaemonMetricsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live sockets")
+	}
+	dir := t.TempDir()
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	sflowAddr := reservePort(t, "udp")
+	bgpAddr := reservePort(t, "tcp")
+	metricsAddr := reservePort(t, "tcp")
+	base := "http://" + metricsAddr
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, log, options{
+			SFlowAddr:   sflowAddr,
+			BGPAddr:     bgpAddr,
+			ASN:         64999,
+			TrainEvery:  500 * time.Millisecond,
+			Window:      time.Hour,
+			ACLOut:      filepath.Join(dir, "acls.txt"),
+			MetricsAddr: metricsAddr,
+		})
+	}()
+
+	// The observability server must come up with the daemon, alive but
+	// not ready: no model has been trained yet.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if code, _ := httpGet(t, base+"/healthz"); code == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("observability server never came up")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if code, body := httpGet(t, base+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before first round = %d %q, want 503", code, body)
+	}
+
+	replaySynthetic(ctx, t, sflowAddr, bgpAddr)
+
+	// Readiness flips once the first training round completes.
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		if code, _ := httpGet(t, base+"/readyz"); code == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, body := httpGet(t, base+"/metrics")
+			t.Fatalf("/readyz never flipped to 200; metrics:\n%s", body)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	code, body := httpGet(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	m := parseMetrics(body)
+	positive := []string{
+		`ixps_collector_datagrams_total{proto="sflow"}`,
+		`ixps_collector_samples_total{proto="sflow"}`,
+		`ixps_collector_records_total{proto="sflow"}`,
+		`ixps_collector_blackholed_total{proto="sflow"}`,
+		"ixps_bgp_sessions_total",
+		"ixps_bgp_blackhole_announcements_total",
+		"ixps_bgp_blackholes_active",
+		"ixps_balancer_records_seen_total",
+		"ixps_balancer_records_kept_total",
+		"ixps_balancer_reduction_ratio",
+		"ixps_training_rounds_total",
+		"ixps_training_window_records",
+		"ixps_training_duration_seconds_count",
+		"ixps_mine_duration_seconds_count",
+		"ixps_fit_duration_seconds_count",
+		"ixps_predict_latency_seconds_count",
+		"ixps_predictions_total",
+		"ixps_rules_accepted",
+		"ixps_acl_writes_total",
+		"go_goroutines",
+	}
+	for _, name := range positive {
+		if v, ok := m[name]; !ok {
+			t.Errorf("metric %s missing from /metrics", name)
+		} else if v <= 0 {
+			t.Errorf("metric %s = %g, want > 0", name, v)
+		}
+	}
+	// The balancer must keep a roughly class-balanced subset: its kept
+	// stream is smaller than what it saw.
+	if m["ixps_balancer_records_kept_total"] >= m["ixps_balancer_records_seen_total"] {
+		t.Errorf("balancer kept %g of %g records — no reduction",
+			m["ixps_balancer_records_kept_total"], m["ixps_balancer_records_seen_total"])
+	}
+
+	// pprof rides on the same mux.
+	if code, _ := httpGet(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("daemon: %v", err)
 	}
 }

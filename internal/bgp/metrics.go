@@ -1,0 +1,96 @@
+package bgp
+
+import "github.com/ixp-scrubber/ixpscrubber/internal/obs"
+
+// ServerMetrics instruments a RouteServer. All methods are nil-receiver
+// safe so the speaker's control flow reads identically whether or not a
+// registry is attached.
+type ServerMetrics struct {
+	sessionsActive *obs.Gauge
+	sessionsTotal  *obs.Counter
+	handshakeFails *obs.Counter
+	updates        *obs.Counter
+	announces      *obs.Counter
+	withdraws      *obs.Counter
+	notifications  *obs.Counter
+	reflectFails   *obs.Counter
+}
+
+// RegisterMetrics attaches the route server (and its blackhole registry)
+// to the metrics registry. Must be called before Serve.
+func (s *RouteServer) RegisterMetrics(r *obs.Registry) {
+	s.Metrics = &ServerMetrics{
+		sessionsActive: r.Gauge("ixps_bgp_sessions_active",
+			"Established BGP sessions."),
+		sessionsTotal: r.Counter("ixps_bgp_sessions_total",
+			"BGP sessions established since start."),
+		handshakeFails: r.Counter("ixps_bgp_handshake_failures_total",
+			"Accepted connections that failed the OPEN/KEEPALIVE handshake."),
+		updates: r.Counter("ixps_bgp_updates_total",
+			"UPDATE messages received from members."),
+		announces: r.Counter("ixps_bgp_blackhole_announcements_total",
+			"Blackhole-tagged NLRI received."),
+		withdraws: r.Counter("ixps_bgp_withdrawals_total",
+			"Withdrawn routes received."),
+		notifications: r.Counter("ixps_bgp_notifications_total",
+			"NOTIFICATION messages received (each ends its session)."),
+		reflectFails: r.Counter("ixps_bgp_reflect_failures_total",
+			"Update reflections that failed to reach a peer."),
+	}
+	if s.Registry != nil {
+		reg := s.Registry
+		r.GaugeFunc("ixps_bgp_blackholes_active",
+			"Prefixes currently blackholed (announced, not yet withdrawn).",
+			func() float64 { return float64(reg.ActiveCount()) })
+		r.GaugeFunc("ixps_bgp_blackhole_prefixes",
+			"Distinct prefixes ever blackholed in this process.",
+			func() float64 { return float64(reg.PrefixCount()) })
+	}
+}
+
+func (m *ServerMetrics) sessionUp() {
+	if m == nil {
+		return
+	}
+	m.sessionsActive.Inc()
+	m.sessionsTotal.Inc()
+}
+
+func (m *ServerMetrics) sessionDown() {
+	if m == nil {
+		return
+	}
+	m.sessionsActive.Dec()
+}
+
+func (m *ServerMetrics) handshakeFailed() {
+	if m == nil {
+		return
+	}
+	m.handshakeFails.Inc()
+}
+
+func (m *ServerMetrics) update(u *Update) {
+	if m == nil {
+		return
+	}
+	m.updates.Inc()
+	m.withdraws.Add(uint64(len(u.Withdrawn)))
+	if u.IsBlackhole() {
+		m.announces.Add(uint64(len(u.NLRI)))
+	}
+}
+
+func (m *ServerMetrics) notification() {
+	if m == nil {
+		return
+	}
+	m.notifications.Inc()
+}
+
+func (m *ServerMetrics) reflectFailed() {
+	if m == nil {
+		return
+	}
+	m.reflectFails.Inc()
+}

@@ -160,6 +160,9 @@ type RouteServer struct {
 	// Clock returns the current unix time; overridable for tests and
 	// simulation. Defaults to time.Now().Unix.
 	Clock func() int64
+	// Metrics instruments the session lifecycle and update stream; nil
+	// disables instrumentation. Set via RegisterMetrics before Serve.
+	Metrics *ServerMetrics
 
 	ln      net.Listener
 	mu      sync.Mutex
@@ -238,6 +241,7 @@ func (s *RouteServer) serveConn(nc net.Conn) {
 	conn := NewConn(nc, Open{ASN: s.ASN, HoldTime: 90, RouterID: s.RouterID})
 	defer conn.Close()
 	if err := conn.Handshake(); err != nil {
+		s.Metrics.handshakeFailed()
 		s.Log.Warn("bgp handshake failed", "peer", nc.RemoteAddr(), "err", err)
 		return
 	}
@@ -252,7 +256,9 @@ func (s *RouteServer) serveConn(nc net.Conn) {
 		replay = append(replay, u)
 	}
 	s.mu.Unlock()
+	s.Metrics.sessionUp()
 	defer func() {
+		s.Metrics.sessionDown()
 		s.mu.Lock()
 		delete(s.peers, conn)
 		s.mu.Unlock()
@@ -275,11 +281,13 @@ func (s *RouteServer) serveConn(nc net.Conn) {
 		}
 		switch msg.Type {
 		case TypeUpdate:
+			s.Metrics.update(msg.Update)
 			s.Registry.ApplyUpdate(msg.Update, s.Clock())
 			s.reflect(conn, msg.Update)
 		case TypeKeepalive:
 			// Hold timer handling is out of scope for the lab server.
 		case TypeNotification:
+			s.Metrics.notification()
 			s.Log.Warn("bgp notification", "peer", nc.RemoteAddr(), "code", msg.Notification.Code)
 			return
 		}
@@ -305,6 +313,7 @@ func (s *RouteServer) reflect(from *Conn, u *Update) {
 	s.mu.Unlock()
 	for _, p := range peers {
 		if err := p.SendUpdate(u); err != nil {
+			s.Metrics.reflectFailed()
 			s.Log.Warn("bgp reflect failed", "err", err)
 		}
 	}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
+)
+
+// Metrics instruments a Scrubber's training and classification paths. All
+// observation helpers are nil-receiver safe, so an uninstrumented Scrubber
+// (experiments, tests) pays only a nil check.
+type Metrics struct {
+	mineDuration   *obs.Histogram
+	fitDuration    *obs.Histogram
+	predictLatency *obs.Histogram
+	predictions    *obs.Counter
+	positives      *obs.Counter
+	rulesMined     *obs.Counter
+	rulesAccepted  *obs.Gauge
+}
+
+// RegisterMetrics creates the scrubber metric families on r.
+func RegisterMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		mineDuration: r.Histogram("ixps_mine_duration_seconds",
+			"Step 1 rule mining wall time per round.", nil),
+		fitDuration: r.Histogram("ixps_fit_duration_seconds",
+			"Step 2 training wall time per round (WoE fit + classifier fit).", nil),
+		predictLatency: r.Histogram("ixps_predict_latency_seconds",
+			"Classification wall time per Predict batch.", nil),
+		predictions: r.Counter("ixps_predictions_total",
+			"Per-target aggregates scored by the classifier."),
+		positives: r.Counter("ixps_positives_total",
+			"Aggregates classified as DDoS targets."),
+		rulesMined: r.Counter("ixps_rules_mined_total",
+			"Minimized rules produced by Step 1 mining rounds."),
+		rulesAccepted: r.Gauge("ixps_rules_accepted",
+			"Rules currently accepted into the tagging rule set."),
+	}
+}
+
+// SetMetrics attaches metrics to the scrubber. Pass nil to detach.
+func (s *Scrubber) SetMetrics(m *Metrics) { s.metrics = m }
+
+func (m *Metrics) observeMine(start time.Time, minimized, accepted int) {
+	if m == nil {
+		return
+	}
+	m.mineDuration.ObserveSince(start)
+	m.rulesMined.Add(uint64(minimized))
+	m.rulesAccepted.Set(float64(accepted))
+}
+
+func (m *Metrics) observeFit(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.fitDuration.ObserveSince(start)
+}
+
+func (m *Metrics) observePredict(start time.Time, pred []int) {
+	if m == nil {
+		return
+	}
+	m.predictLatency.ObserveSince(start)
+	m.predictions.Add(uint64(len(pred)))
+	var pos uint64
+	for _, p := range pred {
+		if p == 1 {
+			pos++
+		}
+	}
+	m.positives.Add(pos)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"time"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/acl"
 	"github.com/ixp-scrubber/ixpscrubber/internal/features"
@@ -99,6 +100,7 @@ type Scrubber struct {
 	encoder  *woe.Encoder
 	pipeline *ml.Pipeline
 	fitted   bool
+	metrics  *Metrics
 }
 
 // New creates a Scrubber with an empty rule set.
@@ -130,6 +132,7 @@ func (s *Scrubber) Encoder() *woe.Encoder { return s.encoder }
 // MineRules runs Step 1 on balanced flow records, merging fresh rules into
 // the rule set. With AutoAccept, staged rules are accepted immediately.
 func (s *Scrubber) MineRules(records []netflow.Record) (tagging.MiningReport, error) {
+	start := time.Now()
 	mine := s.cfg.Mine
 	if mine.Workers == 0 {
 		mine.Workers = s.cfg.Workers
@@ -144,6 +147,7 @@ func (s *Scrubber) MineRules(records []netflow.Record) (tagging.MiningReport, er
 		s.rules.Apply(policy)
 	}
 	s.tagger = tagging.NewTagger(s.rules.Accepted())
+	s.metrics.observeMine(start, rep.RulesMinimized, len(s.rules.Accepted()))
 	return rep, nil
 }
 
@@ -240,6 +244,8 @@ func (s *Scrubber) Fit(trainRecords []netflow.Record, train []*features.Aggregat
 	if len(train) == 0 {
 		return fmt.Errorf("core: empty training set")
 	}
+	start := time.Now()
+	defer func() { s.metrics.observeFit(start) }()
 	s.encoder = woe.NewEncoder()
 	s.encoder.Smoothing = s.cfg.WoESmoothing
 	s.encoder.MinCount = s.cfg.WoEMinCount
@@ -298,6 +304,7 @@ func (s *Scrubber) Predict(aggs []*features.Aggregate) ([]int, error) {
 	if !s.fitted {
 		return nil, fmt.Errorf("core: model not fitted")
 	}
+	start := time.Now()
 	out := make([]int, len(aggs))
 	if s.pipeline == nil { // RBC
 		for i, a := range aggs {
@@ -305,9 +312,12 @@ func (s *Scrubber) Predict(aggs []*features.Aggregate) ([]int, error) {
 				out[i] = 1
 			}
 		}
+		s.metrics.observePredict(start, out)
 		return out, nil
 	}
-	return s.pipeline.Predict(s.encodeAll(aggs)), nil
+	out = s.pipeline.Predict(s.encodeAll(aggs))
+	s.metrics.observePredict(start, out)
+	return out, nil
 }
 
 // Evaluate scores the fitted model on test aggregates.

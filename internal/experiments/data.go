@@ -5,6 +5,7 @@ import (
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
 	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
 	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
 )
 
@@ -22,6 +23,10 @@ type Config struct {
 	// at every value; only wall-clock (and therefore the µs/pred timing
 	// columns) changes.
 	Workers int
+	// Metrics, when non-nil, records per-artifact wall time and output
+	// sizes into the registry so a benchmark run is self-describing (the
+	// registry's exposition text can be archived next to the results).
+	Metrics *obs.Registry
 }
 
 // DefaultConfig runs full-size experiments.

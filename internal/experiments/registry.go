@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/par"
 )
@@ -62,7 +63,32 @@ func Run(id string, cfg Config) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
-	return r(cfg)
+	return instrumented(id, r, cfg)
+}
+
+// instrumented runs one runner, recording per-artifact wall time and
+// output size into cfg.Metrics (when set) so a benchmark run's registry
+// describes exactly what was produced and how long each artifact took.
+func instrumented(id string, r Runner, cfg Config) (*Result, error) {
+	if cfg.Metrics == nil {
+		return r(cfg)
+	}
+	start := time.Now()
+	res, err := r(cfg)
+	cfg.Metrics.GaugeVec("ixps_experiment_duration_seconds",
+		"Wall time of the last run of each artifact.", "id").
+		With(id).Set(time.Since(start).Seconds())
+	if err != nil {
+		cfg.Metrics.Counter("ixps_experiment_failures_total",
+			"Artifact runs that returned an error.").Inc()
+		return res, err
+	}
+	cfg.Metrics.Counter("ixps_experiments_total",
+		"Artifact runs that completed.").Inc()
+	cfg.Metrics.GaugeVec("ixps_experiment_output_cells",
+		"Table cells plus series points in the last run of each artifact.", "id").
+		With(id).Set(float64(res.Cells()))
+	return res, nil
 }
 
 // RunAll executes every experiment in paper order, invoking visit after
@@ -89,7 +115,7 @@ func RunMany(cfg Config, ids []string, visit func(*Result)) error {
 			errs[i] = fmt.Errorf("experiments: unknown experiment %q (known: %v)", ids[i], IDs())
 			return
 		}
-		res, err := r(cfg)
+		res, err := instrumented(ids[i], r, cfg)
 		if err != nil {
 			errs[i] = fmt.Errorf("experiments: %s: %w", ids[i], err)
 			return

@@ -27,6 +27,23 @@ type Result struct {
 	Notes []string
 }
 
+// Cells returns the artifact's output size: table cells plus series
+// points. Benchmark metrics record it so a run's registry states how much
+// data each artifact produced, not just how long it took.
+func (r *Result) Cells() int {
+	n := 0
+	for i := range r.Tables {
+		t := &r.Tables[i]
+		for _, row := range t.Rows {
+			n += len(row)
+		}
+	}
+	for i := range r.Series {
+		n += len(r.Series[i].Y)
+	}
+	return n
+}
+
 // Table is one printable table.
 type Table struct {
 	Name   string

@@ -24,7 +24,9 @@ type UDPCollector struct {
 
 	Messages   atomic.Uint64
 	Records    atomic.Uint64
-	DecodeErrs atomic.Uint64
+	Truncated  atomic.Uint64 // messages rejected as truncated
+	DecodeErrs atomic.Uint64 // messages malformed beyond truncation
+	Blackholed atomic.Uint64
 
 	collector *Collector
 }
@@ -64,7 +66,11 @@ func (u *UDPCollector) Handle(data []byte) {
 	}
 	recs, err := u.collector.Decode(data)
 	if err != nil && !errors.Is(err, ErrUnknownTemplate) {
-		u.DecodeErrs.Add(1)
+		if errors.Is(err, ErrTruncated) {
+			u.Truncated.Add(1)
+		} else {
+			u.DecodeErrs.Add(1)
+		}
 		if u.Log != nil {
 			u.Log.Debug("ipfix decode failed", "err", err)
 		}
@@ -75,6 +81,7 @@ func (u *UDPCollector) Handle(data []byte) {
 		nr := ToNetflow(&recs[i])
 		if u.Label != nil && u.Label(nr.DstIP, nr.Timestamp) {
 			nr.Blackholed = true
+			u.Blackholed.Add(1)
 		}
 		u.Records.Add(1)
 		if u.Emit != nil {

@@ -2,6 +2,7 @@ package ipfix
 
 import (
 	"context"
+	"encoding/binary"
 	"net"
 	"net/netip"
 	"sync"
@@ -88,8 +89,15 @@ func TestUDPCollectorEndToEnd(t *testing.T) {
 
 func TestHandleGarbage(t *testing.T) {
 	uc := &UDPCollector{}
-	uc.Handle([]byte{1, 2, 3})
+	uc.Handle([]byte{1, 2, 3}) // shorter than a message header
+	if uc.Truncated.Load() != 1 {
+		t.Error("truncated message not counted")
+	}
+	bad := make([]byte, headerLen)
+	bad[1] = 9 // version 9 is not IPFIX
+	binary.BigEndian.PutUint16(bad[2:4], headerLen)
+	uc.Handle(bad)
 	if uc.DecodeErrs.Load() != 1 {
-		t.Error("decode error not counted")
+		t.Error("malformed message not counted")
 	}
 }

@@ -1,12 +1,55 @@
 package ipfix
 
-import "testing"
+import (
+	"encoding/binary"
+	"testing"
+)
 
+// FuzzDecode drives the IPFIX message decoder over arbitrary bytes. The
+// collector pre-learns the flow template, so fuzzed inputs that reference
+// template 400 in domain 7 reach the data-set decoding path instead of
+// stopping at ErrUnknownTemplate. Seeds cover a valid template+data
+// message, truncations at the header, set, and record boundaries, and
+// length-field mutations (the underflow class: set or message lengths
+// smaller than what they frame).
 func FuzzDecode(f *testing.F) {
 	e := &Exporter{DomainID: 7}
-	f.Add(e.Encode(nil, 0, sampleRecords()))
+	valid := e.Encode(nil, 0, sampleRecords())
+	f.Add(valid)
+
+	// Truncation corpus: the message header, the template set boundary,
+	// one byte into the data set, and one byte short of the end.
+	for _, n := range []int{0, 1, headerLen - 1, headerLen, headerLen + 3, headerLen + 4, len(valid) - 1} {
+		if n >= 0 && n <= len(valid) {
+			f.Add(append([]byte(nil), valid[:n]...))
+		}
+	}
+
+	// Mutation corpus: understated and overstated message length, set
+	// length underflow (< 4), zero-field template, enterprise-bit field,
+	// and a data set for an unknown template.
+	mutate := func(fn func(b []byte)) {
+		b := append([]byte(nil), valid...)
+		fn(b)
+		f.Add(b)
+	}
+	mutate(func(b []byte) { binary.BigEndian.PutUint16(b[2:4], headerLen) })
+	mutate(func(b []byte) { binary.BigEndian.PutUint16(b[2:4], 0xFFFF) })
+	mutate(func(b []byte) { binary.BigEndian.PutUint16(b[headerLen+2:headerLen+4], 3) })
+	mutate(func(b []byte) { binary.BigEndian.PutUint16(b[headerLen+4:headerLen+6], 0) })
+	mutate(func(b []byte) { b[headerLen+8] |= 0x80 }) // enterprise bit on the first template field
+	mutate(func(b []byte) {
+		// Point the data set at a template nobody announced.
+		off := headerLen + 4 + 4 + len(FlowTemplate)*4
+		binary.BigEndian.PutUint16(b[off:off+2], 999)
+	})
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := NewCollector()
+		tmpl := &Exporter{DomainID: 7}
+		if _, err := c.Decode(tmpl.Encode(nil, 0, nil)); err != nil {
+			t.Fatalf("template preamble must decode: %v", err)
+		}
 		_, _ = c.Decode(data) // must never panic
 	})
 }

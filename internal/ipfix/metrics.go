@@ -1,0 +1,28 @@
+package ipfix
+
+import "github.com/ixp-scrubber/ixpscrubber/internal/obs"
+
+// RegisterMetrics exposes the UDP collector's counters under the shared
+// ixps_collector_* families, labeled proto="ipfix". Values are read from
+// the collector's own atomics at scrape time — zero hot-path cost.
+func (u *UDPCollector) RegisterMetrics(r *obs.Registry) {
+	const proto = "ipfix"
+	u64 := func(a interface{ Load() uint64 }) func() float64 {
+		return func() float64 { return float64(a.Load()) }
+	}
+	r.CounterVec("ixps_collector_datagrams_total",
+		"Flow export datagrams/messages received and decoded.", "proto").
+		WithFunc(u64(&u.Messages), proto)
+	r.CounterVec("ixps_collector_truncated_total",
+		"Datagrams rejected as truncated.", "proto").
+		WithFunc(u64(&u.Truncated), proto)
+	r.CounterVec("ixps_collector_malformed_total",
+		"Datagrams or samples rejected as malformed (beyond truncation).", "proto").
+		WithFunc(u64(&u.DecodeErrs), proto)
+	r.CounterVec("ixps_collector_records_total",
+		"Flow records decoded and emitted downstream.", "proto").
+		WithFunc(u64(&u.Records), proto)
+	r.CounterVec("ixps_collector_blackholed_total",
+		"Records labeled blackholed against the BGP registry.", "proto").
+		WithFunc(u64(&u.Blackholed), proto)
+}

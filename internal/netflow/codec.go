@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/netip"
+	"sync/atomic"
 )
 
 // Binary flow file format:
@@ -38,7 +39,8 @@ const (
 const (
 	flagBlackholed = 1 << 0
 	flagFragment   = 1 << 1
-	flagIPv6       = 1 << 2
+	flagSrcIPv6    = 1 << 2
+	flagDstIPv6    = 1 << 3
 )
 
 // marshalRecord encodes r into buf, which must be at least wireRecordSize
@@ -60,8 +62,14 @@ func marshalRecord(buf []byte, r *Record) {
 	if r.Fragment {
 		flags |= flagFragment
 	}
+	// Address families are flagged per address: a record may mix a v6
+	// source with a v4 destination (a shared flag would corrupt the
+	// destination into a 4-in-6 mapped address on decode).
 	if r.SrcIP.Is6() && !r.SrcIP.Is4In6() {
-		flags |= flagIPv6
+		flags |= flagSrcIPv6
+	}
+	if r.DstIP.Is6() && !r.DstIP.Is4In6() {
+		flags |= flagDstIPv6
 	}
 	buf[46] = flags
 	buf[47] = 0
@@ -77,9 +85,9 @@ func unmarshalRecord(buf []byte, r *Record) {
 	var a16 [16]byte
 	flags := buf[46]
 	copy(a16[:], buf[8:24])
-	r.SrcIP = addrFrom16(a16, flags&flagIPv6 != 0)
+	r.SrcIP = addrFrom16(a16, flags&flagSrcIPv6 != 0)
 	copy(a16[:], buf[24:40])
-	r.DstIP = addrFrom16(a16, flags&flagIPv6 != 0)
+	r.DstIP = addrFrom16(a16, flags&flagDstIPv6 != 0)
 	r.SrcPort = binary.BigEndian.Uint16(buf[40:42])
 	r.DstPort = binary.BigEndian.Uint16(buf[42:44])
 	r.Protocol = buf[44]
@@ -94,8 +102,12 @@ func unmarshalRecord(buf []byte, r *Record) {
 }
 
 func addrFrom16(a [16]byte, isV6 bool) netip.Addr {
+	// Always canonicalize 4-in-6 mappings, even when the v6 flag claims
+	// otherwise (corrupt or crafted input): the pipeline compares addresses
+	// against unmapped v4 prefixes, so a non-canonical ::ffff:a.b.c.d
+	// leaking out of the reader would silently fail every registry lookup.
 	addr := netip.AddrFrom16(a)
-	if !isV6 {
+	if !isV6 || addr.Is4In6() {
 		return addr.Unmap()
 	}
 	return addr
@@ -157,11 +169,21 @@ func (w *Writer) Flush() error {
 	return nil
 }
 
+// ReaderStats counts reader activity. Fields are atomic so a metrics
+// scrape can read them while the ingest goroutine streams records.
+type ReaderStats struct {
+	Records   atomic.Uint64 // records decoded
+	Truncated atomic.Uint64 // mid-record or mid-header truncations
+	Malformed atomic.Uint64 // bad magic or unsupported version
+}
+
 // Reader streams flow records from an io.Reader.
 type Reader struct {
 	r     *bufio.Reader
 	buf   [wireRecordSize]byte
 	began bool
+
+	Stats ReaderStats
 }
 
 // NewReader returns a Reader consuming from r.
@@ -176,12 +198,15 @@ func (r *Reader) begin() error {
 	r.began = true
 	var hdr [5]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		r.Stats.Truncated.Add(1)
 		return fmt.Errorf("netflow: reading header: %w", err)
 	}
 	if [4]byte(hdr[:4]) != fileMagic {
+		r.Stats.Malformed.Add(1)
 		return ErrBadMagic
 	}
 	if hdr[4] != formatVersion {
+		r.Stats.Malformed.Add(1)
 		return fmt.Errorf("%w: %d", ErrBadVersion, hdr[4])
 	}
 	return nil
@@ -197,9 +222,11 @@ func (r *Reader) Read(rec *Record) error {
 		if errors.Is(err, io.EOF) {
 			return io.EOF
 		}
+		r.Stats.Truncated.Add(1)
 		return fmt.Errorf("netflow: reading record: %w", err)
 	}
 	unmarshalRecord(r.buf[:], rec)
+	r.Stats.Records.Add(1)
 	return nil
 }
 

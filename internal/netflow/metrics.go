@@ -1,0 +1,22 @@
+package netflow
+
+import "github.com/ixp-scrubber/ixpscrubber/internal/obs"
+
+// RegisterMetrics exposes the reader's counters under the shared
+// ixps_collector_* families, labeled proto="netflow" (the binary flow file
+// format is the offline ingest path of the pipeline).
+func (r *Reader) RegisterMetrics(reg *obs.Registry) {
+	const proto = "netflow"
+	u64 := func(a interface{ Load() uint64 }) func() float64 {
+		return func() float64 { return float64(a.Load()) }
+	}
+	reg.CounterVec("ixps_collector_records_total",
+		"Flow records decoded and emitted downstream.", "proto").
+		WithFunc(u64(&r.Stats.Records), proto)
+	reg.CounterVec("ixps_collector_truncated_total",
+		"Datagrams rejected as truncated.", "proto").
+		WithFunc(u64(&r.Stats.Truncated), proto)
+	reg.CounterVec("ixps_collector_malformed_total",
+		"Datagrams or samples rejected as malformed (beyond truncation).", "proto").
+		WithFunc(u64(&r.Stats.Malformed), proto)
+}

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered family in the Prometheus text
+// exposition format (version 0.0.4). Output order is deterministic:
+// families sort by name, children by label values, histogram buckets by
+// ascending bound — so two scrapes of identical state are byte-identical
+// and the format is golden-file testable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		children := f.sortedChildren()
+		if len(children) == 0 {
+			continue
+		}
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ.String())
+		bw.WriteByte('\n')
+		for _, c := range children {
+			if f.typ == typeHistogram {
+				writeHistogram(bw, f, c)
+				continue
+			}
+			writeSample(bw, f.name, f.labels, c.labelValues, "", "", c.value(f.typ))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels} value` line. extraLabel/extraValue
+// append a trailing label (the histogram `le`).
+func writeSample(bw *bufio.Writer, name string, labels, values []string, extraLabel, extraValue string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraLabel != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraLabel != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraLabel)
+			bw.WriteString(`="`)
+			bw.WriteString(extraValue)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+func writeHistogram(bw *bufio.Writer, f *family, c *child) {
+	h := c.hist
+	// Cumulative bucket counts: each le bucket includes everything below.
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		writeSample(bw, f.name+"_bucket", f.labels, c.labelValues,
+			"le", formatValue(bound), float64(cum))
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	writeSample(bw, f.name+"_bucket", f.labels, c.labelValues, "le", "+Inf", float64(cum))
+	writeSample(bw, f.name+"_sum", f.labels, c.labelValues, "", "",
+		math.Float64frombits(h.sum.Load()))
+	writeSample(bw, f.name+"_count", f.labels, c.labelValues, "", "", float64(h.count.Load()))
+}
+
+// formatValue renders a float the way Prometheus clients expect: shortest
+// round-trip representation, infinities as +Inf/-Inf.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

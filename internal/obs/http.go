@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Health tracks the daemon's readiness. Liveness is implicit: a process
+// that answers /healthz at all is alive. Readiness flips true once the
+// first model has been trained — before that, the scrubber can ingest but
+// not classify, so load balancers should not route scrape-and-block
+// consumers to it yet.
+type Health struct {
+	ready atomic.Bool
+}
+
+// SetReady marks the daemon ready (or not).
+func (h *Health) SetReady(v bool) { h.ready.Store(v) }
+
+// Ready reports readiness.
+func (h *Health) Ready() bool { return h.ready.Load() }
+
+// LivenessHandler answers 200 while the process runs.
+func (h *Health) LivenessHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadinessHandler answers 200 once ready, 503 before.
+func (h *Health) ReadinessHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !h.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("not ready: no trained model yet\n"))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ready\n"))
+	})
+}
+
+// NewMux returns the daemon's observability mux: /metrics (exposition),
+// /healthz (liveness), /readyz (readiness), and the net/http/pprof
+// handlers under /debug/pprof/. The pprof handlers are wired explicitly so
+// nothing leaks onto http.DefaultServeMux.
+func NewMux(r *Registry, h *Health) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/healthz", h.LivenessHandler())
+	mux.Handle("/readyz", h.ReadinessHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests served.")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value() = %d, want 5", got)
+	}
+	// Same name returns the same underlying metric.
+	if r.Counter("requests_total", "Requests served.").Value() != 5 {
+		t.Fatal("re-request did not return the same counter")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Queue depth.")
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(0.5)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("Value() = %g, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count() = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 55.65 {
+		t.Fatalf("Sum() = %g, want 55.65", got)
+	}
+	// Bucket boundaries are inclusive: 0.1 falls in le="0.1".
+	hist := h.c.hist
+	want := []uint64{2, 1, 1, 1} // (..0.1], (0.1..1], (1..10], (10..+Inf)
+	for i, w := range want {
+		if got := hist.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("decoded_total", "Decoded.", "proto")
+	v.With("sflow").Add(3)
+	v.With("ipfix").Add(7)
+	if v.With("sflow").Value() != 3 || v.With("ipfix").Value() != 7 {
+		t.Fatal("children not independent")
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.GaugeFunc("live_value", "Read at scrape time.", func() float64 { return n })
+	n = 42
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "live_value 42\n") {
+		t.Fatalf("scrape did not read the function:\n%s", b.String())
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestLabelMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("y_total", "", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label value count did not panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name did not panic")
+		}
+	}()
+	r.Counter("bad-name", "")
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []float64{1})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.5)
+				_ = r.WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: c=%d g=%g h=%d", c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "").Inc()
+	var h Health
+	srv := httptest.NewServer(NewMux(r, &h))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up_total 1") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("/healthz = %d, want 200", code)
+	}
+	if code, _ := get("/readyz"); code != 503 {
+		t.Errorf("/readyz before ready = %d, want 503", code)
+	}
+	h.SetReady(true)
+	if code, _ := get("/readyz"); code != 200 {
+		t.Errorf("/readyz after ready = %d, want 200", code)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"go_goroutines", "go_memstats_heap_alloc_bytes", "go_gc_cycles_total"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("runtime metrics missing %s", want)
+		}
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExponentialBuckets(1, 2, 4)
+	if len(exp) != 4 || exp[0] != 1 || exp[3] != 8 {
+		t.Errorf("ExponentialBuckets = %v", exp)
+	}
+	lin := LinearBuckets(0, 5, 3)
+	if len(lin) != 3 || lin[2] != 10 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// RegisterRuntimeMetrics exposes Go runtime health through the registry:
+// goroutine count, heap usage, GC cycles, and GOMAXPROCS. Memory stats are
+// cached for a second so aggressive scrapers cannot turn ReadMemStats
+// stop-the-world pauses into a denial of service.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines",
+		"Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_gomaxprocs",
+		"Value of GOMAXPROCS.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+
+	var (
+		mu   sync.Mutex
+		at   time.Time
+		stat runtime.MemStats
+	)
+	mem := func(read func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			if time.Since(at) > time.Second {
+				runtime.ReadMemStats(&stat)
+				at = time.Now()
+			}
+			return read(&stat)
+		}
+	}
+	r.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("go_memstats_sys_bytes",
+		"Bytes of memory obtained from the OS.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.Sys) }))
+	r.CounterFunc("go_memstats_alloc_bytes_total",
+		"Cumulative bytes allocated for heap objects.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) }))
+	r.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		mem(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+}

@@ -24,7 +24,8 @@ type CollectorStats struct {
 	Datagrams   atomic.Uint64
 	Samples     atomic.Uint64
 	Records     atomic.Uint64
-	DecodeErrs  atomic.Uint64
+	Truncated   atomic.Uint64 // datagrams rejected as truncated
+	DecodeErrs  atomic.Uint64 // datagrams/samples malformed beyond truncation
 	NonIP       atomic.Uint64
 	Blackholed  atomic.Uint64
 }
@@ -93,7 +94,11 @@ func (c *Collector) SampleToRecord(s *FlowSample, at int64, rec *netflow.Record)
 func (c *Collector) HandleDatagram(data []byte) {
 	d, err := Decode(data)
 	if err != nil {
-		c.Stats.DecodeErrs.Add(1)
+		if errors.Is(err, ErrTruncated) {
+			c.Stats.Truncated.Add(1)
+		} else {
+			c.Stats.DecodeErrs.Add(1)
+		}
 		if c.Log != nil {
 			c.Log.Debug("sflow decode failed", "err", err)
 		}

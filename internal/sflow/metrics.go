@@ -1,0 +1,36 @@
+package sflow
+
+import "github.com/ixp-scrubber/ixpscrubber/internal/obs"
+
+// RegisterMetrics exposes the collector's counters through the registry as
+// scrape-time function metrics under the shared ixps_collector_* families,
+// labeled proto="sflow". The hot path keeps updating the same atomics it
+// always did; scraping reads them on demand, so instrumentation adds zero
+// per-datagram cost.
+func (c *Collector) RegisterMetrics(r *obs.Registry) {
+	const proto = "sflow"
+	u64 := func(a interface{ Load() uint64 }) func() float64 {
+		return func() float64 { return float64(a.Load()) }
+	}
+	r.CounterVec("ixps_collector_datagrams_total",
+		"Flow export datagrams/messages received and decoded.", "proto").
+		WithFunc(u64(&c.Stats.Datagrams), proto)
+	r.CounterVec("ixps_collector_truncated_total",
+		"Datagrams rejected as truncated.", "proto").
+		WithFunc(u64(&c.Stats.Truncated), proto)
+	r.CounterVec("ixps_collector_malformed_total",
+		"Datagrams or samples rejected as malformed (beyond truncation).", "proto").
+		WithFunc(u64(&c.Stats.DecodeErrs), proto)
+	r.CounterVec("ixps_collector_samples_total",
+		"Flow samples seen inside decoded datagrams.", "proto").
+		WithFunc(u64(&c.Stats.Samples), proto)
+	r.CounterVec("ixps_collector_records_total",
+		"Flow records decoded and emitted downstream.", "proto").
+		WithFunc(u64(&c.Stats.Records), proto)
+	r.CounterVec("ixps_collector_nonip_total",
+		"Samples skipped because the sampled frame carried no IP packet.", "proto").
+		WithFunc(u64(&c.Stats.NonIP), proto)
+	r.CounterVec("ixps_collector_blackholed_total",
+		"Records labeled blackholed against the BGP registry.", "proto").
+		WithFunc(u64(&c.Stats.Blackholed), proto)
+}

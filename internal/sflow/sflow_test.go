@@ -248,7 +248,11 @@ func TestCollectorEndToEnd(t *testing.T) {
 
 func TestHandleDatagramGarbage(t *testing.T) {
 	c := &Collector{}
-	c.HandleDatagram([]byte{1, 2, 3})
+	c.HandleDatagram([]byte{1, 2, 3}) // shorter than the version field
+	if c.Stats.Truncated.Load() != 1 {
+		t.Error("truncated datagram not counted")
+	}
+	c.HandleDatagram([]byte{0, 0, 0, 99}) // version 99 is not sFlow v5
 	if c.Stats.DecodeErrs.Load() != 1 {
 		t.Error("decode error not counted")
 	}

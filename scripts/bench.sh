@@ -4,6 +4,13 @@
 # BENCH_PR1.json at the repo root, tagged with the core count so speedup
 # numbers are read against the hardware that produced them.
 #
+# It then runs the ingest-path overhead benchmarks (sFlow decode + registry
+# labeling + balancing, with and without the observability registry
+# attached) and records BENCH_PR2.json. The ingest pair always runs at
+# -benchtime 2s -count 5 and keeps the minimum per variant: overhead is a
+# difference of medians-of-noise otherwise, and min-of-N is the stable
+# estimator on shared hardware.
+#
 # Usage: scripts/bench.sh [-benchtime 1x] [-count 1]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,7 +26,8 @@ while [ $# -gt 0 ]; do
 done
 
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+tmp2=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2"' EXIT
 
 go test -run '^$' -bench 'BenchmarkFitWorkers|BenchmarkPredictWorkers' \
     -benchtime "$benchtime" -count "$count" ./internal/ml/xgb | tee -a "$tmp"
@@ -28,12 +36,14 @@ go test -run '^$' -bench 'BenchmarkMineFrequentWorkers' \
 go test -run '^$' -bench 'BenchmarkHarnessWorkers' \
     -benchtime "$benchtime" -count "$count" . | tee -a "$tmp"
 
+# Note: the ns/op comparison must not escape the slash — mawk keeps the
+# backslash in "ns\/op" and the condition silently never matches.
 awk -v cores="$(nproc)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 BEGIN {
     printf "{\n  \"date\": \"%s\",\n  \"cores\": %d,\n  \"benchmarks\": [\n", date, cores
     first = 1
 }
-$1 ~ /^Benchmark/ && $4 == "ns\/op" {
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
     if (!first) printf ",\n"
     first = 0
     printf "    {\"name\": \"%s\", \"ns_per_op\": %s}", $1, $3
@@ -42,3 +52,22 @@ END { print "\n  ]\n}" }
 ' "$tmp" > BENCH_PR1.json
 
 echo "wrote BENCH_PR1.json ($(nproc) cores)"
+
+go test -run '^$' -bench 'BenchmarkIngestMetrics' \
+    -benchtime 2s -count 5 ./cmd/scrubberd | tee "$tmp2"
+
+awk -v cores="$(nproc)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+$1 ~ /^BenchmarkIngestMetrics/ && $4 == "ns/op" {
+    sub(/-[0-9]+$/, "", $1)   # strip the -GOMAXPROCS suffix
+    if (!($1 in best) || $3 + 0 < best[$1]) best[$1] = $3 + 0
+}
+END {
+    off = best["BenchmarkIngestMetricsOff"]
+    on = best["BenchmarkIngestMetricsOn"]
+    printf "{\n  \"date\": \"%s\",\n  \"cores\": %d,\n", date, cores
+    printf "  \"ingest_ns_per_datagram\": {\"metrics_off\": %g, \"metrics_on\": %g},\n", off, on
+    printf("  \"overhead_percent\": %.2f\n", off > 0 ? (on - off) / off * 100 : 0)
+    print "}"
+}' "$tmp2" > BENCH_PR2.json
+
+echo "wrote BENCH_PR2.json ($(nproc) cores)"
