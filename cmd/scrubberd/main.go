@@ -189,9 +189,12 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 	collector := &sflow.Collector{
 		Label: registry.Covered,
 		Log:   log,
-		Emit: func(r *netflow.Record) {
+		// Batched handoff: one balancer lock round-trip per batch (default
+		// 256 records) instead of per record. The balancer copies records
+		// into its bin buffer, so the collector may reuse the batch slice.
+		EmitBatch: func(recs []netflow.Record) {
 			balMu.Lock()
-			bal.Add(*r)
+			bal.AddBatch(recs)
 			balMu.Unlock()
 		},
 	}

@@ -167,6 +167,32 @@ func (b *Balancer[T]) Add(rec T) {
 	}
 }
 
+// AddBatch feeds a batch of records in order — the batched twin of Add for
+// collectors that deliver records per EmitBatch. It is equivalent to calling
+// Add on each element (identical Stats, identical kept sample) but keeps the
+// slice walk in one call frame. The batch slice may be reused by the caller
+// after return: records are copied into the bin buffer.
+//
+// Note the Stats contract Add establishes: records buffered into a bin are
+// counted into Stats.In by flush, while late records (before the current
+// bin) are counted immediately — AddBatch must not pre-count buffered
+// records, or every record would be counted twice.
+func (b *Balancer[T]) AddBatch(recs []T) {
+	for i := range recs {
+		m := b.minuteOf(&recs[i])
+		switch {
+		case m == b.cur:
+			b.buf = append(b.buf, recs[i])
+		case m > b.cur:
+			b.flush()
+			b.cur = m
+			b.buf = append(b.buf, recs[i])
+		default:
+			b.Stats.In++ // late: seen, but cannot be kept
+		}
+	}
+}
+
 // Flush balances and emits the current bin. Call once after the last Add.
 func (b *Balancer[T]) Flush() { b.flush() }
 

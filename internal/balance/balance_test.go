@@ -327,3 +327,79 @@ func TestSelectDeterministicAcrossProcessNoise(t *testing.T) {
 		}
 	}
 }
+
+// TestAddBatchMatchesAdd: feeding the same stream through AddBatch (at
+// several batch sizes, including batches spanning minute boundaries and
+// containing late records) must yield exactly the Stats — and therefore
+// Reduction() and BlackholeShare() — of one-at-a-time Add, and the same
+// emitted records. Guards against the double-counting trap where a batch
+// path pre-counts records that flush() will count again.
+func TestAddBatchMatchesAdd(t *testing.T) {
+	var stream []rec
+	for minute := int64(0); minute < 8; minute++ {
+		for i := 0; i < 120; i++ {
+			stream = append(stream, rec{
+				minute: minute,
+				bh:     i%5 == 0,
+				dst:    ip(i % 37),
+			})
+		}
+		if minute >= 2 {
+			// Late straggler from two minutes ago: dropped but counted.
+			stream = append(stream, rec{minute: minute - 2, bh: true, dst: ip(1)})
+		}
+	}
+
+	run := func(batchSize int) (Stats, []rec) {
+		var out []rec
+		b := New(42,
+			func(r *rec) int64 { return r.minute },
+			func(r *rec) bool { return r.bh },
+			func(r *rec) netip.Addr { return r.dst },
+			func(r rec) { out = append(out, r) },
+		)
+		if batchSize == 0 {
+			for _, r := range stream {
+				b.Add(r)
+			}
+		} else {
+			batch := make([]rec, 0, batchSize)
+			for _, r := range stream {
+				batch = append(batch, r)
+				if len(batch) == batchSize {
+					b.AddBatch(batch)
+					batch = batch[:0]
+				}
+			}
+			b.AddBatch(batch)
+		}
+		b.Flush()
+		return b.Stats, out
+	}
+
+	wantStats, wantOut := run(0)
+	if wantStats.In != uint64(len(stream)) {
+		t.Fatalf("reference Stats.In = %d, want %d (every record counted exactly once)",
+			wantStats.In, len(stream))
+	}
+	for _, size := range []int{1, 7, 256, len(stream)} {
+		gotStats, gotOut := run(size)
+		if gotStats != wantStats {
+			t.Errorf("batch %d: Stats = %+v, want %+v", size, gotStats, wantStats)
+		}
+		if gotStats.Reduction() != wantStats.Reduction() {
+			t.Errorf("batch %d: Reduction = %v, want %v", size, gotStats.Reduction(), wantStats.Reduction())
+		}
+		if gotStats.BlackholeShare() != wantStats.BlackholeShare() {
+			t.Errorf("batch %d: BlackholeShare = %v, want %v", size, gotStats.BlackholeShare(), wantStats.BlackholeShare())
+		}
+		if len(gotOut) != len(wantOut) {
+			t.Fatalf("batch %d: emitted %d records, want %d", size, len(gotOut), len(wantOut))
+		}
+		for i := range wantOut {
+			if gotOut[i] != wantOut[i] {
+				t.Fatalf("batch %d: emitted record %d = %+v, want %+v", size, i, gotOut[i], wantOut[i])
+			}
+		}
+	}
+}

@@ -165,13 +165,7 @@ func (s *Scrubber) SetRules(set *tagging.RuleSet) {
 func (s *Scrubber) Aggregate(records []netflow.Record, vectors []string) []*features.Aggregate {
 	var out []*features.Aggregate
 	agg := features.NewAggregator(s.tagger, func(a *features.Aggregate) { out = append(out, a) })
-	for i := range records {
-		v := ""
-		if vectors != nil {
-			v = vectors[i]
-		}
-		agg.Add(&records[i], v)
-	}
+	agg.AddBatch(records, vectors)
 	agg.Close()
 	return out
 }

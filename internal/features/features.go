@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
+	"runtime"
 	"sort"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/par"
 	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
 	"github.com/ixp-scrubber/ixpscrubber/internal/woe"
 )
@@ -133,28 +135,106 @@ type group struct {
 	flows int
 }
 
-// Aggregator groups a minute-ordered flow stream. Call Add per flow, then
-// FlushMinute when a minute completes (or rely on automatic flushing when
-// the minute advances), and Close at the end.
+// reset clears a recycled group for a new <minute, target>. The maps keep
+// their buckets, so steady-state aggregation allocates only when a minute's
+// cardinality exceeds everything seen before.
+func (g *group) reset(minute int64, target netip.Addr) {
+	g.minute = minute
+	g.target = target
+	g.label = false
+	g.flows = 0
+	for c := range g.acc {
+		clear(g.acc[c])
+	}
+	clear(g.rules)
+	clear(g.vec)
+}
+
+// Aggregator groups a minute-ordered flow stream. Call Add per flow (or
+// AddBatch per batch), then Close at the end; minutes flush automatically
+// when the stream's minute advances.
+//
+// Internally the per-minute state is split into dst-IP-hash shards, each
+// holding its own target map. Sharding keeps the per-map cardinality
+// bounded as target counts grow and lets the minute flush rank shards'
+// groups in parallel; the merged emission order (targets ascending) is
+// identical at every shard and worker count.
 type Aggregator struct {
 	// Tagger, when set, annotates matching rule IDs onto aggregates.
 	Tagger *tagging.Tagger
 	// Emit receives completed aggregates.
 	Emit func(*Aggregate)
+	// Workers bounds the flush fan-out: 0 sizes from GOMAXPROCS, 1 forces
+	// the serial path. Output is identical at every value.
+	Workers int
 
 	cur    int64
-	groups map[netip.Addr]*group
+	shards []map[netip.Addr]*group
+	mask   uint64
+	free   []*group // recycled groups, maps pre-grown by earlier minutes
 	hits   []int
+	finish []*Aggregate // flush scratch, reused across minutes
 }
 
-// NewAggregator returns an Aggregator emitting into emit.
+// DefaultShards is the shard-count heuristic: the smallest power of two
+// covering GOMAXPROCS, clamped to [1, 16]. More shards than cores buys no
+// flush parallelism, and beyond 16 the per-shard maps are too sparse to
+// matter at realistic per-minute target counts.
+func DefaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	s := 1
+	for s < n {
+		s <<= 1
+	}
+	return s
+}
+
+// NewAggregator returns an Aggregator emitting into emit, sharded per
+// DefaultShards.
 func NewAggregator(tagger *tagging.Tagger, emit func(*Aggregate)) *Aggregator {
-	return &Aggregator{
+	return NewAggregatorShards(tagger, DefaultShards(), emit)
+}
+
+// NewAggregatorShards returns an Aggregator with an explicit shard count
+// (rounded up to a power of two). Aggregate output is bit-for-bit identical
+// at every shard count; the knob trades memory locality against flush
+// parallelism.
+func NewAggregatorShards(tagger *tagging.Tagger, shards int, emit func(*Aggregate)) *Aggregator {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	a := &Aggregator{
 		Tagger: tagger,
 		Emit:   emit,
 		cur:    math.MinInt64,
-		groups: make(map[netip.Addr]*group),
+		shards: make([]map[netip.Addr]*group, n),
+		mask:   uint64(n - 1),
 	}
+	for i := range a.shards {
+		a.shards[i] = make(map[netip.Addr]*group)
+	}
+	return a
+}
+
+// shardIndex hashes a target address onto a shard (FNV-1a over the 16-byte
+// form — deterministic across processes, unlike Go's seeded map hash).
+func (a *Aggregator) shardIndex(addr netip.Addr) uint64 {
+	if a.mask == 0 {
+		return 0
+	}
+	b := addr.As16()
+	h := uint64(14695981039346656037)
+	for _, x := range b {
+		h = (h ^ uint64(x)) * 1099511628211
+	}
+	return h & a.mask
 }
 
 // Add feeds one flow with its (optional) ground-truth vector name. Flows
@@ -165,21 +245,53 @@ func (a *Aggregator) Add(rec *netflow.Record, vector string) {
 		return
 	}
 	if m > a.cur {
-		a.flush()
+		a.flushMinute()
 		a.cur = m
 	}
-	g := a.groups[rec.DstIP]
+	a.add(rec, vector, m)
+}
+
+// AddBatch feeds a batch of flows; vectors may be nil or must align with
+// recs. One batch call amortizes the minute check and tagger dispatch that
+// Add pays per record.
+func (a *Aggregator) AddBatch(recs []netflow.Record, vectors []string) {
+	for i := range recs {
+		m := recs[i].Minute()
+		if m < a.cur {
+			continue
+		}
+		if m > a.cur {
+			a.flushMinute()
+			a.cur = m
+		}
+		v := ""
+		if vectors != nil {
+			v = vectors[i]
+		}
+		a.add(&recs[i], v, m)
+	}
+}
+
+func (a *Aggregator) add(rec *netflow.Record, vector string, m int64) {
+	shard := a.shards[a.shardIndex(rec.DstIP)]
+	g := shard[rec.DstIP]
 	if g == nil {
-		g = &group{
-			minute: m,
-			target: rec.DstIP,
-			rules:  make(map[string]struct{}),
-			vec:    make(map[string]int),
+		if n := len(a.free); n > 0 {
+			g = a.free[n-1]
+			a.free = a.free[:n-1]
+			g.reset(m, rec.DstIP)
+		} else {
+			g = &group{
+				minute: m,
+				target: rec.DstIP,
+				rules:  make(map[string]struct{}),
+				vec:    make(map[string]int),
+			}
+			for c := range g.acc {
+				g.acc[c] = make(map[uint64][2]uint64)
+			}
 		}
-		for c := range g.acc {
-			g.acc[c] = make(map[uint64][2]uint64)
-		}
-		a.groups[rec.DstIP] = g
+		shard[rec.DstIP] = g
 	}
 	g.flows++
 	if rec.Blackholed {
@@ -205,32 +317,126 @@ func (a *Aggregator) Add(rec *netflow.Record, vector string) {
 }
 
 // Close flushes the final minute.
-func (a *Aggregator) Close() { a.flush() }
+func (a *Aggregator) Close() { a.flushMinute() }
 
-func (a *Aggregator) flush() {
-	if len(a.groups) == 0 {
+func (a *Aggregator) flushMinute() {
+	total := 0
+	for _, s := range a.shards {
+		total += len(s)
+	}
+	if total == 0 {
 		return
 	}
-	// Deterministic emission order.
-	targets := make([]netip.Addr, 0, len(a.groups))
-	for t := range a.groups {
-		targets = append(targets, t)
+	// Deterministic emission order across shards: gather every group and
+	// sort by target, exactly like the unsharded implementation did.
+	groups := make([]*group, 0, total)
+	for _, s := range a.shards {
+		for _, g := range s {
+			groups = append(groups, g)
+		}
+		clear(s)
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].Compare(targets[j]) < 0 })
-	for _, t := range targets {
-		agg := a.groups[t].finish()
+	sort.Slice(groups, func(i, j int) bool {
+		return groups[i].target.Compare(groups[j].target) < 0
+	})
+
+	if cap(a.finish) < total {
+		a.finish = make([]*Aggregate, total)
+	}
+	out := a.finish[:total]
+	workers := par.Workers(a.Workers)
+	if total < 16 {
+		workers = 1 // fan-out costs more than ranking a handful of groups
+	}
+	// Ranking one group touches only that group; results land in the
+	// slot matching the sorted order, so output is independent of both
+	// worker count and shard count.
+	par.ForChunks(workers, total, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = groups[i].finish()
+		}
+	})
+	for i, agg := range out {
 		if a.Emit != nil {
 			a.Emit(agg)
 		}
+		out[i] = nil
+		a.free = append(a.free, groups[i])
 	}
-	clear(a.groups)
 }
 
-type kv struct {
-	key   uint64
-	bytes uint64
-	pkts  uint64
-	met   float64 // current ranking metric, precomputed before each sort
+// topEntry is one candidate in a (categorical, metric) ranking.
+type topEntry struct {
+	key uint64
+	met float64
+}
+
+// outranks is the ranking order of §5.2.1: metric descending with
+// deterministic ties broken by key ascending. It is the exact comparator
+// the pre-sharding full sort used, so bounded selection under it keeps
+// precisely the same R entries.
+func outranks(met float64, key uint64, e topEntry) bool {
+	if met != e.met {
+		return met > e.met
+	}
+	return key < e.key
+}
+
+// topK is a bounded min-heap of the best R entries seen so far: the root is
+// the weakest kept entry, so a streaming offer is O(1) for the common
+// "not in the top R" case and O(log R) otherwise — replacing the full
+// O(n log n) sort per (categorical, metric) with one O(n log R) scan.
+type topK struct {
+	n int
+	e [R]topEntry
+}
+
+func (t *topK) offer(key uint64, met float64) {
+	if t.n < R {
+		t.e[t.n] = topEntry{key: key, met: met}
+		t.n++
+		// Sift up: a parent must not outrank its children from below —
+		// the heap keeps the weakest entry at the root.
+		for i := t.n - 1; i > 0; {
+			p := (i - 1) / 2
+			if !outranks(t.e[p].met, t.e[p].key, t.e[i]) {
+				break
+			}
+			t.e[p], t.e[i] = t.e[i], t.e[p]
+			i = p
+		}
+		return
+	}
+	if !outranks(met, key, t.e[0]) {
+		return // weaker than the weakest kept entry
+	}
+	t.e[0] = topEntry{key: key, met: met}
+	// Sift down to restore the weakest-at-root invariant.
+	for i := 0; ; {
+		c := 2*i + 1
+		if c >= R {
+			break
+		}
+		if r := c + 1; r < R && outranks(t.e[c].met, t.e[c].key, t.e[r]) {
+			c = r
+		}
+		if !outranks(t.e[i].met, t.e[i].key, t.e[c]) {
+			break
+		}
+		t.e[i], t.e[c] = t.e[c], t.e[i]
+		i = c
+	}
+}
+
+// ranked sorts the kept entries into emission order (rank 0 strongest).
+// Insertion sort: n is at most R = 5.
+func (t *topK) ranked() []topEntry {
+	for i := 1; i < t.n; i++ {
+		for j := i; j > 0 && outranks(t.e[j].met, t.e[j].key, t.e[j-1]); j-- {
+			t.e[j], t.e[j-1] = t.e[j-1], t.e[j]
+		}
+	}
+	return t.e[:t.n]
 }
 
 func (g *group) finish() *Aggregate {
@@ -240,41 +446,30 @@ func (g *group) finish() *Aggregate {
 		Label:  g.label,
 		Flows:  g.flows,
 	}
-	var scratch []kv
+	var tops [NumMets]topK
 	for c := 0; c < NumCats; c++ {
-		scratch = scratch[:0]
+		for m := range tops {
+			tops[m] = topK{}
+		}
+		// One streaming pass per categorical: every accumulated value is
+		// offered to all three metric rankings at once, instead of three
+		// scratch rebuilds + full sorts over the same map.
 		for k, bp := range g.acc[c] {
-			scratch = append(scratch, kv{key: k, bytes: bp[0], pkts: bp[1]})
+			fb := float64(bp[0])
+			fp := float64(bp[1])
+			ps := 0.0
+			if bp[1] != 0 {
+				ps = fb / fp
+			}
+			tops[MetPktSize].offer(k, ps)
+			tops[MetBytes].offer(k, fb)
+			tops[MetPackets].offer(k, fp)
 		}
 		for m := 0; m < NumMets; m++ {
-			// Precompute the metric column once per (categorical, metric):
-			// computing it inside the comparator would redo the division
-			// O(n log n) times per sort.
-			for i := range scratch {
-				e := &scratch[i]
-				switch m {
-				case MetPktSize:
-					if e.pkts == 0 {
-						e.met = 0
-					} else {
-						e.met = float64(e.bytes) / float64(e.pkts)
-					}
-				case MetBytes:
-					e.met = float64(e.bytes)
-				default:
-					e.met = float64(e.pkts)
-				}
-			}
-			sort.Slice(scratch, func(i, j int) bool {
-				if scratch[i].met != scratch[j].met {
-					return scratch[i].met > scratch[j].met
-				}
-				return scratch[i].key < scratch[j].key // deterministic ties
-			})
-			for r := 0; r < R && r < len(scratch); r++ {
-				agg.Keys[c][m][r] = scratch[r].key
+			for r, e := range tops[m].ranked() {
+				agg.Keys[c][m][r] = e.key
 				agg.Present[c][m][r] = true
-				agg.Mets[c][m][r] = scratch[r].met
+				agg.Mets[c][m][r] = e.met
 			}
 		}
 	}

@@ -1,0 +1,94 @@
+package ipfix
+
+import (
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+)
+
+// Allocation budgets for the IPFIX ingest hot path: DecodeAppend into warm
+// scratch and the batched Handle loop must be allocation-free at steady
+// state (data-only messages; template learning allocates once per template,
+// which is fine).
+func TestDecodeAppendAllocs(t *testing.T) {
+	e := &Exporter{DomainID: 7}
+	c := NewCollector()
+	first := e.Encode(nil, 1000, sampleRecords())
+	if _, err := c.Decode(first); err != nil { // learn the template
+		t.Fatal(err)
+	}
+	msg := e.Encode(nil, 1001, sampleRecords()) // data-only message
+	dst := make([]Record, 0, 8)
+	avg := testing.AllocsPerRun(200, func() {
+		out, err := c.DecodeAppend(dst[:0], msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 2 {
+			t.Fatalf("records = %d, want 2", len(out))
+		}
+	})
+	if avg != 0 {
+		t.Errorf("DecodeAppend allocs/run = %v, budget 0", avg)
+	}
+}
+
+func TestHandleBatchAllocs(t *testing.T) {
+	e := &Exporter{DomainID: 7}
+	var delivered int
+	u := &UDPCollector{
+		EmitBatch: func(recs []netflow.Record) { delivered += len(recs) },
+	}
+	first := e.Encode(nil, 1000, sampleRecords())
+	u.Handle(first) // learn template, allocate collector + scratch
+	msg := e.Encode(nil, 1001, sampleRecords())
+	for i := 0; i < 200; i++ { // warm batch capacity
+		u.Handle(msg)
+	}
+	u.Flush()
+	avg := testing.AllocsPerRun(500, func() { u.Handle(msg) })
+	if avg != 0 {
+		t.Errorf("Handle allocs/run = %v, budget 0", avg)
+	}
+	u.Flush()
+	if delivered == 0 {
+		t.Fatal("no records delivered")
+	}
+}
+
+func BenchmarkDecodeAppend(b *testing.B) {
+	e := &Exporter{DomainID: 7}
+	c := NewCollector()
+	if _, err := c.Decode(e.Encode(nil, 1000, sampleRecords())); err != nil {
+		b.Fatal(err)
+	}
+	msg := e.Encode(nil, 1001, sampleRecords())
+	dst := make([]Record, 0, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := c.DecodeAppend(dst[:0], msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = out[:0]
+	}
+}
+
+// BenchmarkDecodeFresh is the pre-PR allocating path kept for the
+// old-vs-new comparison scripts/bench.sh records into BENCH_PR3.json.
+func BenchmarkDecodeFresh(b *testing.B) {
+	e := &Exporter{DomainID: 7}
+	c := NewCollector()
+	if _, err := c.Decode(e.Encode(nil, 1000, sampleRecords())); err != nil {
+		b.Fatal(err)
+	}
+	msg := e.Encode(nil, 1001, sampleRecords())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

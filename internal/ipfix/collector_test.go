@@ -101,3 +101,51 @@ func TestHandleGarbage(t *testing.T) {
 		t.Error("malformed message not counted")
 	}
 }
+
+// TestHandleBatchMatchesEmit: the batched handoff must deliver exactly the
+// records (and stats) of the legacy per-record Emit path, including across
+// mid-message flushes and a trailing partial batch.
+func TestHandleBatchMatchesEmit(t *testing.T) {
+	e := &Exporter{DomainID: 7}
+	var payloads [][]byte
+	payloads = append(payloads, e.Encode(nil, 1000, sampleRecords())) // carries template
+	for i := 0; i < 8; i++ {
+		recs := sampleRecords()
+		for j := range recs {
+			recs[j].SrcPort = uint16(i*10 + j)
+		}
+		payloads = append(payloads, e.Encode(nil, uint32(1001+i), recs))
+	}
+
+	var want []netflow.Record
+	legacy := &UDPCollector{Emit: func(r *netflow.Record) { want = append(want, *r) }}
+	for _, p := range payloads {
+		legacy.Handle(p)
+	}
+
+	for _, size := range []int{1, 3, 256} {
+		var got []netflow.Record
+		batched := &UDPCollector{
+			BatchSize: size,
+			EmitBatch: func(recs []netflow.Record) { got = append(got, recs...) },
+		}
+		for _, p := range payloads {
+			batched.Handle(p)
+		}
+		batched.Flush()
+		if len(got) != len(want) {
+			t.Fatalf("size %d: %d records, want %d", size, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("size %d: record %d = %+v, want %+v", size, i, got[i], want[i])
+			}
+		}
+		if r, w := batched.Records.Load(), legacy.Records.Load(); r != w {
+			t.Errorf("size %d: Records = %d, want %d", size, r, w)
+		}
+		if m, w := batched.Messages.Load(), legacy.Messages.Load(); m != w {
+			t.Errorf("size %d: Messages = %d, want %d", size, m, w)
+		}
+	}
+}

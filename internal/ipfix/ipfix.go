@@ -181,22 +181,30 @@ func tmplKey(domain uint32, id uint16) uint64 { return uint64(domain)<<16 | uint
 // Decode parses one message and returns its flow records. Data sets whose
 // template is unknown yield ErrUnknownTemplate (the caller may retry after
 // the exporter's periodic template refresh); template sets are learned as a
-// side effect.
+// side effect. It allocates a fresh result slice per call; hot paths reuse
+// one through DecodeAppend.
 func (c *Collector) Decode(data []byte) ([]Record, error) {
+	return c.DecodeAppend(nil, data)
+}
+
+// DecodeAppend is Decode appending into dst, so a receive loop can recycle
+// one record slice across messages (dst[:0] each call) and decode without
+// allocating at steady state.
+func (c *Collector) DecodeAppend(dst []Record, data []byte) ([]Record, error) {
 	if len(data) < headerLen {
-		return nil, ErrTruncated
+		return dst, ErrTruncated
 	}
 	if v := binary.BigEndian.Uint16(data[0:2]); v != version10 {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, v)
+		return dst, fmt.Errorf("%w: %d", ErrBadVersion, v)
 	}
 	msgLen := int(binary.BigEndian.Uint16(data[2:4]))
 	if msgLen < headerLen || msgLen > len(data) {
-		return nil, fmt.Errorf("ipfix: message length %d: %w", msgLen, ErrTruncated)
+		return dst, fmt.Errorf("ipfix: message length %d: %w", msgLen, ErrTruncated)
 	}
 	domain := binary.BigEndian.Uint32(data[12:16])
 	body := data[headerLen:msgLen]
 
-	var out []Record
+	out := dst
 	var pendingErr error
 	for len(body) > 0 {
 		if len(body) < 4 {
@@ -214,7 +222,7 @@ func (c *Collector) Decode(data []byte) ([]Record, error) {
 				return out, err
 			}
 		case setID >= minDataSetID:
-			recs, err := c.decodeDataSet(domain, setID, content)
+			recs, err := c.decodeDataSet(out, domain, setID, content)
 			if err != nil {
 				if errors.Is(err, ErrUnknownTemplate) {
 					pendingErr = err // keep parsing further sets
@@ -222,7 +230,7 @@ func (c *Collector) Decode(data []byte) ([]Record, error) {
 					return out, err
 				}
 			}
-			out = append(out, recs...)
+			out = recs
 		default:
 			// Options templates and reserved sets are skipped.
 		}
@@ -261,21 +269,22 @@ func (c *Collector) learnTemplates(domain uint32, content []byte) error {
 	return nil
 }
 
-func (c *Collector) decodeDataSet(domain uint32, setID uint16, content []byte) ([]Record, error) {
+// decodeDataSet appends the set's records to dst and returns it; dst is
+// returned unchanged on error.
+func (c *Collector) decodeDataSet(dst []Record, domain uint32, setID uint16, content []byte) ([]Record, error) {
 	c.mu.RLock()
 	fields, ok := c.templates[tmplKey(domain, setID)]
 	c.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("%w: %d in domain %d", ErrUnknownTemplate, setID, domain)
+		return dst, fmt.Errorf("%w: %d in domain %d", ErrUnknownTemplate, setID, domain)
 	}
 	recLen := 0
 	for _, f := range fields {
 		recLen += int(f.Length)
 	}
 	if recLen == 0 {
-		return nil, fmt.Errorf("ipfix: template %d has zero-length records", setID)
+		return dst, fmt.Errorf("ipfix: template %d has zero-length records", setID)
 	}
-	var out []Record
 	for len(content) >= recLen {
 		var r Record
 		off := 0
@@ -284,10 +293,10 @@ func (c *Collector) decodeDataSet(domain uint32, setID uint16, content []byte) (
 			decodeField(&r, f, v)
 			off += int(f.Length)
 		}
-		out = append(out, r)
+		dst = append(dst, r)
 		content = content[recLen:]
 	}
-	return out, nil
+	return dst, nil
 }
 
 func decodeField(r *Record, f FieldSpec, v []byte) {

@@ -1,0 +1,153 @@
+package netflow
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// encodeRecords writes n distinct records and returns the wire bytes.
+func encodeRecords(tb testing.TB, n int) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < n; i++ {
+		rec := sampleRecord()
+		rec.Timestamp += int64(i)
+		rec.SrcPort = uint16(i)
+		rec.Blackholed = i%3 == 0
+		if err := w.Write(&rec); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadBatchMatchesRead: batched reads must yield exactly the record
+// sequence of the one-at-a-time path, for batch sizes that divide the
+// stream, leave a remainder, and exceed the bulk-read cap.
+func TestReadBatchMatchesRead(t *testing.T) {
+	const n = 2000
+	data := encodeRecords(t, n)
+
+	want := make([]Record, 0, n)
+	ref := NewReader(bytes.NewReader(data))
+	for {
+		var rec Record
+		err := ref.Read(&rec)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+
+	for _, size := range []int{1, 7, 256, batchReadRecords + 5} {
+		r := NewReader(bytes.NewReader(data))
+		got := make([]Record, 0, n)
+		dst := make([]Record, size)
+		for {
+			k, err := r.ReadBatch(dst)
+			got = append(got, dst[:k]...)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("size %d: records = %d, want %d", size, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("size %d: record %d mismatch:\n got  %+v\n want %+v", size, i, got[i], want[i])
+			}
+		}
+		if r.Stats.Records.Load() != uint64(n) {
+			t.Errorf("size %d: Stats.Records = %d, want %d", size, r.Stats.Records.Load(), n)
+		}
+	}
+}
+
+// TestReadBatchTruncation: a mid-record cut must surface as
+// io.ErrUnexpectedEOF after the preceding whole records are delivered.
+func TestReadBatchTruncation(t *testing.T) {
+	data := encodeRecords(t, 10)
+	cut := data[:len(data)-37] // mid-record
+	r := NewReader(bytes.NewReader(cut))
+	dst := make([]Record, 64)
+	total := 0
+	var finalErr error
+	for {
+		k, err := r.ReadBatch(dst)
+		total += k
+		if err != nil {
+			finalErr = err
+			break
+		}
+	}
+	if !errors.Is(finalErr, io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", finalErr)
+	}
+	if total != 9 {
+		t.Errorf("whole records before truncation = %d, want 9", total)
+	}
+	if r.Stats.Truncated.Load() != 1 {
+		t.Errorf("Stats.Truncated = %d, want 1", r.Stats.Truncated.Load())
+	}
+}
+
+func TestReadBatchEmptyDst(t *testing.T) {
+	r := NewReader(bytes.NewReader(encodeRecords(t, 3)))
+	if k, err := r.ReadBatch(nil); k != 0 || err != nil {
+		t.Fatalf("ReadBatch(nil) = %d, %v", k, err)
+	}
+}
+
+// TestReadBatchAllocs: after the first call allocates the bulk scratch,
+// batched reading must be allocation-free (budget 0 per batch).
+func TestReadBatchAllocs(t *testing.T) {
+	const runs = 200
+	const size = 64
+	data := encodeRecords(t, (runs+2)*size)
+	r := NewReader(bytes.NewReader(data))
+	dst := make([]Record, size)
+	if _, err := r.ReadBatch(dst); err != nil { // allocate scratch
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(runs, func() {
+		if k, err := r.ReadBatch(dst); err != nil || k != size {
+			t.Fatalf("ReadBatch = %d, %v", k, err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("ReadBatch allocs/run = %v, budget 0", avg)
+	}
+}
+
+func BenchmarkCodecReadBatch(b *testing.B) {
+	data := encodeRecords(b, 10000)
+	dst := make([]Record, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	r := NewReader(bytes.NewReader(data))
+	for i := 0; i < b.N; i++ {
+		k, err := r.ReadBatch(dst)
+		if errors.Is(err, io.EOF) || k < len(dst) {
+			b.StopTimer()
+			r = NewReader(bytes.NewReader(data))
+			b.StartTimer()
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

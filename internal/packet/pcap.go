@@ -99,6 +99,7 @@ type PcapFrame struct {
 // format, Ethernet link type — what PcapWriter produces).
 type PcapReader struct {
 	r     *bufio.Reader
+	hdr   [16]byte // record-header scratch (a stack array would escape through io.ReadFull)
 	began bool
 }
 
@@ -125,30 +126,45 @@ func (p *PcapReader) begin() error {
 	return nil
 }
 
-// Read returns the next frame, or io.EOF at a clean end of stream.
+// Read returns the next frame, or io.EOF at a clean end of stream. It
+// allocates a fresh frame per call; loops over large captures reuse one via
+// ReadInto.
 func (p *PcapReader) Read() (*PcapFrame, error) {
-	if err := p.begin(); err != nil {
+	f := &PcapFrame{}
+	if err := p.ReadInto(f); err != nil {
 		return nil, err
 	}
-	var hdr [16]byte
-	if _, err := io.ReadFull(p.r, hdr[:]); err != nil {
+	return f, nil
+}
+
+// ReadInto fills f with the next frame, growing f.Data only when the frame
+// exceeds its capacity — at steady state a capture loop reads without
+// allocating. Returns io.EOF at a clean end of stream; on error f is left in
+// an unspecified state.
+func (p *PcapReader) ReadInto(f *PcapFrame) error {
+	if err := p.begin(); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(p.r, p.hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
+			return io.EOF
 		}
-		return nil, fmt.Errorf("packet: pcap record: %w", err)
+		return fmt.Errorf("packet: pcap record: %w", err)
 	}
-	capLen := binary.LittleEndian.Uint32(hdr[8:12])
+	capLen := binary.LittleEndian.Uint32(p.hdr[8:12])
 	if capLen > 1<<20 {
-		return nil, fmt.Errorf("packet: pcap frame of %d bytes exceeds sanity cap", capLen)
+		return fmt.Errorf("packet: pcap frame of %d bytes exceeds sanity cap", capLen)
 	}
-	f := &PcapFrame{
-		TsSec:   int64(binary.LittleEndian.Uint32(hdr[0:4])),
-		TsMicro: int64(binary.LittleEndian.Uint32(hdr[4:8])),
-		OrigLen: int(binary.LittleEndian.Uint32(hdr[12:16])),
-		Data:    make([]byte, capLen),
+	f.TsSec = int64(binary.LittleEndian.Uint32(p.hdr[0:4]))
+	f.TsMicro = int64(binary.LittleEndian.Uint32(p.hdr[4:8]))
+	f.OrigLen = int(binary.LittleEndian.Uint32(p.hdr[12:16]))
+	if cap(f.Data) >= int(capLen) {
+		f.Data = f.Data[:capLen]
+	} else {
+		f.Data = make([]byte, capLen)
 	}
 	if _, err := io.ReadFull(p.r, f.Data); err != nil {
-		return nil, fmt.Errorf("packet: pcap frame body: %w", err)
+		return fmt.Errorf("packet: pcap frame body: %w", err)
 	}
-	return f, nil
+	return nil
 }

@@ -114,3 +114,57 @@ func TestPcapOrigLenClamped(t *testing.T) {
 		t.Errorf("origLen = %d, want clamped to 100", f.OrigLen)
 	}
 }
+
+// TestPcapReadInto: the reuse path must match Read record-for-record, keep
+// earlier copies intact, and stop allocating once f.Data has grown to the
+// largest frame.
+func TestPcapReadInto(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewPcapWriter(&buf)
+	const n = 50
+	for i := 0; i < n; i++ {
+		frame := bytes.Repeat([]byte{byte(i)}, 60+i%40)
+		if err := w.WriteFrame(int64(1000+i), int64(i), frame, 1500); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	ref := NewPcapReader(bytes.NewReader(data))
+	r := NewPcapReader(bytes.NewReader(data))
+	var f PcapFrame
+	for i := 0; ; i++ {
+		want, werr := ref.Read()
+		rerr := r.ReadInto(&f)
+		if errors.Is(werr, io.EOF) {
+			if !errors.Is(rerr, io.EOF) {
+				t.Fatalf("frame %d: ReadInto err = %v, want EOF", i, rerr)
+			}
+			break
+		}
+		if werr != nil || rerr != nil {
+			t.Fatalf("frame %d: Read err = %v, ReadInto err = %v", i, werr, rerr)
+		}
+		if f.TsSec != want.TsSec || f.TsMicro != want.TsMicro || f.OrigLen != want.OrigLen || !bytes.Equal(f.Data, want.Data) {
+			t.Fatalf("frame %d: ReadInto = %+v, want %+v", i, f, *want)
+		}
+	}
+
+	// Steady state: budget 0 allocs once Data capacity covers every frame.
+	big := NewPcapReader(bytes.NewReader(data))
+	f.Data = make([]byte, 0, 128)
+	if err := big.ReadInto(&f); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(40, func() {
+		if err := big.ReadInto(&f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("ReadInto allocs/run = %v, budget 0", avg)
+	}
+}

@@ -1,0 +1,86 @@
+package sflow
+
+import (
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+)
+
+// Allocation budgets for the ingest hot path. DecodeInto into warm scratch
+// and the batched HandleDatagram loop must be allocation-free at steady
+// state: every malloc here is paid per datagram at IXP line rate. The
+// HandleDatagram gate tolerates a fractional average because sync.Pool may
+// be drained by a mid-test GC.
+func TestDecodeIntoAllocs(t *testing.T) {
+	buf, err := Append(nil, sampleDatagram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Datagram
+	if err := DecodeInto(&d, buf); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := DecodeInto(&d, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("DecodeInto allocs/run = %v, budget 0", avg)
+	}
+}
+
+func TestHandleDatagramBatchAllocs(t *testing.T) {
+	buf, err := Append(nil, sampleDatagram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered int
+	c := &Collector{
+		Clock:     func() int64 { return 1700000000 },
+		EmitBatch: func(recs []netflow.Record) { delivered += len(recs) },
+	}
+	for i := 0; i < 200; i++ { // warm pool scratch and batch capacity
+		c.HandleDatagram(buf)
+	}
+	c.Flush()
+	avg := testing.AllocsPerRun(500, func() { c.HandleDatagram(buf) })
+	if avg >= 0.5 {
+		t.Errorf("HandleDatagram allocs/run = %v, budget <0.5 (steady state 0)", avg)
+	}
+	c.Flush()
+	if delivered == 0 {
+		t.Fatal("no records delivered")
+	}
+}
+
+func BenchmarkDecodeInto(b *testing.B) {
+	buf, err := Append(nil, sampleDatagram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var d Datagram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(&d, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeFresh is the pre-PR allocating path kept for the
+// old-vs-new comparison scripts/bench.sh records into BENCH_PR3.json.
+func BenchmarkDecodeFresh(b *testing.B) {
+	buf, err := Append(nil, sampleDatagram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"log/slog"
 	"net"
 	"net/netip"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,29 +23,63 @@ type Labeler func(ip netip.Addr, at int64) bool
 // CollectorStats counts collector activity; all fields are updated
 // atomically and safe to read concurrently.
 type CollectorStats struct {
-	Datagrams   atomic.Uint64
-	Samples     atomic.Uint64
-	Records     atomic.Uint64
-	Truncated   atomic.Uint64 // datagrams rejected as truncated
-	DecodeErrs  atomic.Uint64 // datagrams/samples malformed beyond truncation
-	NonIP       atomic.Uint64
-	Blackholed  atomic.Uint64
+	Datagrams  atomic.Uint64
+	Samples    atomic.Uint64
+	Records    atomic.Uint64
+	Truncated  atomic.Uint64 // datagrams rejected as truncated
+	DecodeErrs atomic.Uint64 // datagrams/samples malformed beyond truncation
+	NonIP      atomic.Uint64
+	Blackholed atomic.Uint64
 }
+
+// DefaultBatchSize is the record batch delivered downstream per EmitBatch
+// call. 256 records amortize the downstream lock and channel costs to noise
+// while still flushing several times per second at IXP-scale sample rates.
+const DefaultBatchSize = 256
+
+// DefaultFlushInterval bounds how long a partial batch may sit in the
+// collector when the datagram stream pauses.
+const DefaultFlushInterval = 50 * time.Millisecond
+
+// dgPool recycles decode scratch across datagrams (and across collectors):
+// the Datagram's Samples array is the only per-datagram allocation of the
+// decode path, so reusing it makes HandleDatagram allocation-free at steady
+// state.
+var dgPool = sync.Pool{New: func() any { return new(Datagram) }}
 
 // Collector receives sFlow v5 datagrams over UDP, converts each flow sample
 // into a netflow.Record (scaling packet and byte counts by the sampling
-// rate), labels it against the blackhole registry, and hands it to Emit.
+// rate), labels it against the blackhole registry, and hands it downstream.
 type Collector struct {
 	// Label classifies destination IPs; nil means nothing is blackholed.
 	Label Labeler
-	// Emit receives each converted record. It is called from the receive
-	// loop, so it must be fast or hand off to a channel.
+	// EmitBatch receives converted records in batches of up to BatchSize.
+	// The slice (and its records) is reused after the call returns:
+	// receivers must consume or copy it synchronously. Preferred over Emit
+	// on the hot path — one downstream handoff per batch instead of per
+	// record.
+	EmitBatch func([]netflow.Record)
+	// Emit receives each converted record when EmitBatch is nil. It is
+	// called from the receive loop, so it must be fast or hand off to a
+	// channel.
 	Emit func(*netflow.Record)
+	// BatchSize caps the EmitBatch batch; 0 means DefaultBatchSize.
+	BatchSize int
+	// FlushInterval bounds the latency of a partial batch while the
+	// datagram stream is idle; 0 means DefaultFlushInterval. Only Listen
+	// enforces it (HandleDatagram callers flush explicitly).
+	FlushInterval time.Duration
 	// Clock supplies record timestamps; defaults to time.Now().Unix.
 	Clock func() int64
 	Log   *slog.Logger
 
 	Stats CollectorStats
+
+	// batch accumulates records across datagrams until BatchSize is
+	// reached. HandleDatagram and Flush must be called from one goroutine
+	// at a time (Listen is that goroutine); Stats stays atomic so scrapes
+	// may race freely.
+	batch []netflow.Record
 }
 
 // SampleToRecord converts one flow sample into a flow record. It returns
@@ -90,10 +126,22 @@ func (c *Collector) SampleToRecord(s *FlowSample, at int64, rec *netflow.Record)
 	return true
 }
 
-// HandleDatagram decodes one datagram payload and emits its records.
+func (c *Collector) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// HandleDatagram decodes one datagram payload and hands its records
+// downstream: into the pending batch when EmitBatch is set (delivered once
+// BatchSize accumulates — call Flush to force a partial batch out), else
+// record-by-record through Emit. Not safe for concurrent calls with itself
+// or Flush.
 func (c *Collector) HandleDatagram(data []byte) {
-	d, err := Decode(data)
-	if err != nil {
+	d := dgPool.Get().(*Datagram)
+	defer dgPool.Put(d)
+	if err := DecodeInto(d, data); err != nil {
 		if errors.Is(err, ErrTruncated) {
 			c.Stats.Truncated.Add(1)
 		} else {
@@ -105,18 +153,55 @@ func (c *Collector) HandleDatagram(data []byte) {
 		return
 	}
 	c.Stats.Datagrams.Add(1)
+	c.Stats.Samples.Add(uint64(len(d.Samples)))
 	at := c.now()
-	var rec netflow.Record
+	if c.EmitBatch == nil {
+		// Legacy per-record path.
+		var records uint64
+		var rec netflow.Record
+		for i := range d.Samples {
+			if !c.SampleToRecord(&d.Samples[i], at, &rec) {
+				continue
+			}
+			records++
+			if c.Emit != nil {
+				c.Emit(&rec)
+			}
+		}
+		c.Stats.Records.Add(records)
+		return
+	}
+	var records uint64
+	size := c.batchSize()
 	for i := range d.Samples {
-		c.Stats.Samples.Add(1)
-		if !c.SampleToRecord(&d.Samples[i], at, &rec) {
+		// Convert straight into the batch slot: no per-record copies.
+		if len(c.batch) < cap(c.batch) {
+			c.batch = c.batch[:len(c.batch)+1]
+		} else {
+			c.batch = append(c.batch, netflow.Record{})
+		}
+		slot := &c.batch[len(c.batch)-1]
+		if !c.SampleToRecord(&d.Samples[i], at, slot) {
+			c.batch = c.batch[:len(c.batch)-1]
 			continue
 		}
-		c.Stats.Records.Add(1)
-		if c.Emit != nil {
-			c.Emit(&rec)
+		records++
+		if len(c.batch) >= size {
+			c.flushBatch()
 		}
 	}
+	c.Stats.Records.Add(records)
+}
+
+// Flush delivers a pending partial batch downstream.
+func (c *Collector) Flush() { c.flushBatch() }
+
+func (c *Collector) flushBatch() {
+	if len(c.batch) == 0 || c.EmitBatch == nil {
+		return
+	}
+	c.EmitBatch(c.batch)
+	c.batch = c.batch[:0]
 }
 
 func (c *Collector) now() int64 {
@@ -127,7 +212,9 @@ func (c *Collector) now() int64 {
 }
 
 // Listen receives datagrams on conn until the context is canceled. It always
-// closes conn before returning.
+// closes conn before returning. While a partial batch is pending, reads run
+// under FlushInterval deadlines so an idle stream cannot strand records in
+// the collector.
 func (c *Collector) Listen(ctx context.Context, conn net.PacketConn) error {
 	done := make(chan struct{})
 	defer close(done)
@@ -139,11 +226,31 @@ func (c *Collector) Listen(ctx context.Context, conn net.PacketConn) error {
 		conn.Close()
 	}()
 
+	flushEvery := c.FlushInterval
+	if flushEvery <= 0 {
+		flushEvery = DefaultFlushInterval
+	}
 	buf := make([]byte, 65536)
+	armed := false // a read deadline is set iff a partial batch is pending
 	for {
+		if pending := len(c.batch) > 0; pending != armed {
+			armed = pending
+			var deadline time.Time
+			if pending {
+				deadline = time.Now().Add(flushEvery)
+			}
+			_ = conn.SetReadDeadline(deadline)
+		} else if armed {
+			_ = conn.SetReadDeadline(time.Now().Add(flushEvery))
+		}
 		n, _, err := conn.ReadFrom(buf)
 		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				c.flushBatch()
+				continue
+			}
 			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				c.flushBatch()
 				return nil
 			}
 			return fmt.Errorf("sflow: read: %w", err)

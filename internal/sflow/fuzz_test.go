@@ -1,12 +1,136 @@
 package sflow
 
-import "testing"
+import (
+	"encoding/binary"
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+// fuzzSeeds builds a corpus of realistic datagrams: the canonical two-sample
+// datagram, a v6 agent, a datagram with an unknown (counter) sample to skip,
+// a many-sample datagram, and an empty one.
+func fuzzSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	add := func(d *Datagram) {
+		buf, err := Append(nil, d)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, buf)
+	}
+	add(sampleDatagram())
+
+	v6 := sampleDatagram()
+	v6.AgentAddress = netip.MustParseAddr("2001:db8::17")
+	add(v6)
+
+	add(&Datagram{AgentAddress: netip.MustParseAddr("10.9.9.9"), Sequence: 9})
+
+	many := &Datagram{AgentAddress: netip.MustParseAddr("10.0.0.5"), Sequence: 3}
+	for i := 0; i < 12; i++ {
+		many.Samples = append(many.Samples, FlowSample{
+			Sequence:     uint32(i),
+			SamplingRate: 1024,
+			FrameLength:  uint32(100 + i),
+			Header:       udpFrame([4]byte{192, 0, 2, byte(i)}, [4]byte{203, 0, 113, byte(i)}, 1000, uint16(2000+i), 40+i),
+		})
+	}
+	add(many)
+
+	// Hand-build a datagram whose first sample is a counter sample (format
+	// 2) that must be skipped by length, followed by a real flow sample.
+	base, err := Append(nil, sampleDatagram())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	mixed := append([]byte(nil), base[:28]...) // header up to sample count
+	binary.BigEndian.PutUint32(mixed[24:28], 3)
+	counter := []byte{0, 0, 0, byte(sampleCounter), 0, 0, 0, 8, 1, 2, 3, 4, 5, 6, 7, 8}
+	mixed = append(mixed, counter...)
+	mixed = append(mixed, base[28:]...)
+	seeds = append(seeds, mixed)
+
+	// Truncations at interesting offsets exercise every ErrTruncated path.
+	for _, cut := range []int{3, 7, 20, 27, 35, len(base) - 1} {
+		if cut < len(base) {
+			seeds = append(seeds, base[:cut])
+		}
+	}
+	return seeds
+}
 
 func FuzzDecode(f *testing.F) {
-	if buf, err := Append(nil, sampleDatagram()); err == nil {
-		f.Add(buf)
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = Decode(data) // must never panic
+	})
+}
+
+// cloneSamples deep-copies decoded samples, including Header bytes, so a
+// snapshot survives both input-buffer and scratch-struct reuse.
+func cloneSamples(samples []FlowSample) []FlowSample {
+	out := make([]FlowSample, len(samples))
+	for i, s := range samples {
+		out[i] = s
+		if s.Header != nil {
+			out[i].Header = append([]byte(nil), s.Header...)
+		}
+	}
+	return out
+}
+
+// FuzzDecodeInto drives the pooled decode path: DecodeInto must agree with
+// the allocating Decode on arbitrary input, and decoding a second datagram
+// into the same scratch must neither corrupt earlier results (no aliasing
+// across datagrams) nor leak stale samples into the new ones.
+func FuzzDecodeInto(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	next, err := Append(nil, sampleDatagram())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fresh, freshErr := Decode(data)
+
+		var reused Datagram
+		intoErr := DecodeInto(&reused, data)
+		if (freshErr == nil) != (intoErr == nil) {
+			t.Fatalf("Decode err = %v, DecodeInto err = %v", freshErr, intoErr)
+		}
+		if freshErr != nil {
+			return
+		}
+		if !reflect.DeepEqual(*fresh, reused) {
+			t.Fatalf("DecodeInto diverged from Decode:\n  fresh: %+v\n  into:  %+v", *fresh, reused)
+		}
+
+		snapshot := cloneSamples(reused.Samples)
+
+		// Reuse the scratch for a different datagram.
+		if err := DecodeInto(&reused, next); err != nil {
+			t.Fatalf("DecodeInto(next) = %v", err)
+		}
+		want, err := Decode(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(*want, reused) {
+			t.Fatalf("reused scratch diverged on second datagram:\n  fresh: %+v\n  into:  %+v", *want, reused)
+		}
+
+		// The first decode's samples must be untouched by the reuse.
+		again, err := Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cloneSamples(again.Samples), snapshot) {
+			t.Fatal("first datagram's samples changed after scratch reuse")
+		}
 	})
 }

@@ -152,149 +152,170 @@ func (d *decoder) skip(n int) error {
 }
 
 // Decode parses one sFlow v5 datagram. Returned Header slices alias data.
+// It allocates a fresh Datagram per call; hot paths reuse one via
+// DecodeInto instead.
 func Decode(data []byte) (*Datagram, error) {
+	out := &Datagram{}
+	if err := DecodeInto(out, data); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeInto parses one sFlow v5 datagram into out, reusing out.Samples'
+// backing array. Header slices alias data, so out (and everything derived
+// from its headers) is only valid until data's buffer is reused — the
+// allocation-free contract of the collector receive loop. On error out is
+// left in an unspecified state.
+func DecodeInto(out *Datagram, data []byte) error {
 	d := decoder{data: data}
 	ver, err := d.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if ver != version5 {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+		return fmt.Errorf("%w: %d", ErrBadVersion, ver)
 	}
-	out := &Datagram{}
+	out.Samples = out.Samples[:0]
 	at, err := d.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	switch at {
 	case addrTypeIPv4:
 		b, err := d.bytes(4)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out.AgentAddress = netip.AddrFrom4([4]byte(b))
 	case addrTypeIPv6:
 		b, err := d.bytes(16)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		out.AgentAddress = netip.AddrFrom16([16]byte(b))
 	default:
-		return nil, fmt.Errorf("sflow: unknown agent address type %d", at)
+		return fmt.Errorf("sflow: unknown agent address type %d", at)
 	}
 	if out.SubAgentID, err = d.u32(); err != nil {
-		return nil, err
+		return err
 	}
 	if out.Sequence, err = d.u32(); err != nil {
-		return nil, err
+		return err
 	}
 	if out.Uptime, err = d.u32(); err != nil {
-		return nil, err
+		return err
 	}
 	n, err := d.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint32(0); i < n; i++ {
 		format, err := d.u32()
 		if err != nil {
-			return nil, fmt.Errorf("sample %d: %w", i, err)
+			return fmt.Errorf("sample %d: %w", i, err)
 		}
 		length, err := d.u32()
 		if err != nil {
-			return nil, fmt.Errorf("sample %d: %w", i, err)
+			return fmt.Errorf("sample %d: %w", i, err)
 		}
 		if format != sampleFlow {
 			if err := d.skip(int(length)); err != nil {
-				return nil, fmt.Errorf("sample %d (format %d): %w", i, format, err)
+				return fmt.Errorf("sample %d (format %d): %w", i, format, err)
 			}
 			continue
 		}
 		end := d.off + int(length)
 		if end > len(data) {
-			return nil, fmt.Errorf("sample %d: %w", i, ErrTruncated)
+			return fmt.Errorf("sample %d: %w", i, ErrTruncated)
 		}
-		s, err := decodeFlowSample(&decoder{data: data[:end], off: d.off})
-		if err != nil {
-			return nil, fmt.Errorf("sample %d: %w", i, err)
+		// Grow into reused capacity; the slot must be reset because it may
+		// hold a sample from a previous datagram.
+		if len(out.Samples) < cap(out.Samples) {
+			out.Samples = out.Samples[:len(out.Samples)+1]
+		} else {
+			out.Samples = append(out.Samples, FlowSample{})
 		}
-		out.Samples = append(out.Samples, *s)
+		s := &out.Samples[len(out.Samples)-1]
+		*s = FlowSample{}
+		if err := decodeFlowSample(s, &decoder{data: data[:end], off: d.off}); err != nil {
+			return fmt.Errorf("sample %d: %w", i, err)
+		}
 		d.off = end
 	}
-	return out, nil
+	return nil
 }
 
-func decodeFlowSample(d *decoder) (*FlowSample, error) {
-	s := &FlowSample{}
+func decodeFlowSample(s *FlowSample, d *decoder) error {
 	var err error
 	if s.Sequence, err = d.u32(); err != nil {
-		return nil, err
+		return err
 	}
 	if s.SourceID, err = d.u32(); err != nil {
-		return nil, err
+		return err
 	}
 	if s.SamplingRate, err = d.u32(); err != nil {
-		return nil, err
+		return err
 	}
 	if s.SamplePool, err = d.u32(); err != nil {
-		return nil, err
+		return err
 	}
 	if s.Drops, err = d.u32(); err != nil {
-		return nil, err
+		return err
 	}
 	if s.InputIf, err = d.u32(); err != nil {
-		return nil, err
+		return err
 	}
 	if s.OutputIf, err = d.u32(); err != nil {
-		return nil, err
+		return err
 	}
 	nrec, err := d.u32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := uint32(0); i < nrec; i++ {
 		format, err := d.u32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		length, err := d.u32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if format != recordRawPacketHeader {
 			if err := d.skip(int(length)); err != nil {
-				return nil, err
+				return err
 			}
 			continue
 		}
 		end := d.off + int(length)
 		proto, err := d.u32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if s.FrameLength, err = d.u32(); err != nil {
-			return nil, err
+			return err
 		}
 		if _, err = d.u32(); err != nil { // stripped
-			return nil, err
+			return err
 		}
 		hlen, err := d.u32()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if proto != headerProtocolEthernet {
 			if err := d.skip(end - d.off); err != nil {
-				return nil, err
+				return err
 			}
 			continue
 		}
 		if s.Header, err = d.bytes(int(hlen)); err != nil {
-			return nil, err
+			return err
 		}
 		if end < d.off || end > len(d.data) {
-			return nil, ErrTruncated
+			return ErrTruncated
 		}
 		d.off = end // consume XDR padding
 	}
-	return s, nil
+	return nil
 }

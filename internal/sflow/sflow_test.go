@@ -282,3 +282,109 @@ func BenchmarkSampleToRecord(b *testing.B) {
 		c.SampleToRecord(&d.Samples[0], 1000, &rec)
 	}
 }
+
+// TestHandleDatagramBatchMatchesEmit: the batched handoff must deliver
+// exactly the records (and stats) of the legacy per-record Emit path, at
+// batch sizes that flush mid-datagram and that need a final Flush.
+func TestHandleDatagramBatchMatchesEmit(t *testing.T) {
+	var payloads [][]byte
+	for i := 0; i < 9; i++ {
+		d := sampleDatagram()
+		for j := range d.Samples {
+			d.Samples[j].Sequence = uint32(i*10 + j)
+		}
+		buf, err := Append(nil, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payloads = append(payloads, buf)
+	}
+
+	var want []netflow.Record
+	legacy := &Collector{
+		Clock: func() int64 { return 5000 },
+		Emit:  func(r *netflow.Record) { want = append(want, *r) },
+	}
+	for _, p := range payloads {
+		legacy.HandleDatagram(p)
+	}
+
+	for _, size := range []int{1, 3, 256} {
+		var got []netflow.Record
+		batched := &Collector{
+			Clock:     func() int64 { return 5000 },
+			BatchSize: size,
+			EmitBatch: func(recs []netflow.Record) { got = append(got, recs...) },
+		}
+		for _, p := range payloads {
+			batched.HandleDatagram(p)
+		}
+		batched.Flush()
+		if len(got) != len(want) {
+			t.Fatalf("size %d: %d records, want %d", size, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("size %d: record %d = %+v, want %+v", size, i, got[i], want[i])
+			}
+		}
+		if r, w := batched.Stats.Records.Load(), legacy.Stats.Records.Load(); r != w {
+			t.Errorf("size %d: Stats.Records = %d, want %d", size, r, w)
+		}
+		if d, w := batched.Stats.Datagrams.Load(), legacy.Stats.Datagrams.Load(); d != w {
+			t.Errorf("size %d: Stats.Datagrams = %d, want %d", size, d, w)
+		}
+	}
+}
+
+// TestListenIdleFlush: a partial batch must reach EmitBatch via the idle
+// deadline without further datagrams arriving.
+func TestListenIdleFlush(t *testing.T) {
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var got int
+	c := &Collector{
+		Clock:         func() int64 { return 5000 },
+		BatchSize:     1024, // never filled by one datagram
+		FlushInterval: 10 * time.Millisecond,
+		EmitBatch: func(recs []netflow.Record) {
+			mu.Lock()
+			got += len(recs)
+			mu.Unlock()
+		},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- c.Listen(ctx, pc) }()
+
+	exp, err := NewExporter(pc.LocalAddr().String(), netip.MustParseAddr("10.0.0.5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	if err := exp.Send(sampleDatagram().Samples); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := got
+		mu.Unlock()
+		if n == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle flush delivered %d records, want 2", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+}

@@ -20,12 +20,21 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Encoder accumulates per-domain value counts under both labels and maps
 // values to their WoE. Observe/Fit may be interleaved: WoE values are
-// recomputed lazily after new observations. Encoder is safe for concurrent
-// reads after Fit; Observe must not race with reads.
+// recomputed lazily after new observations.
+//
+// The read path is lock-free: Fit publishes the fitted tables (with
+// overrides folded in) as an immutable snapshot behind an atomic pointer,
+// so WoE in the predict hot loop is a plain map read with no mutex
+// acquisition. Observe, Override and the other mutators take the mutex,
+// update the counts and invalidate or republish the snapshot; a WoE call
+// that finds no snapshot falls back to the locked path and publishes one.
+// All paths are safe for concurrent use, though a read racing an Observe
+// may see the previous fit (the same lag a locked lazy refit would show).
 type Encoder struct {
 	// Smoothing is the pseudocount added to both counts of the WoE ratio
 	// (the paper's division-by-zero guard uses 1.0, the default). Larger
@@ -48,6 +57,17 @@ type Encoder struct {
 	posTotal  uint64
 	negTotal  uint64
 	dirty     bool
+
+	// snap is the published read-only view: per-domain WoE maps with
+	// overrides already applied. It is replaced wholesale on every fit or
+	// override change and never mutated in place, so readers need no lock.
+	snap atomic.Pointer[snapshot]
+}
+
+// snapshot is an immutable fitted view. The maps are built fresh on every
+// publish and must never be written after the pointer is stored.
+type snapshot struct {
+	domains map[string]map[uint64]float64
 }
 
 type domain struct {
@@ -90,6 +110,7 @@ func (e *Encoder) Observe(domainName string, key uint64, label bool) {
 		e.negTotal++
 	}
 	e.dirty = true
+	e.snap.Store(nil) // stale: readers fall back to the locked path
 }
 
 // Fit recomputes the WoE mapping from the accumulated counts.
@@ -138,6 +159,52 @@ func (e *Encoder) fitLocked() {
 		}
 	}
 	e.dirty = false
+	e.publishLocked()
+}
+
+// publishLocked rebuilds and stores the immutable read snapshot from the
+// fitted tables and overrides. The per-domain maps are fresh copies:
+// fitLocked reuses the working d.woe maps across fits, so aliasing them
+// into the snapshot would let a later fit mutate what readers hold.
+func (e *Encoder) publishLocked() {
+	s := &snapshot{domains: make(map[string]map[uint64]float64, len(e.domains))}
+	for name, d := range e.domains {
+		m := make(map[uint64]float64, len(d.woe)+len(e.overrides[name]))
+		for k, w := range d.woe {
+			m[k] = w
+		}
+		s.domains[name] = m
+	}
+	for name, ov := range e.overrides {
+		m := s.domains[name]
+		if m == nil {
+			m = make(map[uint64]float64, len(ov))
+			s.domains[name] = m
+		}
+		for k, w := range ov {
+			m[k] = w
+		}
+	}
+	e.snap.Store(s)
+}
+
+// ensureSnapshot returns a published snapshot, fitting first if
+// observations arrived since the last fit.
+func (e *Encoder) ensureSnapshot() *snapshot {
+	if s := e.snap.Load(); s != nil {
+		return s
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if s := e.snap.Load(); s != nil {
+		return s // another goroutine published while we waited
+	}
+	if e.dirty {
+		e.fitLocked()
+	} else {
+		e.publishLocked()
+	}
+	return e.snap.Load()
 }
 
 // woeValue computes ln(P(x|1)/P(x|0)) with additive smoothing of the counts
@@ -149,29 +216,15 @@ func woeValue(pos, neg, posTotal, negTotal, alpha float64) float64 {
 }
 
 // WoE returns the encoding of a value; unknown values encode as 0.0
-// (neutral), as during prediction in the paper.
+// (neutral), as during prediction in the paper. The hot path is two map
+// reads on the published snapshot — no locks; a missing key yields the
+// map's float64 zero value, which is exactly the neutral encoding.
 func (e *Encoder) WoE(domainName string, key uint64) float64 {
-	e.mu.RLock()
-	if e.dirty {
-		e.mu.RUnlock()
-		e.Fit()
-		e.mu.RLock()
+	s := e.snap.Load()
+	if s == nil {
+		s = e.ensureSnapshot()
 	}
-	defer e.mu.RUnlock()
-	if ov, ok := e.overrides[domainName]; ok {
-		if w, ok := ov[key]; ok {
-			return w
-		}
-	}
-	d, ok := e.domains[domainName]
-	if !ok {
-		return 0
-	}
-	w, ok := d.woe[key]
-	if !ok {
-		return 0
-	}
-	return w
+	return s.domains[domainName][key]
 }
 
 // Override pins a value's WoE regardless of observations — the operator
@@ -186,6 +239,9 @@ func (e *Encoder) Override(domainName string, key uint64, woe float64) {
 		e.overrides[domainName] = ov
 	}
 	ov[key] = woe
+	if e.snap.Load() != nil {
+		e.publishLocked() // fold the new pin into the read snapshot
+	}
 }
 
 // ClearOverride removes a pinned value.
@@ -194,6 +250,9 @@ func (e *Encoder) ClearOverride(domainName string, key uint64) {
 	defer e.mu.Unlock()
 	if ov, ok := e.overrides[domainName]; ok {
 		delete(ov, key)
+		if e.snap.Load() != nil {
+			e.publishLocked() // drop the pin from the read snapshot
+		}
 	}
 }
 
@@ -275,6 +334,7 @@ func (e *Encoder) Merge(other *Encoder) {
 	e.posTotal += other.posTotal
 	e.negTotal += other.negTotal
 	e.dirty = true
+	e.snap.Store(nil)
 }
 
 // Key helpers: stable uint64 keys for the categorical value types.

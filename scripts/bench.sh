@@ -71,3 +71,55 @@ END {
 }' "$tmp2" > BENCH_PR2.json
 
 echo "wrote BENCH_PR2.json ($(nproc) cores)"
+
+# Zero-allocation hot path (PR 3): each pair benchmarks the pre-PR
+# implementation (kept as reference code in the test files) against the
+# pooled/sharded/lock-free replacement, and records ns/op plus allocs/op
+# into BENCH_PR3.json. Same min-of-5 estimator as the PR2 section.
+tmp3=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3"' EXIT
+
+run3() { # package, bench regex, name prefix (disambiguates cross-package names)
+    go test -run '^$' -bench "$2" -benchmem -benchtime 1s -count 5 "$1" \
+        | sed "s/^Benchmark/Benchmark$3/" | tee -a "$tmp3"
+}
+run3 ./internal/sflow 'BenchmarkDecodeInto|BenchmarkDecodeFresh' Sflow
+run3 ./internal/ipfix 'BenchmarkDecodeAppend|BenchmarkDecodeFresh' Ipfix
+run3 ./internal/features 'BenchmarkFlushSharded|BenchmarkFlushReference' ''
+run3 ./internal/woe 'BenchmarkWoELookupSnapshot|BenchmarkWoELookupLocked' ''
+run3 ./internal/netflow 'BenchmarkCodecRead(Batch)?$' ''
+
+awk -v cores="$(nproc)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+$1 ~ /^Benchmark/ && $4 == "ns/op" && $8 == "allocs/op" {
+    sub(/-[0-9]+$/, "", $1)   # strip the -GOMAXPROCS suffix
+    if (!($1 in ns) || $3 + 0 < ns[$1]) { ns[$1] = $3 + 0; al[$1] = $7 + 0 }
+}
+function pair(label, oldn, newn, scale,    o, n, oa, na, speedup, ar) {
+    o = ns[oldn]; n = ns[newn] / scale
+    oa = al[oldn]; na = al[newn] / scale
+    speedup = 0; if (n > 0) speedup = o / n
+    # 0 -> 0 allocs is "n/a", N -> 0 is "inf", otherwise the ratio.
+    if (na > 0) ar = sprintf("%.2f", oa / na)
+    else if (oa > 0) ar = "\"inf\""
+    else ar = "\"n/a\""
+    if (!first) printf(",\n")
+    first = 0
+    printf("    {\"name\": \"%s\",\n", label)
+    printf("     \"old\": {\"bench\": \"%s\", \"ns_per_op\": %g, \"allocs_per_op\": %g},\n", oldn, o, oa)
+    printf("     \"new\": {\"bench\": \"%s\", \"ns_per_op\": %g, \"allocs_per_op\": %g},\n", newn, n, na)
+    printf("     \"speedup\": %.2f, \"alloc_reduction\": %s}", speedup, ar)
+}
+BEGIN { first = 1 }
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"cores\": %d,\n", date, cores
+    printf "  \"note\": \"min of 5 runs; netflow_read new numbers are per record (ReadBatch ns divided by the 256-record batch)\",\n"
+    print  "  \"pairs\": ["
+    pair("sflow_decode_per_datagram", "BenchmarkSflowDecodeFresh", "BenchmarkSflowDecodeInto", 1)
+    pair("ipfix_decode_per_message", "BenchmarkIpfixDecodeFresh", "BenchmarkIpfixDecodeAppend", 1)
+    pair("aggregate_minute_flush", "BenchmarkFlushReference", "BenchmarkFlushSharded", 1)
+    pair("woe_lookup", "BenchmarkWoELookupLocked", "BenchmarkWoELookupSnapshot", 1)
+    pair("netflow_read_per_record", "BenchmarkCodecRead", "BenchmarkCodecReadBatch", 256)
+    print "\n  ]\n}"
+}' "$tmp3" > BENCH_PR3.json
+
+echo "wrote BENCH_PR3.json ($(nproc) cores)"
