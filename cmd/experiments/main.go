@@ -5,7 +5,11 @@
 //
 //	experiments -list
 //	experiments -run table3
+//	experiments -run fig11a,fig11b
 //	experiments -run all [-scale 0.5] [-out results.txt]
+//
+// A comma-separated -run list executes in one process, so experiments
+// that share a corpus (the fig11 temporal series) build it once.
 package main
 
 import (
@@ -13,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/experiments"
@@ -21,7 +26,7 @@ import (
 
 func main() {
 	var (
-		run        = flag.String("run", "", "experiment ID to run, or 'all'")
+		run        = flag.String("run", "", "experiment ID, comma-separated list of IDs, or 'all'")
 		scale      = flag.Float64("scale", 1.0, "time-window scale factor (1.0 = documented baseline)")
 		seed       = flag.Uint64("seed", 1, "experiment seed")
 		out        = flag.String("out", "", "also write results to this file")
@@ -65,6 +70,8 @@ func main() {
 	var err error
 	if *run == "all" {
 		err = experiments.RunAll(cfg, emit)
+	} else if ids := strings.Split(*run, ","); len(ids) > 1 {
+		err = experiments.RunMany(cfg, ids, emit)
 	} else {
 		var res *experiments.Result
 		res, err = experiments.Run(*run, cfg)

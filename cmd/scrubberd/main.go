@@ -16,6 +16,12 @@
 //	/readyz         readiness (200 once the first model has trained)
 //	/debug/pprof/   standard Go profiling endpoints
 //
+// Resilience: ingest runs through a bounded queue with an explicit drop
+// policy (-queue-cap, -drop-policy), ACL and rule files are published
+// atomically with retries, a failed training round keeps the last good
+// model serving, and -checkpoint persists the pipeline state (balancer,
+// window, model) across restarts.
+//
 // Without real traffic sources, pair it with the live-ixp example, which
 // replays synthetic member traffic against both sockets.
 package main
@@ -28,17 +34,13 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
-	"net/netip"
 	"os"
 	"os/signal"
-	"sync"
 	"syscall"
 	"time"
 
-	"github.com/ixp-scrubber/ixpscrubber/internal/acl"
-	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
 	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
-	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ixpsim"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
 	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
 	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
@@ -54,21 +56,39 @@ func main() {
 		aclOut     = flag.String("acl-out", "", "file to write generated ACLs to (stdout if empty)")
 		rulesOut   = flag.String("rules-out", "", "file to export the mined rule list to after each training round")
 		metrics    = flag.String("metrics", "", "HTTP address serving /metrics, /healthz, /readyz and /debug/pprof (e.g. :9090); empty disables")
+		checkpoint = flag.String("checkpoint", "", "file to persist pipeline state to after each round (and restore from on start); empty disables")
+		queueCap   = flag.Int("queue-cap", 64, "ingest queue capacity in batches")
+		dropPolicy = flag.String("drop-policy", "drop-newest", "full-queue policy: block, drop-newest or drop-oldest")
+		seed       = flag.Uint64("seed", 0, "balancer sampling seed (0 derives one from the clock)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
+	policy, ok := netflow.ParseDropPolicy(*dropPolicy)
+	if !ok {
+		log.Error("bad -drop-policy", "value", *dropPolicy)
+		os.Exit(2)
+	}
+	balSeed := *seed
+	if balSeed == 0 {
+		balSeed = uint64(time.Now().UnixNano())
+	}
+
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	opts := options{
-		SFlowAddr:   *sflowAddr,
-		BGPAddr:     *bgpAddr,
-		ASN:         uint16(*asn),
-		TrainEvery:  *trainEvery,
-		Window:      *window,
-		ACLOut:      *aclOut,
-		RulesOut:    *rulesOut,
-		MetricsAddr: *metrics,
+		SFlowAddr:      *sflowAddr,
+		BGPAddr:        *bgpAddr,
+		ASN:            uint16(*asn),
+		TrainEvery:     *trainEvery,
+		Window:         *window,
+		ACLOut:         *aclOut,
+		RulesOut:       *rulesOut,
+		MetricsAddr:    *metrics,
+		CheckpointPath: *checkpoint,
+		QueueCap:       *queueCap,
+		DropPolicy:     policy,
+		Seed:           balSeed,
 	}
 	if err := run(ctx, log, opts); err != nil {
 		log.Error("scrubberd failed", "err", err)
@@ -78,76 +98,18 @@ func main() {
 
 // options configures one daemon instance.
 type options struct {
-	SFlowAddr   string
-	BGPAddr     string
-	ASN         uint16
-	TrainEvery  time.Duration
-	Window      time.Duration
-	ACLOut      string
-	RulesOut    string
-	MetricsAddr string // empty disables the observability server
-}
-
-// slidingStore holds the balanced records of the training window.
-type slidingStore struct {
-	mu      sync.Mutex
-	records []netflow.Record
-	window  time.Duration
-}
-
-func (s *slidingStore) add(r netflow.Record) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.records = append(s.records, r)
-}
-
-// snapshot returns the records inside the window and prunes older ones.
-func (s *slidingStore) snapshot(now time.Time) []netflow.Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cutoff := now.Add(-s.window).Unix()
-	keep := s.records[:0]
-	for _, r := range s.records {
-		if r.Timestamp >= cutoff {
-			keep = append(keep, r)
-		}
-	}
-	s.records = keep
-	return append([]netflow.Record(nil), s.records...)
-}
-
-// trainMetrics instruments the daemon's training loop and ACL output; the
-// zero value (no registry) disables everything.
-type trainMetrics struct {
-	rounds        *obs.Counter
-	failures      *obs.Counter
-	skipped       *obs.Counter
-	duration      *obs.Histogram
-	windowRecords *obs.Gauge
-	flagged       *obs.Gauge
-	aclWrites     *obs.Counter
-	aclEntries    *obs.Gauge
-}
-
-func newTrainMetrics(r *obs.Registry) *trainMetrics {
-	return &trainMetrics{
-		rounds: r.Counter("ixps_training_rounds_total",
-			"Training rounds completed successfully."),
-		failures: r.Counter("ixps_training_failures_total",
-			"Training rounds that returned an error."),
-		skipped: r.Counter("ixps_training_skipped_total",
-			"Training ticks skipped for lack of balanced records."),
-		duration: r.Histogram("ixps_training_duration_seconds",
-			"Wall time of one full training round (mine + fit + classify + ACLs).", nil),
-		windowRecords: r.Gauge("ixps_training_window_records",
-			"Balanced records inside the sliding training window."),
-		flagged: r.Gauge("ixps_flagged_targets",
-			"Targets flagged as DDoS victims by the last round."),
-		aclWrites: r.Counter("ixps_acl_writes_total",
-			"ACL files written (or printed) after training rounds."),
-		aclEntries: r.Gauge("ixps_acl_entries",
-			"ACL entries generated by the last round."),
-	}
+	SFlowAddr      string
+	BGPAddr        string
+	ASN            uint16
+	TrainEvery     time.Duration
+	Window         time.Duration
+	ACLOut         string
+	RulesOut       string
+	MetricsAddr    string // empty disables the observability server
+	CheckpointPath string // empty disables checkpoint/restore
+	QueueCap       int
+	DropPolicy     netflow.DropPolicy
+	Seed           uint64
 }
 
 func run(ctx context.Context, log *slog.Logger, o options) error {
@@ -155,12 +117,10 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 	var (
 		reg    *obs.Registry
 		health obs.Health
-		tm     *trainMetrics
 	)
 	if o.MetricsAddr != "" {
 		reg = obs.NewRegistry()
 		obs.RegisterRuntimeMetrics(reg)
-		tm = newTrainMetrics(reg)
 	}
 
 	// BGP route server feeding the blackhole registry.
@@ -177,30 +137,39 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 	go func() { rsDone <- rs.Serve(ctx, ln) }()
 	log.Info("route server listening", "addr", ln.Addr())
 
-	// sFlow collector feeding the online balancer.
+	// The processing chain behind the sockets: bounded queue, balancer,
+	// sliding window, model, atomic ACL/checkpoint writes.
+	pipe := ixpsim.NewPipeline(ixpsim.PipelineConfig{
+		Seed:           o.Seed,
+		Window:         o.Window,
+		QueueCap:       o.QueueCap,
+		DropPolicy:     o.DropPolicy,
+		ACLPath:        o.ACLOut,
+		RulesPath:      o.RulesOut,
+		CheckpointPath: o.CheckpointPath,
+		Metrics:        reg,
+		Log:            log,
+	})
+	if restored, err := pipe.RestoreCheckpoint(); err != nil {
+		log.Warn("checkpoint restore failed, starting cold", "err", err)
+	} else if restored {
+		health.SetReady(pipe.Trained())
+	}
+	pipe.Start(ctx)
+	defer pipe.Stop()
+
+	// sFlow collector feeding the pipeline's ingest queue.
 	pc, err := net.ListenPacket("udp", o.SFlowAddr)
 	if err != nil {
 		return fmt.Errorf("sflow listen: %w", err)
 	}
-	store := &slidingStore{window: o.Window}
-	bal := balance.ForRecords(uint64(time.Now().UnixNano()), store.add)
-	var balMu sync.Mutex
-	var balMetrics *balance.Metrics
 	collector := &sflow.Collector{
-		Label: registry.Covered,
-		Log:   log,
-		// Batched handoff: one balancer lock round-trip per batch (default
-		// 256 records) instead of per record. The balancer copies records
-		// into its bin buffer, so the collector may reuse the batch slice.
-		EmitBatch: func(recs []netflow.Record) {
-			balMu.Lock()
-			bal.AddBatch(recs)
-			balMu.Unlock()
-		},
+		Label:     registry.Covered,
+		Log:       log,
+		EmitBatch: pipe.EmitBatch,
 	}
 	if reg != nil {
 		collector.RegisterMetrics(reg)
-		balMetrics = balance.RegisterMetrics(reg)
 	}
 	colDone := make(chan error, 1)
 	go func() { colDone <- collector.Listen(ctx, pc) }()
@@ -233,10 +202,6 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 
 	ticker := time.NewTicker(o.TrainEvery)
 	defer ticker.Stop()
-	scrubber := core.New(core.DefaultConfig())
-	if reg != nil {
-		scrubber.SetMetrics(core.RegisterMetrics(reg))
-	}
 
 	for {
 		select {
@@ -255,94 +220,19 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 			}
 			return err3
 		case now := <-ticker.C:
-			balMu.Lock()
-			bal.Flush()
-			balMetrics.Publish(&bal.Stats)
-			balMu.Unlock()
-			records := store.snapshot(now)
-			if tm != nil {
-				tm.windowRecords.Set(float64(len(records)))
-			}
-			if len(records) < 100 {
-				if tm != nil {
-					tm.skipped.Inc()
-				}
-				log.Info("not enough balanced records to train yet", "records", len(records))
+			round, err := pipe.TrainRound(ctx, now.Unix())
+			if err != nil {
+				log.Error("training round failed, keeping last good model", "err", err)
 				continue
 			}
-			start := time.Now()
-			if err := trainAndClassify(log, scrubber, records, o.ACLOut, o.RulesOut, tm); err != nil {
-				if tm != nil {
-					tm.failures.Inc()
-				}
-				log.Error("training round failed", "err", err)
+			if round.Skipped {
 				continue
 			}
-			if tm != nil {
-				tm.rounds.Inc()
-				tm.duration.ObserveSince(start)
+			if o.ACLOut == "" {
+				fmt.Print(round.ACLText)
 			}
 			// The daemon is ready once it serves a trained model.
 			health.SetReady(true)
 		}
 	}
-}
-
-func trainAndClassify(log *slog.Logger, s *core.Scrubber, records []netflow.Record, aclOut, rulesOut string, tm *trainMetrics) error {
-	start := time.Now()
-	rep, err := s.MineRules(records)
-	if err != nil {
-		return err
-	}
-	aggs := s.Aggregate(records, nil)
-	if err := s.Fit(records, aggs); err != nil {
-		return err
-	}
-	pred, err := s.Predict(aggs)
-	if err != nil {
-		return err
-	}
-	targetSet := map[netip.Addr]struct{}{}
-	for i, a := range aggs {
-		if pred[i] == 1 {
-			targetSet[a.Target] = struct{}{}
-		}
-	}
-	targets := make([]netip.Addr, 0, len(targetSet))
-	for t := range targetSet {
-		targets = append(targets, t)
-	}
-	entries := s.GenerateACLs(targets, acl.ActionDrop)
-	text := acl.RenderText(entries)
-	if aclOut == "" {
-		fmt.Print(text)
-	} else if err := os.WriteFile(aclOut, []byte(text), 0o644); err != nil {
-		return fmt.Errorf("writing ACLs: %w", err)
-	}
-	if tm != nil {
-		tm.aclWrites.Inc()
-		tm.aclEntries.Set(float64(len(entries)))
-		tm.flagged.Set(float64(len(targets)))
-	}
-	if rulesOut != "" {
-		f, err := os.Create(rulesOut)
-		if err != nil {
-			return err
-		}
-		if err := s.Rules().Export(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-	}
-	log.Info("training round complete",
-		"records", len(records),
-		"aggregates", len(aggs),
-		"rules_mined", rep.RulesMinimized,
-		"rules_accepted", len(s.Rules().Accepted()),
-		"flagged_targets", len(targets),
-		"took", time.Since(start).Round(time.Millisecond))
-	return nil
 }

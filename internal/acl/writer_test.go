@@ -1,0 +1,127 @@
+package acl
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/par"
+)
+
+func instantBackoff() *par.Backoff {
+	return &par.Backoff{Base: time.Millisecond, Sleep: func(time.Duration) {}}
+}
+
+func TestWriterAtomicPublish(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "acl.txt")
+	w := &Writer{Backoff: instantBackoff()}
+	ctx := context.Background()
+	if err := w.Publish(ctx, path, []byte("deny v1\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Publish(ctx, path, []byte("deny v2\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "deny v2\n" {
+		t.Fatalf("content = %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+	if w.Writes.Load() != 2 || w.Retries.Load() != 0 {
+		t.Fatalf("writes=%d retries=%d", w.Writes.Load(), w.Retries.Load())
+	}
+}
+
+// flakyFS wraps OSFS and fails the first failWrites WriteFile calls after
+// writing partial data — the torn-write fault the atomic protocol exists
+// to mask.
+type flakyFS struct {
+	OSFS
+	failWrites  int
+	failRenames int
+}
+
+func (f *flakyFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if f.failWrites > 0 {
+		f.failWrites--
+		_ = os.WriteFile(name, data[:len(data)/2], perm) // torn write hits only the temp file
+		return errors.New("scripted disk-full failure")
+	}
+	return f.OSFS.WriteFile(name, data, perm)
+}
+
+func (f *flakyFS) Rename(oldpath, newpath string) error {
+	if f.failRenames > 0 {
+		f.failRenames--
+		return errors.New("scripted rename failure")
+	}
+	return f.OSFS.Rename(oldpath, newpath)
+}
+
+func TestWriterRetriesTornWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "acl.txt")
+	w := &Writer{Backoff: instantBackoff()}
+	ctx := context.Background()
+	if err := w.Publish(ctx, path, []byte("deny v1\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	w.FS = &flakyFS{failWrites: 2, failRenames: 1}
+	if err := w.Publish(ctx, path, []byte("deny v2 complete\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "deny v2 complete\n" {
+		t.Fatalf("content after retries = %q", got)
+	}
+	if w.Retries.Load() != 3 {
+		t.Fatalf("Retries = %d, want 3", w.Retries.Load())
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 1 {
+		t.Fatalf("torn temp files left behind: %v", entries)
+	}
+}
+
+func TestWriterGivesUpButKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "acl.txt")
+	w := &Writer{Backoff: instantBackoff(), MaxAttempts: 3}
+	ctx := context.Background()
+	if err := w.Publish(ctx, path, []byte("deny v1\n")); err != nil {
+		t.Fatal(err)
+	}
+	w.FS = &flakyFS{failWrites: 99}
+	if err := w.Publish(ctx, path, []byte("deny v2\n")); err == nil {
+		t.Fatal("Publish succeeded with a dead disk")
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "deny v1\n" {
+		t.Fatalf("old ACL corrupted: %q", got)
+	}
+}
+
+func TestWriterHonorsContext(t *testing.T) {
+	dir := t.TempDir()
+	w := &Writer{Backoff: instantBackoff()}
+	w.FS = &flakyFS{failWrites: 99}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := w.Publish(ctx, filepath.Join(dir, "acl.txt"), []byte("x"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -97,6 +97,11 @@ type Stats struct {
 	OutBH       uint64 // kept records that are blackholed
 	MinutesIn   uint64
 	MinutesKept uint64 // minutes with at least one blackholed flow
+	// Late counts records that arrived for an already-flushed minute bin
+	// (clock skew between exporters, or a stalled segment of the pipeline
+	// releasing stale batches). They are included in In but can never be
+	// kept: a flushed bin cannot be rebalanced retroactively.
+	Late uint64
 }
 
 // Reduction returns kept/seen, the rightmost column of Table 2.
@@ -121,6 +126,7 @@ func (s *Stats) BlackholeShare() float64 {
 // buffers exactly one minute bin at a time.
 type Balancer[T any] struct {
 	rng        *rand.Rand
+	src        *rand.PCG // kept for checkpoint serialization
 	minuteOf   func(*T) int64
 	blackholed func(*T) bool
 	dstIP      func(*T) netip.Addr
@@ -140,8 +146,10 @@ func New[T any](
 	dstIP func(*T) netip.Addr,
 	emit func(T),
 ) *Balancer[T] {
+	src := rand.NewPCG(seed, seed^0xD1B54A32D192ED03)
 	return &Balancer[T]{
-		rng:        rand.New(rand.NewPCG(seed, seed^0xD1B54A32D192ED03)),
+		rng:        rand.New(src),
+		src:        src,
 		minuteOf:   minuteOf,
 		blackholed: blackholed,
 		dstIP:      dstIP,
@@ -164,6 +172,7 @@ func (b *Balancer[T]) Add(rec T) {
 		b.buf = append(b.buf, rec)
 	default:
 		b.Stats.In++ // count it as seen, but it cannot be kept
+		b.Stats.Late++
 	}
 }
 
@@ -189,6 +198,7 @@ func (b *Balancer[T]) AddBatch(recs []T) {
 			b.buf = append(b.buf, recs[i])
 		default:
 			b.Stats.In++ // late: seen, but cannot be kept
+			b.Stats.Late++
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 type Metrics struct {
 	in, out, outBH         atomic.Uint64
 	minutesIn, minutesKept atomic.Uint64
+	late                   atomic.Uint64
 }
 
 // RegisterMetrics creates the balancer metric families on r and returns
@@ -36,6 +37,9 @@ func RegisterMetrics(r *obs.Registry) *Metrics {
 		"One-minute bins processed.", u64(&m.minutesIn))
 	r.CounterFunc("ixps_balancer_minutes_kept_total",
 		"Bins that contained at least one blackholed flow.", u64(&m.minutesKept))
+	r.CounterFunc("ixps_balancer_late_records_total",
+		"Records dropped for arriving after their minute bin was flushed (clock skew or stalled upstream).",
+		u64(&m.late))
 	r.GaugeFunc("ixps_balancer_reduction_ratio",
 		"Share of seen records dropped by balancing (paper claims >= 0.996).",
 		func() float64 {
@@ -60,4 +64,5 @@ func (m *Metrics) Publish(s *Stats) {
 	m.outBH.Store(s.OutBH)
 	m.minutesIn.Store(s.MinutesIn)
 	m.minutesKept.Store(s.MinutesKept)
+	m.late.Store(s.Late)
 }

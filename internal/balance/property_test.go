@@ -1,0 +1,242 @@
+package balance
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+)
+
+// genStream builds a random but reproducible record stream: minutes arrive
+// in order, each with a random benign population over a random IP pool and
+// a (usually small) blackholed class.
+func genStream(rng *rand.Rand, minutes int, bhShare float64) []netflow.Record {
+	var out []netflow.Record
+	for m := 0; m < minutes; m++ {
+		n := 50 + rng.IntN(400)
+		nIPs := 5 + rng.IntN(40)
+		bhIPs := 1 + rng.IntN(4)
+		for i := 0; i < n; i++ {
+			var r netflow.Record
+			r.Timestamp = int64(m)*60 + rng.Int64N(60)
+			r.Packets, r.Bytes = 1, 64
+			if rng.Float64() < bhShare {
+				r.Blackholed = true
+				r.DstIP = netip.AddrFrom4([4]byte{10, 99, 0, byte(rng.IntN(bhIPs))})
+			} else {
+				r.DstIP = netip.AddrFrom4([4]byte{10, 0, byte(rng.IntN(nIPs) >> 8), byte(rng.IntN(nIPs))})
+			}
+			r.SrcIP = netip.AddrFrom4([4]byte{192, 0, 2, byte(rng.IntN(250))})
+			out = append(out, r)
+		}
+		// Timestamps within a minute arrive unsorted but bins stay ordered.
+	}
+	return out
+}
+
+// TestPropertyClassBalanceAndReduction checks the two structural invariants
+// of the balancing procedure over random streams: the kept benign class can
+// never outgrow the kept blackholed class (so the output is at worst 50:50
+// heavy on blackholed), and the kept volume is bounded by twice the
+// blackholed volume — which on realistic mixes (<0.2 % blackholed) implies
+// the paper's >=99.6 % reduction.
+func TestPropertyClassBalanceAndReduction(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 0xBA1A))
+		bhShare := []float64{0.002, 0.01, 0.05, 0.3}[trial%4]
+		stream := genStream(rng, 3+trial%5, bhShare)
+		var kept []netflow.Record
+		b := ForRecords(uint64(trial), func(r netflow.Record) { kept = append(kept, r) })
+		for _, r := range stream {
+			b.Add(r)
+		}
+		b.Flush()
+
+		var bhIn, bhKept uint64
+		for _, r := range stream {
+			if r.Blackholed {
+				bhIn++
+			}
+		}
+		for _, r := range kept {
+			if r.Blackholed {
+				bhKept++
+			}
+		}
+		if bhKept != b.Stats.OutBH {
+			t.Fatalf("trial %d: OutBH=%d but %d blackholed emitted", trial, b.Stats.OutBH, bhKept)
+		}
+		if bhKept != bhIn {
+			t.Errorf("trial %d: lost blackholed records: in=%d kept=%d", trial, bhIn, bhKept)
+		}
+		benignKept := uint64(len(kept)) - bhKept
+		if benignKept > bhKept {
+			t.Errorf("trial %d: benign class (%d) outgrew blackholed class (%d)", trial, benignKept, bhKept)
+		}
+		if uint64(len(kept)) > 2*bhIn {
+			t.Errorf("trial %d: kept %d > 2x blackholed input %d", trial, len(kept), bhIn)
+		}
+		if b.Stats.In != uint64(len(stream)) {
+			t.Errorf("trial %d: Stats.In=%d, want %d", trial, b.Stats.In, len(stream))
+		}
+	}
+}
+
+// TestPropertyRealisticMixReduction pins the paper's >=99.6 % reduction on
+// a realistic imbalance: 2 blackholed records among 1500 benign per minute.
+// Since kept <= 2x blackholed structurally, reduction >= 1 - 4/1502.
+func TestPropertyRealisticMixReduction(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0xBA1A))
+	var stream []netflow.Record
+	for m := int64(0); m < 5; m++ {
+		for i := 0; i < 1500; i++ {
+			stream = append(stream, netflow.Record{
+				Timestamp: m*60 + rng.Int64N(60),
+				DstIP:     netip.AddrFrom4([4]byte{10, 0, byte(i / 250), byte(i % 250)}),
+				SrcIP:     netip.AddrFrom4([4]byte{192, 0, 2, byte(i % 200)}),
+				Packets:   1, Bytes: 64,
+			})
+		}
+		for i := 0; i < 2; i++ {
+			stream = append(stream, netflow.Record{
+				Timestamp: m*60 + rng.Int64N(60),
+				DstIP:     netip.AddrFrom4([4]byte{10, 99, 0, byte(i)}),
+				SrcIP:     netip.AddrFrom4([4]byte{192, 0, 2, 250}),
+				Packets:   1, Bytes: 64, Blackholed: true,
+			})
+		}
+	}
+	b := ForRecords(1, nil)
+	b.AddBatch(stream)
+	b.Flush()
+	if red := 1 - b.Stats.Reduction(); red < 0.996 {
+		t.Errorf("reduction %.4f < 0.996 on realistic mix", red)
+	}
+	if share := b.Stats.BlackholeShare(); share < 0.4 || share > 0.6 {
+		t.Errorf("blackhole share of kept = %.3f, want ~0.5", share)
+	}
+}
+
+// TestPropertyAddBatchInterleavings feeds the same stream through Add and
+// through AddBatch under random batch boundaries (including empty and
+// cross-minute batches) and requires bit-identical emissions and Stats.
+func TestPropertyAddBatchInterleavings(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 0xC0FFEE))
+		stream := genStream(rng, 4, 0.05)
+
+		var oneByOne []netflow.Record
+		ref := ForRecords(42, func(r netflow.Record) { oneByOne = append(oneByOne, r) })
+		for _, r := range stream {
+			ref.Add(r)
+		}
+		ref.Flush()
+
+		var batched []netflow.Record
+		bb := ForRecords(42, func(r netflow.Record) { batched = append(batched, r) })
+		for i := 0; i < len(stream); {
+			n := rng.IntN(64) // 0..63: empty batches must be harmless
+			if i+n > len(stream) {
+				n = len(stream) - i
+			}
+			bb.AddBatch(stream[i : i+n])
+			i += n
+			if n == 0 {
+				bb.AddBatch(nil)
+				i++ // consume one via Add so the loop terminates
+				bb.Add(stream[i-1])
+			}
+		}
+		bb.Flush()
+
+		if !reflect.DeepEqual(oneByOne, batched) {
+			t.Fatalf("trial %d: Add and AddBatch emitted different samples (%d vs %d records)",
+				trial, len(oneByOne), len(batched))
+		}
+		if ref.Stats != bb.Stats {
+			t.Fatalf("trial %d: stats diverged:\nAdd:      %+v\nAddBatch: %+v", trial, ref.Stats, bb.Stats)
+		}
+	}
+}
+
+// TestPropertyCheckpointRestore cuts a random stream at a random point,
+// checkpoints, restores into a fresh balancer, and requires the combined
+// emissions and final stats to equal an uninterrupted run exactly.
+func TestPropertyCheckpointRestore(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 0xCAFE))
+		stream := genStream(rng, 5, 0.04)
+		cut := rng.IntN(len(stream))
+
+		var uninterrupted []netflow.Record
+		ref := ForRecords(7, func(r netflow.Record) { uninterrupted = append(uninterrupted, r) })
+		for _, r := range stream {
+			ref.Add(r)
+		}
+		ref.Flush()
+
+		var resumed []netflow.Record
+		first := ForRecords(7, func(r netflow.Record) { resumed = append(resumed, r) })
+		for _, r := range stream[:cut] {
+			first.Add(r)
+		}
+		state, err := first.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		second := ForRecords(999, func(r netflow.Record) { resumed = append(resumed, r) }) // wrong seed on purpose
+		if err := second.Restore(state); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range stream[cut:] {
+			second.Add(r)
+		}
+		second.Flush()
+
+		if !reflect.DeepEqual(uninterrupted, resumed) {
+			t.Fatalf("trial %d (cut %d/%d): resumed stream diverged from uninterrupted run",
+				trial, cut, len(stream))
+		}
+		if ref.Stats != second.Stats {
+			t.Fatalf("trial %d: stats diverged after restore:\nref:     %+v\nresumed: %+v",
+				trial, ref.Stats, second.Stats)
+		}
+	}
+}
+
+// TestLateRecordsCounted pins the clock-skew contract: records for an
+// already-flushed bin are counted as seen and late, and never emitted.
+func TestLateRecordsCounted(t *testing.T) {
+	var kept []netflow.Record
+	b := ForRecords(1, func(r netflow.Record) { kept = append(kept, r) })
+	mk := func(min int64, bh bool) netflow.Record {
+		ip := netip.AddrFrom4([4]byte{10, 0, 0, 1})
+		if bh {
+			ip = netip.AddrFrom4([4]byte{10, 9, 9, 9})
+		}
+		return netflow.Record{Timestamp: min * 60, DstIP: ip,
+			SrcIP: netip.AddrFrom4([4]byte{192, 0, 2, 1}), Packets: 1, Bytes: 64, Blackholed: bh}
+	}
+	b.Add(mk(10, true))
+	b.Add(mk(11, true)) // flushes minute 10
+	b.Add(mk(10, true)) // late: skewed exporter clock
+	b.AddBatch([]netflow.Record{mk(9, false), mk(11, false)})
+	b.Flush()
+	if b.Stats.Late != 2 {
+		t.Fatalf("Late = %d, want 2", b.Stats.Late)
+	}
+	if b.Stats.In != 5 {
+		t.Fatalf("In = %d, want 5", b.Stats.In)
+	}
+	for _, r := range kept {
+		if r.Minute() == 9 {
+			t.Fatal("late record was emitted")
+		}
+	}
+	if fmt.Sprint(b.Stats.Out) != fmt.Sprint(len(kept)) {
+		t.Fatalf("Out=%d, emitted=%d", b.Stats.Out, len(kept))
+	}
+}

@@ -14,6 +14,8 @@ type ServerMetrics struct {
 	withdraws      *obs.Counter
 	notifications  *obs.Counter
 	reflectFails   *obs.Counter
+	sessionPanics  *obs.Counter
+	acceptRetries  *obs.Counter
 }
 
 // RegisterMetrics attaches the route server (and its blackhole registry)
@@ -36,6 +38,10 @@ func (s *RouteServer) RegisterMetrics(r *obs.Registry) {
 			"NOTIFICATION messages received (each ends its session)."),
 		reflectFails: r.Counter("ixps_bgp_reflect_failures_total",
 			"Update reflections that failed to reach a peer."),
+		sessionPanics: r.Counter("ixps_bgp_session_panics_total",
+			"Member sessions terminated by a recovered panic."),
+		acceptRetries: r.Counter("ixps_bgp_accept_retries_total",
+			"Transient accept failures retried with backoff."),
 	}
 	if s.Registry != nil {
 		reg := s.Registry
@@ -93,4 +99,18 @@ func (m *ServerMetrics) reflectFailed() {
 		return
 	}
 	m.reflectFails.Inc()
+}
+
+func (m *ServerMetrics) sessionPanicked() {
+	if m == nil {
+		return
+	}
+	m.sessionPanics.Inc()
+}
+
+func (m *ServerMetrics) acceptRetried() {
+	if m == nil {
+		return
+	}
+	m.acceptRetries.Inc()
 }

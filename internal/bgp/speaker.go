@@ -11,6 +11,8 @@ import (
 	"net/netip"
 	"sync"
 	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/par"
 )
 
 // Conn wraps a TCP connection carrying a BGP session. It handles the
@@ -163,11 +165,16 @@ type RouteServer struct {
 	// Metrics instruments the session lifecycle and update stream; nil
 	// disables instrumentation. Set via RegisterMetrics before Serve.
 	Metrics *ServerMetrics
+	// AcceptBackoff paces retries after transient Accept failures (e.g.
+	// EMFILE under fd pressure) instead of tearing the server down. Nil
+	// means par.NewBackoff(0) defaults. DefaultMaxAttempts consecutive
+	// failures are treated as a dead listener.
+	AcceptBackoff *par.Backoff
 
 	ln      net.Listener
 	mu      sync.Mutex
 	peers   map[*Conn]struct{}
-	conns   map[net.Conn]struct{} // every accepted conn, incl. mid-handshake
+	conns   map[net.Conn]struct{}    // every accepted conn, incl. mid-handshake
 	rib     map[netip.Prefix]*Update // currently-announced routes, replayed to new peers
 	wg      sync.WaitGroup
 	closing bool
@@ -203,21 +210,40 @@ func (s *RouteServer) Serve(ctx context.Context, ln net.Listener) error {
 		ln.Close()
 	}()
 
+	if s.AcceptBackoff == nil {
+		s.AcceptBackoff = par.NewBackoff(uint64(s.ASN))
+	}
 	for {
 		nc, err := ln.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closing := s.closing
+			s.mu.Unlock()
+			// A transient accept failure (fd exhaustion, aborted connection)
+			// must not take the route server down with it: back off and keep
+			// accepting. Only a closed listener or a persistent failure ends
+			// the serve loop.
+			if !closing && !errors.Is(err, net.ErrClosed) &&
+				s.AcceptBackoff.Attempt() < DefaultMaxAttempts {
+				s.Metrics.acceptRetried()
+				s.Log.Warn("bgp accept failed, retrying", "err", err)
+				if werr := s.AcceptBackoff.Wait(ctx); werr == nil {
+					continue
+				}
+			}
+			s.mu.Lock()
+			closing = s.closing
 			for nc := range s.conns {
 				nc.Close()
 			}
 			s.mu.Unlock()
 			s.wg.Wait()
-			if closing || errors.Is(err, net.ErrClosed) {
+			if closing || errors.Is(err, net.ErrClosed) || ctx.Err() != nil {
 				return nil
 			}
 			return fmt.Errorf("bgp: accept: %w", err)
 		}
+		s.AcceptBackoff.Reset()
 		s.mu.Lock()
 		if s.closing {
 			s.mu.Unlock()
@@ -233,6 +259,16 @@ func (s *RouteServer) Serve(ctx context.Context, ln net.Listener) error {
 
 func (s *RouteServer) serveConn(nc net.Conn) {
 	defer s.wg.Done()
+	// A panic while serving one member (malformed update tripping a decode
+	// bug, a failing registry hook) must not crash the exchange's whole
+	// route server: isolate it to this session.
+	defer func() {
+		if r := recover(); r != nil {
+			s.Metrics.sessionPanicked()
+			s.Log.Error("bgp session panicked", "peer", nc.RemoteAddr(), "panic", r)
+			nc.Close()
+		}
+	}()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, nc)

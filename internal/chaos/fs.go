@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"errors"
+	"os"
+	"sync/atomic"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/acl"
+)
+
+// ErrTornWrite is the scripted failure FlakyFS injects: the write reports
+// an error after leaving partial data behind, the exact fault the atomic
+// temp-file-and-rename protocol exists to mask.
+var ErrTornWrite = errors.New("chaos: scripted torn write")
+
+// FlakyFS wraps an acl.FS and tears WriteFile calls on a repeating
+// schedule: of every Period calls, the first Fail ones write half the data
+// and return ErrTornWrite. With Fail < the writer's retry budget, every
+// publish eventually succeeds — after a deterministic number of retries —
+// and the published files must still be complete.
+type FlakyFS struct {
+	// Inner is the real filesystem; nil means acl.OSFS.
+	Inner acl.FS
+	// Fail of every Period WriteFile calls are torn. Period 0 disables.
+	Fail, Period int
+
+	calls atomic.Uint64
+	// Torn counts the injected failures.
+	Torn atomic.Uint64
+}
+
+func (f *FlakyFS) inner() acl.FS {
+	if f.Inner != nil {
+		return f.Inner
+	}
+	return acl.OSFS{}
+}
+
+// WriteFile tears the call when the schedule says so.
+func (f *FlakyFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	n := f.calls.Add(1) - 1
+	if f.Period > 0 && int(n%uint64(f.Period)) < f.Fail {
+		f.Torn.Add(1)
+		_ = f.inner().WriteFile(name, data[:len(data)/2], perm)
+		return ErrTornWrite
+	}
+	return f.inner().WriteFile(name, data, perm)
+}
+
+// Rename passes through.
+func (f *FlakyFS) Rename(oldpath, newpath string) error { return f.inner().Rename(oldpath, newpath) }
+
+// Remove passes through.
+func (f *FlakyFS) Remove(name string) error { return f.inner().Remove(name) }

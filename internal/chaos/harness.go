@@ -1,0 +1,801 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ixpsim"
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
+	"github.com/ixp-scrubber/ixpscrubber/internal/packet"
+	"github.com/ixp-scrubber/ixpscrubber/internal/par"
+	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+// samplesPerDatagram fixes both the sFlow export batch and the collector's
+// EmitBatch size. Keeping them equal makes batch boundaries a pure
+// function of the injected stream — every full datagram flushes exactly
+// one batch — which is what makes queue drop decisions under backpressure
+// reproducible run over run.
+const samplesPerDatagram = 16
+
+// defaultStartMin anchors simulated time (2021-01-01 UTC in unix minutes).
+const defaultStartMin = 26_830_080
+
+// Scenario scripts one deterministic chaos run. The zero value of every
+// fault field means "healthy"; a scenario turns on the faults it is about.
+// All minute fields are relative to the start of the run.
+type Scenario struct {
+	Name string
+	// Profile drives the traffic generator; zero value means DefaultProfile.
+	Profile synth.Profile
+	// StartMin is the absolute simulated start (unix minutes); 0 means a
+	// fixed 2021 epoch.
+	StartMin int64
+	// Minutes is the number of simulated minutes to run.
+	Minutes int64
+	// TrainAt lists the minutes (relative) after which a training round runs.
+	TrainAt []int64
+	// SkipTraffic replays only the BGP events of minutes [0, SkipTraffic):
+	// no datagrams are injected and no settling happens. The restart
+	// scenario uses it to rebuild member desired state after a full-stack
+	// crash, the way real members re-announce active blackholes.
+	SkipTraffic int64
+
+	// QueueCap and Drop configure the ingest queue (defaults: 64, Block).
+	QueueCap int
+	Drop     netflow.DropPolicy
+
+	// DupTruncate follows every valid datagram with a truncated copy;
+	// DupGarbage follows it with a non-sFlow garbage datagram. Both must be
+	// rejected without disturbing the record stream.
+	DupTruncate bool
+	DupGarbage  bool
+	// SocketErrAt injects a fatal read error into the collector socket
+	// before those minutes; the supervisor must replace the socket.
+	SocketErrAt []int64
+	// KillBGPAt drops the member's BGP session before those minutes; the
+	// persistent session must reconnect and replay its desired state.
+	KillBGPAt []int64
+	// WithdrawStorm announces and immediately withdraws this many decoy
+	// prefixes (198.19.0.0/16, outside the traffic ranges) every minute.
+	WithdrawStorm int
+	// SkewAt re-injects each of those minutes' last datagram with the
+	// exporter clock rewound into the previous minute: the records must be
+	// counted late and dropped, never retroactively balanced.
+	SkewAt []int64
+	// StuckFrom..StuckTo (inclusive, active when StuckTo > 0) closes the
+	// consumer gate: the queue backs up and exercises its drop policy.
+	StuckFrom, StuckTo int64
+	// PanicAt arms a one-shot panic in the collector's label hook before
+	// those minutes; the first datagram of the minute is sacrificed.
+	PanicAt []int64
+	// FlakyWrites tears the first two of every three ACL/checkpoint file
+	// writes; publishes must retry through and stay atomic.
+	FlakyWrites bool
+
+	// Checkpoint persists pipeline state after every round; Restore starts
+	// the pipeline from the checkpoint left in the work dir.
+	Checkpoint bool
+	Restore    bool
+}
+
+// RoundDigest summarizes one training round for comparison.
+type RoundDigest struct {
+	Minute     int64 // relative minute the round ran after
+	Skipped    bool
+	Records    int
+	Aggregates int
+	RulesMined int
+	Flagged    []string
+	ACLDigest  uint64
+}
+
+// Outcome is everything a scenario run produced, reduced to comparable
+// values. Two runs of the same scenario must produce identical outcomes
+// (modulo the Metrics text, which contains wall-clock histograms).
+type Outcome struct {
+	// Digests maps absolute minute -> chained digest of the records the
+	// balancer kept for that minute, in emission order.
+	Digests map[int64]uint64
+	Kept    uint64
+	Rounds  []RoundDigest
+
+	// Pipeline counters.
+	Ingested       uint64
+	Late           uint64
+	DroppedBatches uint64
+	DroppedRecords uint64
+
+	// Collector counters.
+	Datagrams  uint64
+	Samples    uint64
+	Records    uint64
+	Truncated  uint64
+	DecodeErrs uint64
+	Panics     uint64
+
+	// Injection accounting (valid datagrams/samples only).
+	SentDatagrams uint64
+	SentSamples   uint64
+
+	// Fault-path counters.
+	Reconnects        uint64
+	DialFailures      uint64
+	SendFailures      uint64
+	CollectorRestarts uint64
+	WriterRetries     uint64
+	WriterWrites      uint64
+	TornWrites        uint64
+
+	// Blackholes is the registry's distinct-prefix count (marker included).
+	Blackholes int
+	// ACLFile is the content of the published ACL file at run end.
+	ACLFile string
+	// CheckpointOK reports a non-empty checkpoint file at run end.
+	CheckpointOK bool
+
+	// Metrics is the rendered Prometheus exposition; excluded from Key.
+	Metrics string
+}
+
+// Key renders every deterministic field; equal keys mean equal runs.
+func (o *Outcome) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\nkept=%d ingested=%d late=%d dropB=%d dropR=%d\n",
+		o.digestKey(), o.Kept, o.Ingested, o.Late, o.DroppedBatches, o.DroppedRecords)
+	fmt.Fprintf(&b, "col: dg=%d sm=%d rec=%d trunc=%d decerr=%d panics=%d restarts=%d\n",
+		o.Datagrams, o.Samples, o.Records, o.Truncated, o.DecodeErrs, o.Panics, o.CollectorRestarts)
+	fmt.Fprintf(&b, "sent: dg=%d sm=%d\n", o.SentDatagrams, o.SentSamples)
+	fmt.Fprintf(&b, "bgp: reconn=%d dialfail=%d sendfail=%d blackholes=%d\n",
+		o.Reconnects, o.DialFailures, o.SendFailures, o.Blackholes)
+	fmt.Fprintf(&b, "writer: writes=%d retries=%d torn=%d ckpt=%v\n",
+		o.WriterWrites, o.WriterRetries, o.TornWrites, o.CheckpointOK)
+	b.WriteString(o.ExactKey())
+	return b.String()
+}
+
+// ExactKey renders only the output-invariant fields — the balanced-stream
+// digests, the round results and the published ACL text. Scenarios whose
+// faults must be invisible downstream compare this against the fault-free
+// reference.
+func (o *Outcome) ExactKey() string {
+	var b strings.Builder
+	b.WriteString(o.digestKey())
+	for _, r := range o.Rounds {
+		fmt.Fprintf(&b, "round@%d skip=%v rec=%d agg=%d rules=%d flagged=%v acl=%016x\n",
+			r.Minute, r.Skipped, r.Records, r.Aggregates, r.RulesMined, r.Flagged, r.ACLDigest)
+	}
+	fmt.Fprintf(&b, "acl-file=%016x\n", TextDigest(o.ACLFile))
+	return b.String()
+}
+
+// DigestsFrom renders the per-minute digests at or after the absolute
+// minute from — what the restart test compares across the crash boundary.
+func (o *Outcome) DigestsFrom(from int64) string {
+	var b strings.Builder
+	mins := make([]int64, 0, len(o.Digests))
+	for m := range o.Digests {
+		if m >= from {
+			mins = append(mins, m)
+		}
+	}
+	sort.Slice(mins, func(i, j int) bool { return mins[i] < mins[j] })
+	for _, m := range mins {
+		fmt.Fprintf(&b, "%d=%016x\n", m, o.Digests[m])
+	}
+	return b.String()
+}
+
+func (o *Outcome) digestKey() string { return o.DigestsFrom(0) }
+
+// DefaultProfile is the small vantage point chaos scenarios replay: large
+// enough that every minute carries blackholed episodes and training rounds
+// flag targets, small enough that a scenario runs in well under a second.
+func DefaultProfile() synth.Profile {
+	p := synth.ProfileUS2()
+	p.Name = "IXP-CHAOS"
+	p.BenignFlowsPerMin = 96
+	p.TargetIPs = 48
+	p.BenignSrcIPs = 192
+	p.EpisodeRatePerMin = 0.3
+	p.EpisodeDurMeanMin = 6
+	p.AttackFlowsPerMin = 24
+	return p
+}
+
+// instantBackoff returns a deterministic backoff that never sleeps wall
+// time: retry schedules stay exact while the harness runs at full speed.
+func instantBackoff() *par.Backoff {
+	return &par.Backoff{Base: time.Millisecond, Sleep: func(time.Duration) {}}
+}
+
+// errScriptedSocket is the fault SocketErrAt injects.
+var errScriptedSocket = fmt.Errorf("chaos: scripted socket failure")
+
+// Harness wires the full production pipeline to scripted fault injectors.
+type Harness struct {
+	sc  Scenario
+	dir string
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	clock    Clock
+	gate     Gate
+	reg      *obs.Registry
+	registry *bgp.Registry
+	rsDone   chan error
+	member   *bgp.Persistent
+	pipe     *ixpsim.Pipeline
+	fs       *FlakyFS
+
+	collector   *sflow.Collector
+	conns       chan *PacketConn
+	cur         *PacketConn
+	colWG       sync.WaitGroup
+	colRestarts atomic.Uint64
+	armPanic    atomic.Bool
+
+	digMu   sync.Mutex
+	digests map[int64]uint64
+	kept    uint64
+
+	// Injection accounting: what the settled pipeline must have absorbed.
+	sentDatagrams uint64
+	sentSamples   uint64
+	expIngest     uint64 // records expected through the balancer, minus known losses
+	expBatches    uint64 // batches expected to reach the queue (accepted or dropped)
+	ingestBase    uint64 // balancer count carried in from a restored checkpoint
+	lastDatagram  []byte
+	lastSamples   int
+
+	// Stall parking: when the consumer gate closes, the consumer is still
+	// blocked inside the queue's Get. The first datagram of the stall window
+	// wakes it; parkPending makes the injector wait until that batch has
+	// been taken (BatchesOut advances past parkBase) and the consumer is
+	// provably blocked at the gate. From then on the queue accepts exactly
+	// its capacity and drops the rest — the drop set is a pure function of
+	// injection order, not of goroutine scheduling.
+	parkPending bool
+	parkBase    uint64
+}
+
+// Run executes the scenario inside dir (ACL, checkpoint files) and returns
+// its outcome. All scripted faults are injected at exact points of the
+// lock-stepped replay, so the outcome is a pure function of the scenario.
+func Run(parent context.Context, sc Scenario, dir string) (*Outcome, error) {
+	if sc.Minutes <= 0 {
+		return nil, fmt.Errorf("chaos: scenario %q has no minutes", sc.Name)
+	}
+	if sc.Profile.Name == "" {
+		sc.Profile = DefaultProfile()
+	}
+	if sc.StartMin == 0 {
+		sc.StartMin = defaultStartMin
+	}
+	if sc.QueueCap <= 0 {
+		sc.QueueCap = 64
+	}
+	h := &Harness{sc: sc, dir: dir, digests: map[int64]uint64{}}
+	h.ctx, h.cancel = context.WithCancel(parent)
+	defer h.cancel()
+	if err := h.start(); err != nil {
+		return nil, err
+	}
+	out, err := h.replay()
+	stopErr := h.stop()
+	if err != nil {
+		return nil, err
+	}
+	if stopErr != nil {
+		return nil, stopErr
+	}
+	return out, nil
+}
+
+func (h *Harness) aclPath() string        { return filepath.Join(h.dir, "acl.txt") }
+func (h *Harness) checkpointPath() string { return filepath.Join(h.dir, "checkpoint.json") }
+
+// start brings up the full stack: route server, pipeline, supervised
+// collector, persistent member session.
+func (h *Harness) start() error {
+	sc := h.sc
+	log := slog.New(slog.DiscardHandler)
+	h.reg = obs.NewRegistry()
+	h.clock.Set(sc.StartMin * 60)
+
+	// Route server feeding the blackhole registry, on real TCP loopback.
+	rsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("chaos: route server listen: %w", err)
+	}
+	h.registry = bgp.NewRegistry()
+	rs := &bgp.RouteServer{
+		ASN:      64999,
+		RouterID: [4]byte{192, 0, 2, 254},
+		Registry: h.registry,
+		Clock:    h.clock.Now,
+		Log:      log,
+	}
+	rs.RegisterMetrics(h.reg)
+	h.rsDone = make(chan error, 1)
+	go func() { h.rsDone <- rs.Serve(h.ctx, rsLn) }()
+
+	// Pipeline: bounded queue -> balancer -> window -> model -> ACL writer.
+	ckpt := ""
+	if sc.Checkpoint || sc.Restore {
+		ckpt = h.checkpointPath()
+	}
+	if sc.FlakyWrites {
+		h.fs = &FlakyFS{Fail: 2, Period: 3}
+	}
+	cfg := ixpsim.PipelineConfig{
+		Seed:            sc.Profile.Seed,
+		Window:          24 * time.Hour,
+		QueueCap:        sc.QueueCap,
+		DropPolicy:      sc.Drop,
+		MinTrainRecords: 64,
+		ACLPath:         h.aclPath(),
+		CheckpointPath:  ckpt,
+		Clock:           h.clock.Now,
+		Metrics:         h.reg,
+		Log:             log,
+		KeepHook:        h.keepHook,
+		ConsumeGate:     h.gate.Wait,
+	}
+	if h.fs != nil {
+		cfg.FS = h.fs
+	}
+	h.pipe = ixpsim.NewPipeline(cfg)
+	h.pipe.Writer().Backoff = instantBackoff()
+	if sc.Restore {
+		restored, err := h.pipe.RestoreCheckpoint()
+		if err != nil {
+			return fmt.Errorf("chaos: restoring checkpoint: %w", err)
+		}
+		if !restored {
+			return fmt.Errorf("chaos: no checkpoint to restore in %s", h.dir)
+		}
+	}
+	// A restored pipeline reports the checkpoint's cumulative ingest count,
+	// but this run's queue starts from zero; settle() compares against the
+	// delta.
+	h.ingestBase = h.pipe.Ingested()
+	h.pipe.Start(h.ctx)
+
+	// Supervised collector on the in-memory socket.
+	h.collector = &sflow.Collector{
+		Label: func(ip netip.Addr, at int64) bool {
+			if h.armPanic.CompareAndSwap(true, false) {
+				panic("chaos: scripted label fault")
+			}
+			return h.registry.Covered(ip, at)
+		},
+		EmitBatch: h.pipe.EmitBatch,
+		BatchSize: samplesPerDatagram,
+		Clock:     h.clock.Now,
+		Log:       log,
+	}
+	h.collector.RegisterMetrics(h.reg)
+	h.conns = make(chan *PacketConn, 4)
+	h.cur = NewPacketConn()
+	h.conns <- h.cur
+	h.colWG.Add(1)
+	go func() {
+		defer h.colWG.Done()
+		for {
+			var conn *PacketConn
+			select {
+			case conn = <-h.conns:
+			case <-h.ctx.Done():
+				return
+			}
+			err := h.collector.Listen(h.ctx, conn)
+			if err == nil || h.ctx.Err() != nil {
+				return
+			}
+			// The socket died; count the restart and wait for its
+			// replacement. The collector keeps its partial batch.
+			h.colRestarts.Add(1)
+		}
+	}()
+
+	// Persistent member session announcing blackholes.
+	h.member = &bgp.Persistent{
+		Addr:    rsLn.Addr().String(),
+		Local:   bgp.Open{ASN: 64501, HoldTime: 90, RouterID: [4]byte{192, 0, 2, 1}},
+		Backoff: instantBackoff(),
+		Log:     log,
+	}
+	h.member.RegisterMetrics(h.reg, "as64501")
+	return h.member.Connect(h.ctx)
+}
+
+func (h *Harness) keepHook(r netflow.Record) {
+	m := r.Timestamp / 60
+	h.digMu.Lock()
+	d, ok := h.digests[m]
+	if !ok {
+		d = fnvOffset
+	}
+	h.digests[m] = foldRecord(d, &r)
+	h.kept++
+	h.digMu.Unlock()
+}
+
+func minuteSet(mins []int64) map[int64]bool {
+	s := map[int64]bool{}
+	for _, m := range mins {
+		s[m] = true
+	}
+	return s
+}
+
+var nextHop = netip.MustParseAddr("192.0.2.1")
+
+// replay drives the scenario minute by minute.
+func (h *Harness) replay() (*Outcome, error) {
+	sc := h.sc
+	gen := synth.NewGenerator(sc.Profile)
+	var (
+		builder     packet.Builder
+		seq         uint32
+		buf         []synth.Flow
+		samples     = make([]sflow.FlowSample, 0, samplesPerDatagram)
+		headerArena = make([]byte, 0, samplesPerDatagram*synth.MaxSampledHeader)
+		dgBuf       []byte
+		exportSeq   uint32
+	)
+	trainAt := minuteSet(sc.TrainAt)
+	socketErrAt := minuteSet(sc.SocketErrAt)
+	killAt := minuteSet(sc.KillBGPAt)
+	skewAt := minuteSet(sc.SkewAt)
+	panicAt := minuteSet(sc.PanicAt)
+	stuckActive := sc.StuckTo > 0
+	out := &Outcome{}
+
+	for m := int64(0); m < sc.Minutes; m++ {
+		if err := h.ctx.Err(); err != nil {
+			return nil, err
+		}
+		abs := sc.StartMin + m
+		h.clock.Set(abs * 60)
+		buf = gen.GenerateMinute(abs, buf[:0])
+
+		// Consumer gate transitions happen on minute boundaries so the
+		// backlog at the stall is an exact, replayable batch sequence.
+		if stuckActive && m == sc.StuckFrom {
+			h.parkBase = h.pipe.QueueStats().BatchesOut.Load()
+			h.parkPending = true
+			h.gate.Close()
+		}
+		if stuckActive && m == sc.StuckTo+1 {
+			h.gate.Open()
+		}
+		stuck := stuckActive && m >= sc.StuckFrom && m <= sc.StuckTo
+
+		// Scripted infrastructure faults for this minute.
+		if socketErrAt[m] {
+			if err := h.breakSocket(); err != nil {
+				return nil, err
+			}
+		}
+		if killAt[m] {
+			h.member.Kill()
+		}
+
+		// BGP first, so the registry is current before samples are labeled.
+		for i := 0; i < sc.WithdrawStorm; i++ {
+			p := netip.PrefixFrom(netip.AddrFrom4([4]byte{198, 19, byte(i >> 8), byte(i)}), 32)
+			if err := h.member.Announce(h.ctx, p, nextHop); err != nil {
+				return nil, fmt.Errorf("chaos: storm announce: %w", err)
+			}
+			if err := h.member.Withdraw(h.ctx, p); err != nil {
+				return nil, fmt.Errorf("chaos: storm withdraw: %w", err)
+			}
+		}
+		for _, ev := range gen.Events() {
+			var err error
+			if ev.Announce {
+				err = h.member.Announce(h.ctx, ev.Prefix, nextHop)
+			} else {
+				err = h.member.Withdraw(h.ctx, ev.Prefix)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bgp event: %w", err)
+			}
+		}
+		if err := h.syncBGP(abs); err != nil {
+			return nil, err
+		}
+
+		if m < sc.SkipTraffic {
+			// Restart recovery: BGP state only, no traffic.
+			continue
+		}
+
+		if panicAt[m] {
+			h.armPanic.Store(true)
+			// The panicking datagram loses its whole sample batch: the
+			// handler unwinds mid-conversion and the pending batch is
+			// discarded, so neither its records nor its batch arrive.
+			h.expIngest -= samplesPerDatagram
+			h.expBatches--
+		}
+
+		// Inject the minute's traffic as wire-format sFlow datagrams.
+		samples = samples[:0]
+		headerArena = headerArena[:0]
+		for i := range buf {
+			f := &buf[i]
+			frame, err := synth.FrameFor(f, &builder)
+			if err != nil {
+				return nil, err
+			}
+			start := len(headerArena)
+			headerArena = append(headerArena, frame...)
+			seq++
+			samples = append(samples, sflow.FlowSample{
+				Sequence:     seq,
+				SourceID:     1,
+				SamplingRate: f.SamplingRate,
+				SamplePool:   seq * f.SamplingRate,
+				FrameLength:  uint32(f.Bytes / f.Packets),
+				Header:       headerArena[start:len(headerArena):len(headerArena)],
+			})
+			if len(samples) == samplesPerDatagram {
+				exportSeq++
+				dgBuf, err = h.sendDatagram(dgBuf, exportSeq, samples)
+				if err != nil {
+					return nil, err
+				}
+				samples = samples[:0]
+				headerArena = headerArena[:0]
+			}
+		}
+		if len(samples) > 0 {
+			exportSeq++
+			var err error
+			dgBuf, err = h.sendDatagram(dgBuf, exportSeq, samples)
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		if err := h.settle(!stuck); err != nil {
+			return nil, fmt.Errorf("chaos: minute %d: %w", m, err)
+		}
+
+		if skewAt[m] {
+			if err := h.injectSkewed(abs); err != nil {
+				return nil, err
+			}
+		}
+
+		if trainAt[m] {
+			round, err := h.pipe.TrainRound(h.ctx, abs*60)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: training round at minute %d: %w", m, err)
+			}
+			rd := RoundDigest{
+				Minute:     m,
+				Skipped:    round.Skipped,
+				Records:    round.Records,
+				Aggregates: round.Aggregates,
+				RulesMined: round.RulesMined,
+				ACLDigest:  TextDigest(round.ACLText),
+			}
+			for _, t := range round.Flagged {
+				rd.Flagged = append(rd.Flagged, t.String())
+			}
+			out.Rounds = append(out.Rounds, rd)
+		}
+	}
+	h.gate.Open() // never leave the consumer stalled at teardown
+	if err := h.settle(true); err != nil {
+		return nil, fmt.Errorf("chaos: final settle: %w", err)
+	}
+	h.collect(out)
+	return out, nil
+}
+
+// sendDatagram encodes and injects one datagram, plus whatever corrupted
+// duplicates the scenario scripts, and updates the settle accounting.
+func (h *Harness) sendDatagram(dst []byte, seq uint32, samples []sflow.FlowSample) ([]byte, error) {
+	d := sflow.Datagram{
+		AgentAddress: netip.MustParseAddr("192.0.2.10"),
+		Sequence:     seq,
+		Uptime:       seq * 1000,
+		Samples:      samples,
+	}
+	data, err := sflow.Append(dst[:0], &d)
+	if err != nil {
+		return dst, err
+	}
+	h.lastDatagram = append(h.lastDatagram[:0], data...)
+	h.lastSamples = len(samples)
+	h.cur.Inject(data)
+	h.sentDatagrams++
+	h.sentSamples += uint64(len(samples))
+	h.expIngest += uint64(len(samples))
+	h.expBatches++
+	if h.parkPending {
+		// Stall window just opened: wait until the consumer has taken this
+		// batch and parked at the gate, so every later Put races nothing.
+		qs := h.pipe.QueueStats()
+		if err := ixpsim.PollUntil(h.ctx, func() bool {
+			return qs.BatchesOut.Load() > h.parkBase
+		}); err != nil {
+			return dst, fmt.Errorf("chaos: parking stalled consumer: %w", err)
+		}
+		h.parkPending = false
+	}
+	if h.sc.DupTruncate {
+		h.cur.Inject(data[:len(data)-7])
+	}
+	if h.sc.DupGarbage {
+		garbage := make([]byte, 40)
+		for i := range garbage {
+			garbage[i] = 0xFF
+		}
+		h.cur.Inject(garbage)
+	}
+	return data, nil
+}
+
+// injectSkewed replays the minute's last datagram with the exporter clock
+// rewound 30 s into the previous minute. The duplicate records are stamped
+// into an already-flushed bin: the balancer must count them late and drop
+// them, leaving the balanced stream bit-identical to a run without skew.
+func (h *Harness) injectSkewed(abs int64) error {
+	if h.lastSamples == 0 {
+		return fmt.Errorf("chaos: no datagram to skew")
+	}
+	h.clock.Set((abs-1)*60 + 30)
+	h.cur.Inject(h.lastDatagram)
+	h.sentDatagrams++
+	h.sentSamples += uint64(h.lastSamples)
+	h.expIngest += uint64(h.lastSamples)
+	h.expBatches++
+	err := h.settle(true)
+	h.clock.Set(abs * 60)
+	return err
+}
+
+// breakSocket kills the collector's socket with a scripted read error and
+// waits for the supervisor to bring a replacement up.
+func (h *Harness) breakSocket() error {
+	prev := h.colRestarts.Load()
+	old := h.cur
+	h.cur = NewPacketConn()
+	h.conns <- h.cur
+	old.InjectError(errScriptedSocket)
+	if err := ixpsim.PollUntil(h.ctx, func() bool { return h.colRestarts.Load() > prev }); err != nil {
+		return fmt.Errorf("chaos: waiting for collector restart: %w", err)
+	}
+	return nil
+}
+
+// syncBGP round-trips the marker prefix through the persistent session so
+// every prior update has been applied to the registry.
+func (h *Harness) syncBGP(abs int64) error {
+	return ixpsim.SyncBGPWith(h.ctx, h.registry, abs*60,
+		func() error { return h.member.Announce(h.ctx, ixpsim.MarkerPrefix(), nextHop) },
+		func() error { return h.member.Withdraw(h.ctx, ixpsim.MarkerPrefix()) })
+}
+
+// settle waits for the injected stream to drain: first the collector (all
+// samples seen, all batches emitted or dropped), then — unless the
+// consumer is scripted as stuck — the queue and balancer. Settling between
+// minutes is what pins batch boundaries, and therefore drop decisions and
+// RNG draws, to exactly one replayable sequence.
+func (h *Harness) settle(waitQueue bool) error {
+	if err := ixpsim.PollUntil(h.ctx, func() bool {
+		return h.collector.Stats.Samples.Load() >= h.sentSamples
+	}); err != nil {
+		return fmt.Errorf("settling collector samples: %w", err)
+	}
+	qs := h.pipe.QueueStats()
+	if err := ixpsim.PollUntil(h.ctx, func() bool {
+		return qs.BatchesIn.Load()+qs.DroppedBatches.Load() >= h.expBatches
+	}); err != nil {
+		return fmt.Errorf("settling collector batches: %w", err)
+	}
+	if !waitQueue {
+		return nil
+	}
+	if err := ixpsim.PollUntil(h.ctx, func() bool {
+		ing := h.pipe.Ingested() - h.ingestBase
+		return ing+qs.DroppedRecords.Load() >= h.expIngest &&
+			qs.BatchesOut.Load() == qs.BatchesIn.Load() &&
+			qs.RecordsOut.Load() == ing
+	}); err != nil {
+		return fmt.Errorf("settling queue: %w", err)
+	}
+	return nil
+}
+
+// collect snapshots every counter into the outcome.
+func (h *Harness) collect(out *Outcome) {
+	h.digMu.Lock()
+	out.Digests = make(map[int64]uint64, len(h.digests))
+	for m, d := range h.digests {
+		out.Digests[m] = d
+	}
+	out.Kept = h.kept
+	h.digMu.Unlock()
+
+	out.Ingested = h.pipe.Ingested()
+	out.Late = h.pipe.BalanceStats().Late
+	qs := h.pipe.QueueStats()
+	out.DroppedBatches = qs.DroppedBatches.Load()
+	out.DroppedRecords = qs.DroppedRecords.Load()
+
+	cs := &h.collector.Stats
+	out.Datagrams = cs.Datagrams.Load()
+	out.Samples = cs.Samples.Load()
+	out.Records = cs.Records.Load()
+	out.Truncated = cs.Truncated.Load()
+	out.DecodeErrs = cs.DecodeErrs.Load()
+	out.Panics = cs.Panics.Load()
+	out.SentDatagrams = h.sentDatagrams
+	out.SentSamples = h.sentSamples
+
+	out.Reconnects = h.member.Reconnects()
+	out.DialFailures = h.member.DialFailures()
+	out.SendFailures = h.member.SendFailures()
+	out.CollectorRestarts = h.colRestarts.Load()
+	w := h.pipe.Writer()
+	out.WriterRetries = w.Retries.Load()
+	out.WriterWrites = w.Writes.Load()
+	if h.fs != nil {
+		out.TornWrites = h.fs.Torn.Load()
+	}
+	out.Blackholes = h.registry.PrefixCount()
+	if data, err := os.ReadFile(h.aclPath()); err == nil {
+		out.ACLFile = string(data)
+	}
+	if h.sc.Checkpoint {
+		if st, err := os.Stat(h.checkpointPath()); err == nil && st.Size() > 0 {
+			out.CheckpointOK = true
+		}
+	}
+	var b strings.Builder
+	if err := h.reg.WritePrometheus(&b); err == nil {
+		out.Metrics = b.String()
+	}
+}
+
+// stop tears the stack down and waits for every goroutine.
+func (h *Harness) stop() error {
+	h.gate.Open()
+	h.pipe.Stop()
+	err := h.member.Close()
+	h.cancel()
+	h.colWG.Wait()
+	rsErr := <-h.rsDone
+	if err != nil && !isBenignClose(err) {
+		return fmt.Errorf("chaos: member close: %w", err)
+	}
+	if rsErr != nil {
+		return fmt.Errorf("chaos: route server: %w", rsErr)
+	}
+	return nil
+}
+
+func isBenignClose(err error) bool {
+	return err == nil || strings.Contains(err.Error(), "use of closed network connection")
+}

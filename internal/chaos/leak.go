@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines fails the test when the live goroutine count has not
+// returned to the pre-scenario baseline within a grace period. Every chaos
+// scenario tears its whole stack down (route server, collector supervisor,
+// queue consumer, BGP sessions); anything still running afterwards is a
+// leak — precisely the failure mode fault-injection tends to create, a
+// goroutine stuck on a channel nobody closes after an error path.
+//
+// The check is count-based (stdlib only), so callers must not run leak-
+// checked scenarios in parallel. The retry loop absorbs goroutines that
+// are mid-exit when the scenario returns.
+func CheckGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d live, baseline %d\n%s",
+		runtime.NumGoroutine(), baseline, buf[:n])
+}
+
+// CheckHeap fails the test when the live heap exceeds limit bytes after a
+// full GC — the bounded-memory survival invariant. The bound is generous;
+// it exists to catch unbounded buffering (a queue that stopped dropping, a
+// window that stopped pruning), not to benchmark.
+func CheckHeap(t *testing.T, limit uint64) {
+	t.Helper()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > limit {
+		t.Fatalf("heap grew past the scenario bound: %d > %d bytes", ms.HeapAlloc, limit)
+	}
+}

@@ -1,0 +1,106 @@
+package chaos_test
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/chaos"
+)
+
+// TestCrashRestartConvergesToReference kills the whole stack mid-run —
+// pipeline, collector, route server, registry — and restarts it from the
+// checkpoint. The restarted run must converge to the uninterrupted
+// reference bit-for-bit:
+//
+//   - the balancer resumes its RNG stream mid-sequence, so post-restart
+//     sampling decisions are identical;
+//   - the sliding window carries over, so the final round trains on the
+//     same records;
+//   - the member session replays its desired blackhole state over a fresh
+//     BGP session (with historical clock), so labels are identical;
+//   - the published ACL text is byte-identical.
+func TestCrashRestartConvergesToReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios replay full pipeline runs; skipped in -short")
+	}
+	baseline := runtime.NumGoroutine()
+
+	base := chaos.Scenario{
+		Name:       "restart-reference",
+		Minutes:    10,
+		TrainAt:    []int64{5, 9},
+		Checkpoint: true,
+	}
+	ref, err := chaos.Run(context.Background(), base, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Rounds) != 2 || ref.Rounds[1].Skipped {
+		t.Fatalf("reference run did not complete both rounds: %+v", ref.Rounds)
+	}
+	startMin := int64(0)
+	for m := range ref.Digests {
+		if startMin == 0 || m < startMin {
+			startMin = m
+		}
+	}
+
+	// First half: run through minute 5's round (which checkpoints), then
+	// crash — the harness is simply abandoned; nothing is flushed beyond
+	// what the checkpoint already persisted.
+	crashDir := t.TempDir()
+	half1 := base
+	half1.Name = "restart-crash"
+	half1.Minutes = 6
+	half1.TrainAt = []int64{5}
+	out1, err := chaos.Run(context.Background(), half1, crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out1.CheckpointOK {
+		t.Fatal("no checkpoint persisted before the crash")
+	}
+	if out1.Rounds[0].ACLDigest != ref.Rounds[0].ACLDigest {
+		t.Fatalf("pre-crash round diverged from reference: %+v vs %+v",
+			out1.Rounds[0], ref.Rounds[0])
+	}
+
+	// Second half: a brand-new stack in the same work dir. The pipeline
+	// restores the checkpoint; minutes 0-5 replay only their BGP events
+	// (with historical timestamps, the way members re-announce active
+	// blackholes after a route server restart); traffic resumes at 6.
+	half2 := base
+	half2.Name = "restart-resume"
+	half2.TrainAt = []int64{9}
+	half2.SkipTraffic = 6
+	half2.Restore = true
+	out2, err := chaos.Run(context.Background(), half2, crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The post-restart balanced stream must be bit-identical to the same
+	// minutes of the uninterrupted run.
+	resumeFrom := startMin + 6
+	if got, want := out2.DigestsFrom(resumeFrom), ref.DigestsFrom(resumeFrom); got != want {
+		t.Errorf("post-restart stream diverged from reference:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// And the final round — trained on checkpointed window + fresh records
+	// — must classify identically and publish the identical ACL.
+	finalRef, finalOut := ref.Rounds[1], out2.Rounds[0]
+	if finalOut.Skipped ||
+		finalOut.Records != finalRef.Records ||
+		finalOut.Aggregates != finalRef.Aggregates ||
+		finalOut.RulesMined != finalRef.RulesMined ||
+		finalOut.ACLDigest != finalRef.ACLDigest {
+		t.Errorf("final round diverged after restart:\ngot  %+v\nwant %+v", finalOut, finalRef)
+	}
+	if out2.ACLFile != ref.ACLFile {
+		t.Errorf("published ACL diverged after restart:\ngot:\n%s\nwant:\n%s",
+			out2.ACLFile, ref.ACLFile)
+	}
+
+	chaos.CheckGoroutines(t, baseline)
+	chaos.CheckHeap(t, heapLimit)
+}

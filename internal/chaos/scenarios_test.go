@@ -1,0 +1,360 @@
+package chaos_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/chaos"
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+)
+
+// The scenario matrix shares one traffic script (same profile, minutes and
+// training schedule) so that fault scenarios can be compared bit-for-bit
+// against the fault-free reference.
+const (
+	scenarioMinutes = 8
+	heapLimit       = 512 << 20
+)
+
+var trainSchedule = []int64{4, 7}
+
+func baseScenario(name string) chaos.Scenario {
+	return chaos.Scenario{
+		Name:    name,
+		Minutes: scenarioMinutes,
+		TrainAt: append([]int64(nil), trainSchedule...),
+	}
+}
+
+// runs is how many times every scenario replays; all replays must produce
+// identical outcomes.
+const runs = 3
+
+func runScenario(t *testing.T, sc chaos.Scenario) []*chaos.Outcome {
+	t.Helper()
+	outs := make([]*chaos.Outcome, 0, runs)
+	for i := 0; i < runs; i++ {
+		out, err := chaos.Run(context.Background(), sc, t.TempDir())
+		if err != nil {
+			t.Fatalf("run %d of %s: %v", i, sc.Name, err)
+		}
+		outs = append(outs, out)
+	}
+	for i := 1; i < runs; i++ {
+		if outs[i].Key() != outs[0].Key() {
+			t.Fatalf("scenario %s is nondeterministic:\nrun 0:\n%s\nrun %d:\n%s",
+				sc.Name, outs[0].Key(), i, outs[i].Key())
+		}
+	}
+	return outs
+}
+
+// metricValue extracts one sample value from the rendered exposition.
+func metricValue(t *testing.T, metrics, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(metrics, "\n") {
+		rest, ok := strings.CutPrefix(line, series+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("series %q not found in metrics output", series)
+	return 0
+}
+
+// TestChaosScenarios drives the full pipeline through the fault matrix.
+// Every scenario asserts three layers of invariants: determinism (three
+// seeded runs produce identical outcomes), survival (no goroutine leaks,
+// bounded heap, the run completes), and output (for faults the pipeline
+// must fully absorb, classifications and ACLs bit-identical to the
+// fault-free reference; for lossy faults, exact loss accounting).
+func TestChaosScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos scenarios replay full pipeline runs; skipped in -short")
+	}
+
+	ref := runScenario(t, baseScenario("reference"))[0]
+	if ref.Kept == 0 || len(ref.Rounds) != 2 {
+		t.Fatalf("reference run produced no training signal: kept=%d rounds=%d",
+			ref.Kept, len(ref.Rounds))
+	}
+	if ref.Rounds[1].Skipped || len(ref.Rounds[1].Flagged) == 0 {
+		t.Fatalf("reference final round did not classify: %+v", ref.Rounds[1])
+	}
+	if ref.ACLFile == "" {
+		t.Fatal("reference run published no ACL file")
+	}
+
+	scenarios := []struct {
+		sc chaos.Scenario
+		// bitExact compares digests, rounds and ACL text to the reference.
+		bitExact bool
+		check    func(t *testing.T, out *chaos.Outcome)
+	}{
+		{
+			sc:       baseScenario("baseline"),
+			bitExact: true,
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if out.Samples != out.SentSamples || out.Truncated != 0 || out.DecodeErrs != 0 {
+					t.Errorf("healthy run mangled input: %+v", out)
+				}
+				if out.Ingested != out.Records {
+					t.Errorf("records lost between collector and balancer: ingested=%d converted=%d",
+						out.Ingested, out.Records)
+				}
+				if got := metricValue(t, out.Metrics, "ixps_training_rounds_total"); got != 2 {
+					t.Errorf("ixps_training_rounds_total = %v, want 2", got)
+				}
+			},
+		},
+		{
+			sc: func() chaos.Scenario {
+				sc := baseScenario("truncated-datagrams")
+				sc.DupTruncate = true
+				return sc
+			}(),
+			bitExact: true,
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if out.Truncated != out.SentDatagrams {
+					t.Errorf("Truncated = %d, want one per valid datagram (%d)",
+						out.Truncated, out.SentDatagrams)
+				}
+				if got := metricValue(t, out.Metrics,
+					`ixps_collector_truncated_total{proto="sflow"}`); got != float64(out.Truncated) {
+					t.Errorf("truncated metric = %v, counter = %d", got, out.Truncated)
+				}
+			},
+		},
+		{
+			sc: func() chaos.Scenario {
+				sc := baseScenario("garbage-datagrams")
+				sc.DupGarbage = true
+				return sc
+			}(),
+			bitExact: true,
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if out.DecodeErrs != out.SentDatagrams {
+					t.Errorf("DecodeErrs = %d, want one per valid datagram (%d)",
+						out.DecodeErrs, out.SentDatagrams)
+				}
+				if got := metricValue(t, out.Metrics,
+					`ixps_collector_malformed_total{proto="sflow"}`); got != float64(out.DecodeErrs) {
+					t.Errorf("malformed metric = %v, counter = %d", got, out.DecodeErrs)
+				}
+			},
+		},
+		{
+			sc: func() chaos.Scenario {
+				sc := baseScenario("collector-socket-errors")
+				sc.SocketErrAt = []int64{2, 5}
+				return sc
+			}(),
+			bitExact: true,
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if out.CollectorRestarts != 2 {
+					t.Errorf("CollectorRestarts = %d, want 2", out.CollectorRestarts)
+				}
+				if out.Samples != out.SentSamples {
+					t.Errorf("socket replacement lost samples: %d of %d", out.Samples, out.SentSamples)
+				}
+			},
+		},
+		{
+			sc: func() chaos.Scenario {
+				sc := baseScenario("bgp-session-drops")
+				sc.KillBGPAt = []int64{1, 4, 6}
+				return sc
+			}(),
+			bitExact: true,
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if out.Reconnects != 3 {
+					t.Errorf("Reconnects = %d, want 3", out.Reconnects)
+				}
+				if got := metricValue(t, out.Metrics,
+					`ixps_bgp_member_reconnects_total{member="as64501"}`); got != 3 {
+					t.Errorf("reconnect metric = %v, want 3", got)
+				}
+			},
+		},
+		{
+			sc: func() chaos.Scenario {
+				sc := baseScenario("withdraw-storm")
+				sc.WithdrawStorm = 40
+				return sc
+			}(),
+			bitExact: true,
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if want := ref.Blackholes + 40; out.Blackholes != want {
+					t.Errorf("Blackholes = %d, want %d (reference + 40 decoys)",
+						out.Blackholes, want)
+				}
+			},
+		},
+		{
+			sc: func() chaos.Scenario {
+				sc := baseScenario("clock-skew")
+				sc.SkewAt = []int64{3, 6}
+				return sc
+			}(),
+			bitExact: true,
+			check: func(t *testing.T, out *chaos.Outcome) {
+				wantLate := out.SentSamples - ref.SentSamples // the skewed duplicates
+				if wantLate == 0 || out.Late != wantLate {
+					t.Errorf("Late = %d, want %d (every skewed record, no more)",
+						out.Late, wantLate)
+				}
+				if got := metricValue(t, out.Metrics,
+					"ixps_balancer_late_records_total"); got != float64(out.Late) {
+					t.Errorf("late metric = %v, counter = %d", got, out.Late)
+				}
+			},
+		},
+		{
+			// The consumer stalls for minutes 5-7 with a queue that holds
+			// one normal minute comfortably but not three: the stall backlog
+			// overflows and the drop policy engages. The scenario runs four
+			// extra minutes past the stall so the final round trains on a
+			// healthy window again. TrainAt keeps the reference's round@4
+			// (pre-stall, so the prefix stays comparable) and moves the
+			// final round to minute 11.
+			sc: func() chaos.Scenario {
+				sc := baseScenario("stuck-consumer")
+				sc.Minutes = 12
+				sc.TrainAt = []int64{4, 11}
+				sc.StuckFrom, sc.StuckTo = 5, 7
+				sc.QueueCap = 16
+				sc.Drop = netflow.DropNewest
+				return sc
+			}(),
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if out.DroppedBatches == 0 || out.DroppedRecords == 0 {
+					t.Fatalf("stall dropped nothing: %+v", out)
+				}
+				// Conservation: every converted record was either balanced
+				// or counted as dropped — nothing vanished silently.
+				if out.Ingested+out.DroppedRecords != out.Records {
+					t.Errorf("records unaccounted for: ingested=%d dropped=%d converted=%d",
+						out.Ingested, out.DroppedRecords, out.Records)
+				}
+				// Up to the stall, the stream matches the reference (the
+				// first two kept minutes precede StuckFrom).
+				if got, want := prefixDigests(out, 2), prefixDigests(ref, 2); got == "" || got != want {
+					t.Errorf("pre-stall stream diverged:\n%s\nwant:\n%s", got, want)
+				}
+				if out.Rounds[1].Skipped || len(out.Rounds[1].Flagged) == 0 {
+					t.Errorf("pipeline did not recover to train after the stall: %+v", out.Rounds[1])
+				}
+				if got := metricValue(t, out.Metrics,
+					`ixps_queue_dropped_records_total{stage="ingest"}`); got != float64(out.DroppedRecords) {
+					t.Errorf("drop metric = %v, counter = %d", got, out.DroppedRecords)
+				}
+			},
+		},
+		{
+			sc: func() chaos.Scenario {
+				sc := baseScenario("label-panic")
+				sc.PanicAt = []int64{2}
+				return sc
+			}(),
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if out.Panics != 1 {
+					t.Errorf("Panics = %d, want 1", out.Panics)
+				}
+				// Exactly the poisoned datagram's records are lost.
+				if out.Ingested != out.SentSamples-16 {
+					t.Errorf("Ingested = %d, want %d (one 16-sample datagram sacrificed)",
+						out.Ingested, out.SentSamples-16)
+				}
+				if got, want := prefixDigests(out, 2), prefixDigests(ref, 2); got != want {
+					t.Errorf("pre-panic stream diverged:\n%s\nwant:\n%s", got, want)
+				}
+				if out.Rounds[1].Skipped {
+					t.Error("pipeline did not keep training after the panic")
+				}
+				if got := metricValue(t, out.Metrics,
+					`ixps_collector_panics_total{proto="sflow"}`); got != 1 {
+					t.Errorf("panic metric = %v, want 1", got)
+				}
+			},
+		},
+		{
+			sc: func() chaos.Scenario {
+				sc := baseScenario("torn-acl-writes")
+				sc.FlakyWrites = true
+				return sc
+			}(),
+			bitExact: true,
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if out.WriterWrites == 0 || out.WriterRetries != 2*out.WriterWrites {
+					t.Errorf("writes=%d retries=%d, want 2 retries per publish",
+						out.WriterWrites, out.WriterRetries)
+				}
+				if out.TornWrites != out.WriterRetries {
+					t.Errorf("TornWrites = %d, want %d", out.TornWrites, out.WriterRetries)
+				}
+			},
+		},
+		{
+			sc: func() chaos.Scenario {
+				sc := baseScenario("checkpointed-run")
+				sc.Checkpoint = true
+				return sc
+			}(),
+			bitExact: true,
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if !out.CheckpointOK {
+					t.Error("no checkpoint file published")
+				}
+				if got := metricValue(t, out.Metrics, "ixps_checkpoints_total"); got != 2 {
+					t.Errorf("ixps_checkpoints_total = %v, want 2 (one per round)", got)
+				}
+			},
+		},
+	}
+
+	for _, tc := range scenarios {
+		t.Run(tc.sc.Name, func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			outs := runScenario(t, tc.sc)
+			out := outs[0]
+			if tc.bitExact {
+				if got, want := out.ExactKey(), ref.ExactKey(); got != want {
+					t.Errorf("fault leaked into the output stream:\ngot:\n%s\nwant:\n%s", got, want)
+				}
+			}
+			if tc.check != nil {
+				tc.check(t, out)
+			}
+			chaos.CheckGoroutines(t, baseline)
+			chaos.CheckHeap(t, heapLimit)
+		})
+	}
+}
+
+// prefixDigests renders an outcome's digests for relative minutes [0, n)
+// — the prefix of the stream a mid-run fault must not have touched. All
+// scenarios share the same start minute, so prefixes are comparable.
+func prefixDigests(o *chaos.Outcome, n int64) string {
+	first := int64(0)
+	for m := range o.Digests {
+		if first == 0 || m < first {
+			first = m
+		}
+	}
+	var b strings.Builder
+	for m := first; m < first+n; m++ {
+		if d, ok := o.Digests[m]; ok {
+			fmt.Fprintf(&b, "%d=%016x\n", m, d)
+		}
+	}
+	return b.String()
+}

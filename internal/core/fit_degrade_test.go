@@ -1,0 +1,49 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+// TestFitFailureKeepsLastGoodModel pins the graceful-degradation contract
+// the daemon relies on: a failed retrain must leave the previously fitted
+// encoder and pipeline serving, bit-identically.
+func TestFitFailureKeepsLastGoodModel(t *testing.T) {
+	bal, vectors := balancedFlows(t, 3, 240)
+	records := synth.Records(bal)
+	s := New(DefaultConfig())
+	if _, err := s.MineRules(records); err != nil {
+		t.Fatal(err)
+	}
+	train := s.Aggregate(records, vectors)
+	if err := s.Fit(records, train); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Predict(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encBefore := s.Encoder()
+
+	// Sabotage the retrain: an unknown model makes pipeline construction
+	// fail after the candidate encoder was already built.
+	good := s.cfg.Model
+	s.cfg.Model = ModelName("bogus")
+	if err := s.Fit(records, train); err == nil {
+		t.Fatal("Fit with a bogus model succeeded")
+	}
+	s.cfg.Model = good
+
+	if s.Encoder() != encBefore {
+		t.Fatal("failed Fit replaced the serving encoder")
+	}
+	after, err := s.Predict(train)
+	if err != nil {
+		t.Fatalf("Predict after failed Fit: %v", err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("predictions changed after a failed Fit")
+	}
+}

@@ -240,33 +240,37 @@ func (s *Scrubber) Fit(trainRecords []netflow.Record, train []*features.Aggregat
 	}
 	start := time.Now()
 	defer func() { s.metrics.observeFit(start) }()
-	s.encoder = woe.NewEncoder()
-	s.encoder.Smoothing = s.cfg.WoESmoothing
-	s.encoder.MinCount = s.cfg.WoEMinCount
+	// Fit is transactional: everything is built on locals and installed
+	// only after training succeeds. A failed fit leaves the previously
+	// fitted encoder/pipeline serving — the degraded mode the daemon relies
+	// on when a training window turns out to be garbage.
+	enc := woe.NewEncoder()
+	enc.Smoothing = s.cfg.WoESmoothing
+	enc.MinCount = s.cfg.WoEMinCount
 	for i := range trainRecords {
-		features.ObserveRecord(s.encoder, &trainRecords[i])
+		features.ObserveRecord(enc, &trainRecords[i])
 	}
-	s.encoder.Fit()
+	enc.Fit()
 
 	p, err := s.buildPipeline()
 	if err != nil {
 		return err
 	}
-	s.pipeline = p
-	s.fitted = true
-	if p == nil {
-		return nil // RBC needs no fitting
-	}
-	x := s.encodeAll(train)
-	y := make([]int, len(train))
-	for i, a := range train {
-		if a.Label {
-			y[i] = 1
+	if p != nil {
+		x := s.encodeAllWith(enc, train)
+		y := make([]int, len(train))
+		for i, a := range train {
+			if a.Label {
+				y[i] = 1
+			}
+		}
+		if err := p.Fit(x, y); err != nil {
+			return fmt.Errorf("core: fitting %s: %w", s.cfg.Model, err)
 		}
 	}
-	if err := p.Fit(x, y); err != nil {
-		return fmt.Errorf("core: fitting %s: %w", s.cfg.Model, err)
-	}
+	s.encoder = enc
+	s.pipeline = p // nil for RBC, which needs no fitting
+	s.fitted = true
 	return nil
 }
 
@@ -277,17 +281,23 @@ func (s *Scrubber) Fit(trainRecords []netflow.Record, train []*features.Aggregat
 // aggregate and the read-only fitted encoder, so output is identical at any
 // worker count.
 func (s *Scrubber) encodeAll(aggs []*features.Aggregate) [][]float64 {
+	return s.encodeAllWith(s.encoder, aggs)
+}
+
+// encodeAllWith encodes against an explicit encoder so Fit can train a
+// candidate without touching the encoder currently serving predictions.
+func (s *Scrubber) encodeAllWith(enc *woe.Encoder, aggs []*features.Aggregate) [][]float64 {
 	nc := features.NumColumns
 	flat := make([]float64, len(aggs)*nc)
 	x := make([][]float64, len(aggs))
-	s.encoder.EnsureFitted() // no lazy refits inside the parallel region
+	enc.EnsureFitted() // no lazy refits inside the parallel region
 	workers := par.Workers(s.cfg.Workers)
 	if len(aggs) < 64 {
 		workers = 1 // fan-out costs more than encoding a small batch
 	}
 	par.ForChunks(workers, len(aggs), func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			x[i] = features.Encode(s.encoder, aggs[i], flat[i*nc:i*nc:(i+1)*nc])
+			x[i] = features.Encode(enc, aggs[i], flat[i*nc:i*nc:(i+1)*nc])
 		}
 	})
 	return x

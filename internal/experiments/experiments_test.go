@@ -5,6 +5,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -308,16 +309,51 @@ func TestFig10Importances(t *testing.T) {
 	}
 }
 
-func TestFig12Shape(t *testing.T) {
+// fig12Result runs RunFig12 once and shares the result between the shape
+// test and the known-gap reproducer, so the 30 cross-site trainings are
+// paid for once.
+var fig12Once struct {
+	sync.Once
+	res *Result
+	err error
+}
+
+func fig12Result(t *testing.T) *Result {
+	t.Helper()
 	// 30 cross-site train/evaluate pairs: ~30s plain, several minutes
 	// under the race detector's slowdown.
 	if testing.Short() || raceEnabled {
 		t.Skip("30 cross-site trainings; run without -short/-race")
 	}
-	res, err := RunFig12(quickCfg())
-	if err != nil {
-		t.Fatal(err)
+	fig12Once.Do(func() { fig12Once.res, fig12Once.err = RunFig12(quickCfg()) })
+	if fig12Once.err != nil {
+		t.Fatal(fig12Once.err)
 	}
+	return fig12Once.res
+}
+
+// fig12Mean averages the numeric cells of a heatmap panel, optionally
+// skipping the ALL row.
+func fig12Mean(tbl *Table, skipAllRow bool) float64 {
+	var sum float64
+	var n int
+	for i, row := range tbl.Rows {
+		if skipAllRow && i == 0 && row[0] == "ALL" {
+			continue
+		}
+		for _, cellv := range row[1:] {
+			v, err := strconv.ParseFloat(cellv, 64)
+			if err == nil {
+				sum += v
+				n++
+			}
+		}
+	}
+	return sum / float64(n)
+}
+
+func TestFig12Shape(t *testing.T) {
+	res := fig12Result(t)
 	if len(res.Tables) != 3 {
 		t.Fatalf("want 3 panels, got %d", len(res.Tables))
 	}
@@ -352,36 +388,56 @@ func TestFig12Shape(t *testing.T) {
 			}
 		}
 	}
-	// Classifier-only transfer: every cell decent, and mean >= full transfer mean.
-	meanOf := func(tbl *Table, skipAllRow bool) float64 {
-		var sum float64
-		var n int
-		for i, row := range tbl.Rows {
-			if skipAllRow && i == 0 && row[0] == "ALL" {
-				continue
-			}
-			for _, cellv := range row[1:] {
-				v, err := strconv.ParseFloat(cellv, 64)
-				if err == nil {
-					sum += v
-					n++
-				}
+	// Classifier-only transfer: the paper-level claim (mean >= full
+	// transfer mean) does not reproduce yet; TestFig12ClassifierOnlyGap
+	// tracks that gap and fails when it heals. Here, assert the floor that
+	// does hold.
+	if m := fig12Mean(local, false); m < 0.8 {
+		t.Errorf("classifier-only transfer mean = %.3f, want > 0.8", m)
+	}
+}
+
+// TestFig12ClassifierOnlyGap is the tracked reproducer for the known gap
+// first documented in PR 1: the paper (§6.4, Fig. 12 right) claims that
+// shipping only the classifier and pairing it with the destination's local
+// WoE encoder restores cross-IXP transfer almost everywhere, which would
+// put the classifier-only panel's mean at or above the full-transfer
+// panel's. The reproduction deterministically falls short: models trained
+// at sites with a divergent traffic mix (IXP-CE1) collapse to ~0.55 when
+// paired with a foreign encoder, at every scale tried (0.12 and 0.3 give
+// means 0.851/0.843 vs full-transfer 0.920/0.931). The seed only passed
+// the paper-level comparison when reflector-pool churn nondeterminism
+// landed favourably; with generation now reproducible it fails every time.
+//
+// This test asserts the gap's exact signature, so it serves two purposes:
+// the gap cannot silently widen (the floor in TestFig12Shape still holds),
+// and it cannot silently heal — if cross-site WoE calibration improves
+// enough to satisfy the paper's claim, this test FAILS, telling the
+// maintainer to promote the mean comparison into TestFig12Shape and delete
+// this reproducer.
+func TestFig12ClassifierOnlyGap(t *testing.T) {
+	res := fig12Result(t)
+	full, local := &res.Tables[0], &res.Tables[2]
+	fullMean, localMean := fig12Mean(full, false), fig12Mean(local, false)
+	if localMean >= fullMean {
+		t.Fatalf("known gap healed: classifier-only mean %.3f >= full-transfer mean %.3f; "+
+			"promote the paper's mean comparison into TestFig12Shape and delete this reproducer",
+			localMean, fullMean)
+	}
+	// The collapse is localized, not diffuse: at least one
+	// divergent-mix/foreign-encoder pairing drops well below the
+	// working cells.
+	worst := 1.0
+	for _, row := range local.Rows {
+		for _, cellv := range row[1:] {
+			if v, err := strconv.ParseFloat(cellv, 64); err == nil && v < worst {
+				worst = v
 			}
 		}
-		return sum / float64(n)
 	}
-	// TODO: the paper claims classifier-only transfer with local WoE
-	// restores >= 0.98 almost everywhere (i.e. its mean should be at least
-	// the full-transfer mean). The reproduction is not there yet: rows
-	// trained at sites with a divergent traffic mix (IXP-CE1) collapse to
-	// ~0.55 when paired with another site's encoder, at every scale tried
-	// (0.12 and 0.3 give means 0.851/0.843 vs full-transfer 0.920/0.931).
-	// The seed only passed this comparison when reflector-pool churn
-	// nondeterminism happened to land favourably; with generation now
-	// reproducible it fails deterministically. Until cross-site WoE
-	// calibration improves, assert the floor that does hold.
-	if m := meanOf(local, false); m < 0.8 {
-		t.Errorf("classifier-only transfer mean = %.3f, want > 0.8", m)
+	if worst > 0.7 {
+		t.Fatalf("collapse signature no longer reproduces: worst classifier-only cell %.3f > 0.7; "+
+			"the gap changed shape — re-characterize it or promote the paper assertion", worst)
 	}
 }
 

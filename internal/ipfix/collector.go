@@ -46,6 +46,7 @@ type UDPCollector struct {
 	Truncated  atomic.Uint64 // messages rejected as truncated
 	DecodeErrs atomic.Uint64 // messages malformed beyond truncation
 	Blackholed atomic.Uint64
+	Panics     atomic.Uint64 // message handlers that panicked (recovered)
 
 	collector *Collector
 	// recs is the decode scratch recycled across messages; batch
@@ -108,8 +109,24 @@ func (u *UDPCollector) Listen(ctx context.Context, conn net.PacketConn) error {
 			}
 			return fmt.Errorf("ipfix: read: %w", err)
 		}
-		u.Handle(buf[:n])
+		u.safeHandle(buf[:n])
 	}
+}
+
+// safeHandle isolates a panic in the message path to the one message, like
+// sflow.Collector: count it, drop the possibly half-converted pending
+// batch, keep receiving.
+func (u *UDPCollector) safeHandle(data []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			u.Panics.Add(1)
+			u.batch = u.batch[:0]
+			if u.Log != nil {
+				u.Log.Error("ipfix message handler panicked", "panic", r)
+			}
+		}
+	}()
+	u.Handle(data)
 }
 
 // Handle processes one message payload. Not safe for concurrent calls with

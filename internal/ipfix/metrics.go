@@ -25,4 +25,7 @@ func (u *UDPCollector) RegisterMetrics(r *obs.Registry) {
 	r.CounterVec("ixps_collector_blackholed_total",
 		"Records labeled blackholed against the BGP registry.", "proto").
 		WithFunc(u64(&u.Blackholed), proto)
+	r.CounterVec("ixps_collector_panics_total",
+		"Recovered panics in the datagram handler (the pending batch is dropped).", "proto").
+		WithFunc(u64(&u.Panics), proto)
 }

@@ -174,7 +174,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		// marker so the registry has absorbed every event before this
 		// minute's samples are labeled.
 		if pending > 0 {
-			if err := syncBGP(ctx, member, registry, nextHop, m*60); err != nil {
+			if err := SyncBGP(ctx, member, registry, nextHop, m*60); err != nil {
 				return nil, err
 			}
 		}
@@ -214,7 +214,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		// Wait for the collector to drain this minute's datagrams before
 		// advancing simulated time.
 		totalSent += uint64(len(buf))
-		if err := waitSamples(ctx, collector, totalSent); err != nil {
+		if err := WaitSamples(ctx, collector, totalSent); err != nil {
 			return nil, err
 		}
 	}

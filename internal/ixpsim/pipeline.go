@@ -1,0 +1,498 @@
+package ixpsim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/netip"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/acl"
+	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
+)
+
+// PipelineConfig parameterizes the daemon-side processing chain downstream
+// of the sockets.
+type PipelineConfig struct {
+	// Seed fixes the balancer's benign sampling (and therefore the whole
+	// training stream for a given input).
+	Seed uint64
+	// Window is the sliding training window. Zero means 24h.
+	Window time.Duration
+	// QueueCap bounds the ingest queue in batches; 0 means 64.
+	QueueCap int
+	// DropPolicy says what a full ingest queue does to new batches.
+	DropPolicy netflow.DropPolicy
+	// MinTrainRecords skips training rounds below this many balanced
+	// records; 0 means 100.
+	MinTrainRecords int
+	// ACLPath, when set, atomically publishes rendered ACLs there after
+	// every successful round.
+	ACLPath string
+	// RulesPath, when set, exports the mined rule list there after every
+	// successful round.
+	RulesPath string
+	// CheckpointPath, when set, atomically persists the pipeline state
+	// (balancer, window, fitted model) there after every successful round,
+	// and is what RestoreCheckpoint reads on startup.
+	CheckpointPath string
+	// FS handles ACL and checkpoint writes; nil means the real filesystem.
+	// Fault injection scripts torn writes through this.
+	FS acl.FS
+	// Core configures the two-step model. Zero value means DefaultConfig.
+	Core *core.Config
+	// Clock returns unix seconds, driving window pruning; nil means
+	// time.Now().Unix. Simulations inject virtual time here.
+	Clock func() int64
+	// KeepHook, when set, observes every record the balancer keeps into
+	// the training window. The chaos harness digests the kept stream per
+	// minute through this; it runs on the consumer goroutine, so it must
+	// be fast.
+	KeepHook func(netflow.Record)
+	// ConsumeGate, when set, runs before each queue batch is consumed. A
+	// gate that blocks models a stuck downstream consumer: the ingest
+	// queue backs up behind it and exercises its drop policy.
+	ConsumeGate func(ctx context.Context)
+	// Metrics attaches the pipeline stages to an observability registry;
+	// nil disables instrumentation.
+	Metrics *obs.Registry
+	Log     *slog.Logger
+}
+
+// Round reports one training round.
+type Round struct {
+	// Skipped is true when the window held too few records to train.
+	Skipped bool
+	// Records is the window size the round trained on.
+	Records int
+	// Aggregates is the number of per-target aggregates classified.
+	Aggregates int
+	// Flagged lists the targets classified as DDoS victims, sorted.
+	Flagged []netip.Addr
+	// ACLText is the rendered ACL file for the flagged targets.
+	ACLText string
+	// RulesMined is the mined (minimized) rule count.
+	RulesMined int
+}
+
+// Pipeline is the daemon's processing chain between the collector sockets
+// and the ACL files: bounded ingest queue -> per-minute balancer -> sliding
+// window -> two-step model -> atomic ACL publication. It exists apart from
+// cmd/scrubberd so the chaos harness can drive the identical production
+// path under fault injection.
+//
+// Failure behavior: a failed training round rolls the rule set back and
+// keeps the previously fitted model serving (graceful degradation); ACL and
+// checkpoint writes are atomic and retried with backoff.
+type Pipeline struct {
+	cfg   PipelineConfig
+	queue *netflow.Queue
+
+	balMu      sync.Mutex
+	bal        *balance.Balancer[netflow.Record]
+	balMetrics *balance.Metrics
+
+	winMu  sync.Mutex
+	window []netflow.Record
+
+	scrubber *core.Scrubber
+	writer   *acl.Writer
+
+	tm       *trainMetrics
+	ingested atomic.Uint64 // records through the balancer
+	trained  atomic.Bool
+
+	wg sync.WaitGroup
+}
+
+// trainMetrics instruments the training loop and ACL output; nil disables
+// everything.
+type trainMetrics struct {
+	rounds        *obs.Counter
+	failures      *obs.Counter
+	skipped       *obs.Counter
+	duration      *obs.Histogram
+	windowRecords *obs.Gauge
+	flagged       *obs.Gauge
+	aclWrites     *obs.Counter
+	aclEntries    *obs.Gauge
+	checkpoints   *obs.Counter
+}
+
+func newTrainMetrics(r *obs.Registry) *trainMetrics {
+	return &trainMetrics{
+		rounds: r.Counter("ixps_training_rounds_total",
+			"Training rounds completed successfully."),
+		failures: r.Counter("ixps_training_failures_total",
+			"Training rounds that returned an error (last good model kept serving)."),
+		skipped: r.Counter("ixps_training_skipped_total",
+			"Training ticks skipped for lack of balanced records."),
+		duration: r.Histogram("ixps_training_duration_seconds",
+			"Wall time of one full training round (mine + fit + classify + ACLs).", nil),
+		windowRecords: r.Gauge("ixps_training_window_records",
+			"Balanced records inside the sliding training window."),
+		flagged: r.Gauge("ixps_flagged_targets",
+			"Targets flagged as DDoS victims by the last round."),
+		aclWrites: r.Counter("ixps_acl_writes_total",
+			"ACL files written (or printed) after training rounds."),
+		aclEntries: r.Gauge("ixps_acl_entries",
+			"ACL entries generated by the last round."),
+		checkpoints: r.Counter("ixps_checkpoints_total",
+			"Pipeline state checkpoints persisted."),
+	}
+}
+
+// NewPipeline assembles the chain. Call Start to run the queue consumer,
+// and TrainRound from the owner's training tick.
+func NewPipeline(cfg PipelineConfig) *Pipeline {
+	if cfg.Window <= 0 {
+		cfg.Window = 24 * time.Hour
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.MinTrainRecords <= 0 {
+		cfg.MinTrainRecords = 100
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = func() int64 { return time.Now().Unix() }
+	}
+	if cfg.Log == nil {
+		cfg.Log = slog.New(slog.DiscardHandler)
+	}
+	coreCfg := core.DefaultConfig()
+	if cfg.Core != nil {
+		coreCfg = *cfg.Core
+	}
+	p := &Pipeline{
+		cfg:      cfg,
+		queue:    netflow.NewQueue(cfg.QueueCap, cfg.DropPolicy),
+		scrubber: core.New(coreCfg),
+		writer:   &acl.Writer{FS: cfg.FS, Log: cfg.Log},
+	}
+	p.bal = balance.ForRecords(cfg.Seed, p.keep)
+	if cfg.Metrics != nil {
+		p.queue.RegisterMetrics(cfg.Metrics, "ingest")
+		p.balMetrics = balance.RegisterMetrics(cfg.Metrics)
+		p.scrubber.SetMetrics(core.RegisterMetrics(cfg.Metrics))
+		p.tm = newTrainMetrics(cfg.Metrics)
+	}
+	return p
+}
+
+func (p *Pipeline) keep(r netflow.Record) {
+	p.winMu.Lock()
+	p.window = append(p.window, r)
+	p.winMu.Unlock()
+	if p.cfg.KeepHook != nil {
+		p.cfg.KeepHook(r)
+	}
+}
+
+// Scrubber exposes the model for inspection (rule export, bundles).
+func (p *Pipeline) Scrubber() *core.Scrubber { return p.scrubber }
+
+// QueueStats exposes the ingest queue counters.
+func (p *Pipeline) QueueStats() *netflow.QueueStats { return &p.queue.Stats }
+
+// BalanceStats snapshots the balancer counters under its lock.
+func (p *Pipeline) BalanceStats() balance.Stats {
+	p.balMu.Lock()
+	defer p.balMu.Unlock()
+	return p.bal.Stats
+}
+
+// Writer exposes the ACL/checkpoint publisher (for retry counters).
+func (p *Pipeline) Writer() *acl.Writer { return p.writer }
+
+// Ingested returns how many records have passed through the balancer. The
+// lock-step harness polls it to know when the queue has drained.
+func (p *Pipeline) Ingested() uint64 { return p.ingested.Load() }
+
+// Trained reports whether a model is serving (readiness).
+func (p *Pipeline) Trained() bool { return p.trained.Load() }
+
+// EmitBatch enqueues one collector batch; it is the collector's EmitBatch
+// hook. The queue copies the batch, so the collector may reuse its slice.
+// Under DropNewest/DropOldest pressure the return value says whether this
+// batch survived.
+func (p *Pipeline) EmitBatch(recs []netflow.Record) {
+	p.queue.Put(recs)
+}
+
+// Start launches the queue consumer. The consumer exits when the context
+// is canceled or the queue is closed (Stop).
+func (p *Pipeline) Start(ctx context.Context) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			batch, ok := p.queue.Get(ctx)
+			if !ok {
+				return
+			}
+			if p.cfg.ConsumeGate != nil {
+				p.cfg.ConsumeGate(ctx)
+			}
+			p.balMu.Lock()
+			p.bal.AddBatch(batch)
+			p.balMu.Unlock()
+			p.ingested.Add(uint64(len(batch)))
+		}
+	}()
+}
+
+// Stop closes the ingest queue and waits for the consumer to drain it.
+func (p *Pipeline) Stop() {
+	p.queue.Close()
+	p.wg.Wait()
+}
+
+// snapshotWindow flushes the balancer, prunes records older than the
+// window, and returns a copy of what remains.
+func (p *Pipeline) snapshotWindow(now int64) []netflow.Record {
+	p.balMu.Lock()
+	p.bal.Flush()
+	p.balMetrics.Publish(&p.bal.Stats)
+	p.balMu.Unlock()
+
+	p.winMu.Lock()
+	defer p.winMu.Unlock()
+	cutoff := now - int64(p.cfg.Window/time.Second)
+	keep := p.window[:0]
+	for _, r := range p.window {
+		if r.Timestamp >= cutoff {
+			keep = append(keep, r)
+		}
+	}
+	p.window = keep
+	return append([]netflow.Record(nil), p.window...)
+}
+
+// TrainRound runs one full round at time now (unix seconds): flush and
+// prune, mine rules, fit, classify, publish ACLs, checkpoint. On error the
+// pipeline keeps serving its previous model and rule set.
+func (p *Pipeline) TrainRound(ctx context.Context, now int64) (*Round, error) {
+	start := time.Now()
+	records := p.snapshotWindow(now)
+	if p.tm != nil {
+		p.tm.windowRecords.Set(float64(len(records)))
+	}
+	if len(records) < p.cfg.MinTrainRecords {
+		if p.tm != nil {
+			p.tm.skipped.Inc()
+		}
+		p.cfg.Log.Info("not enough balanced records to train yet", "records", len(records))
+		return &Round{Skipped: true, Records: len(records)}, nil
+	}
+
+	round, err := p.trainAndClassify(ctx, records)
+	if err != nil {
+		if p.tm != nil {
+			p.tm.failures.Inc()
+		}
+		return nil, err
+	}
+	// Flip trained before checkpointing: the checkpoint must carry the
+	// model that was just fitted, including the cumulative rule-set history
+	// a restarted pipeline needs to keep curating from.
+	p.trained.Store(true)
+	if p.cfg.CheckpointPath != "" {
+		if err := p.SaveCheckpoint(ctx); err != nil {
+			// The round itself succeeded; a failed checkpoint degrades
+			// restart fidelity, not serving.
+			p.cfg.Log.Error("checkpoint failed", "err", err)
+		} else if p.tm != nil {
+			p.tm.checkpoints.Inc()
+		}
+	}
+	if p.tm != nil {
+		p.tm.rounds.Inc()
+		p.tm.duration.ObserveSince(start)
+	}
+	p.cfg.Log.Info("training round complete",
+		"records", round.Records,
+		"aggregates", round.Aggregates,
+		"rules_mined", round.RulesMined,
+		"flagged_targets", len(round.Flagged),
+		"took", time.Since(start).Round(time.Millisecond))
+	return round, nil
+}
+
+func (p *Pipeline) trainAndClassify(ctx context.Context, records []netflow.Record) (*Round, error) {
+	s := p.scrubber
+	// Rule mining replaces the scrubber's rule set before Fit gets a
+	// chance to fail; roll it back on any error so a bad round leaves the
+	// old rules serving alongside the old model.
+	oldRules := s.Rules()
+	rep, err := s.MineRules(records)
+	if err != nil {
+		return nil, err
+	}
+	aggs := s.Aggregate(records, nil)
+	if err := s.Fit(records, aggs); err != nil {
+		s.SetRules(oldRules)
+		return nil, err
+	}
+	pred, err := s.Predict(aggs)
+	if err != nil {
+		s.SetRules(oldRules)
+		return nil, err
+	}
+	targetSet := map[netip.Addr]struct{}{}
+	for i, a := range aggs {
+		if pred[i] == 1 {
+			targetSet[a.Target] = struct{}{}
+		}
+	}
+	// Sorted targets make the rendered ACL (and thus its digest) a pure
+	// function of the classifications.
+	targets := make([]netip.Addr, 0, len(targetSet))
+	for t := range targetSet {
+		targets = append(targets, t)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].Compare(targets[j]) < 0 })
+
+	entries := s.GenerateACLs(targets, acl.ActionDrop)
+	text := acl.RenderText(entries)
+	if p.cfg.ACLPath != "" {
+		if err := p.writer.Publish(ctx, p.cfg.ACLPath, []byte(text)); err != nil {
+			return nil, err
+		}
+	}
+	if p.tm != nil {
+		p.tm.aclWrites.Inc()
+		p.tm.aclEntries.Set(float64(len(entries)))
+		p.tm.flagged.Set(float64(len(targets)))
+	}
+	if p.cfg.RulesPath != "" {
+		var buf bytes.Buffer
+		if err := s.Rules().Export(&buf); err != nil {
+			return nil, err
+		}
+		if err := p.writer.Publish(ctx, p.cfg.RulesPath, buf.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	return &Round{
+		Records:    len(records),
+		Aggregates: len(aggs),
+		Flagged:    targets,
+		ACLText:    text,
+		RulesMined: rep.RulesMinimized,
+	}, nil
+}
+
+// checkpointVersion guards the envelope layout.
+const checkpointVersion = 1
+
+// checkpointJSON is the pipeline's crash-recovery envelope: the balancer
+// (RNG, in-progress bin, stats), the sliding window, and — once trained —
+// the full model bundle. Restoring it resumes the training stream
+// bit-for-bit; only batches still in the ingest queue at crash time are
+// lost, which mirrors what UDP loses anyway.
+type checkpointJSON struct {
+	Version  int                            `json:"version"`
+	Seed     uint64                         `json:"seed"`
+	Ingested uint64                         `json:"ingested"`
+	Balancer *balance.State[netflow.Record] `json:"balancer"`
+	Window   []netflow.Record               `json:"window"`
+	Trained  bool                           `json:"trained"`
+	Bundle   json.RawMessage                `json:"bundle,omitempty"`
+}
+
+// SaveCheckpoint atomically persists the pipeline state to CheckpointPath.
+// The queue consumer keeps running; the balancer and window are snapshotted
+// under their locks. For bit-exact restore semantics, checkpoint at a
+// quiescent point (the training tick, after the queue drained).
+func (p *Pipeline) SaveCheckpoint(ctx context.Context) error {
+	if p.cfg.CheckpointPath == "" {
+		return errors.New("ixpsim: no checkpoint path configured")
+	}
+	cp := checkpointJSON{
+		Version:  checkpointVersion,
+		Seed:     p.cfg.Seed,
+		Ingested: p.ingested.Load(),
+		Trained:  p.trained.Load(),
+	}
+	p.balMu.Lock()
+	st, err := p.bal.Checkpoint()
+	p.balMu.Unlock()
+	if err != nil {
+		return err
+	}
+	cp.Balancer = st
+	p.winMu.Lock()
+	cp.Window = append([]netflow.Record(nil), p.window...)
+	p.winMu.Unlock()
+	if cp.Trained {
+		var buf bytes.Buffer
+		if err := p.scrubber.Save(&buf); err != nil {
+			return fmt.Errorf("ixpsim: bundling model: %w", err)
+		}
+		cp.Bundle = buf.Bytes()
+	}
+	data, err := json.Marshal(&cp)
+	if err != nil {
+		return err
+	}
+	return p.writer.Publish(ctx, p.cfg.CheckpointPath, data)
+}
+
+// RestoreCheckpoint loads CheckpointPath, if present, and resumes from it:
+// the balancer continues its RNG stream mid-bin, the window carries over,
+// and the saved model serves immediately (readiness flips true). A missing
+// file is not an error — the pipeline simply starts cold.
+func (p *Pipeline) RestoreCheckpoint() (bool, error) {
+	if p.cfg.CheckpointPath == "" {
+		return false, nil
+	}
+	data, err := os.ReadFile(p.cfg.CheckpointPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	var cp checkpointJSON
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return false, fmt.Errorf("ixpsim: decoding checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return false, fmt.Errorf("ixpsim: unsupported checkpoint version %d", cp.Version)
+	}
+	p.balMu.Lock()
+	err = p.bal.Restore(cp.Balancer)
+	p.balMu.Unlock()
+	if err != nil {
+		return false, err
+	}
+	p.winMu.Lock()
+	p.window = append(p.window[:0], cp.Window...)
+	p.winMu.Unlock()
+	p.ingested.Store(cp.Ingested)
+	if cp.Trained {
+		s, err := core.Load(bytes.NewReader(cp.Bundle))
+		if err != nil {
+			return false, fmt.Errorf("ixpsim: restoring model: %w", err)
+		}
+		if p.cfg.Metrics != nil {
+			s.SetMetrics(core.RegisterMetrics(p.cfg.Metrics))
+		}
+		p.scrubber = s
+		p.trained.Store(true)
+	}
+	p.cfg.Log.Info("pipeline state restored",
+		"window_records", len(cp.Window), "trained", cp.Trained)
+	return true, nil
+}

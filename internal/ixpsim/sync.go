@@ -19,28 +19,42 @@ var markerPrefix = netip.MustParsePrefix("198.18.255.254/32")
 
 const pollInterval = 500 * time.Microsecond
 
+// SyncBGP round-trips the marker through the route server over a raw
+// member session.
+func SyncBGP(ctx context.Context, member *bgp.Conn, reg *bgp.Registry, nextHop netip.Addr, at int64) error {
+	return SyncBGPWith(ctx, reg, at,
+		func() error { return member.AnnounceBlackhole(markerPrefix, nextHop) },
+		func() error { return member.WithdrawBlackhole(markerPrefix) })
+}
 
-// syncBGP round-trips the marker through the route server.
-func syncBGP(ctx context.Context, member *bgp.Conn, reg *bgp.Registry, nextHop netip.Addr, at int64) error {
-	if err := member.AnnounceBlackhole(markerPrefix, nextHop); err != nil {
+// SyncBGPWith is the transport-agnostic marker round-trip: announce sends
+// the marker, withdraw retracts it, and both halves are confirmed against
+// the registry. The chaos harness syncs through a bgp.Persistent session
+// with this.
+func SyncBGPWith(ctx context.Context, reg *bgp.Registry, at int64, announce, withdraw func() error) error {
+	if err := announce(); err != nil {
 		return fmt.Errorf("ixpsim: marker announce: %w", err)
 	}
 	marker := markerPrefix.Addr()
-	if err := pollUntil(ctx, func() bool { return reg.Covered(marker, at) }); err != nil {
+	if err := PollUntil(ctx, func() bool { return reg.Covered(marker, at) }); err != nil {
 		return fmt.Errorf("ixpsim: waiting for marker announce: %w", err)
 	}
-	if err := member.WithdrawBlackhole(markerPrefix); err != nil {
+	if err := withdraw(); err != nil {
 		return fmt.Errorf("ixpsim: marker withdraw: %w", err)
 	}
-	if err := pollUntil(ctx, func() bool { return !reg.Covered(marker, at) }); err != nil {
+	if err := PollUntil(ctx, func() bool { return !reg.Covered(marker, at) }); err != nil {
 		return fmt.Errorf("ixpsim: waiting for marker withdraw: %w", err)
 	}
 	return nil
 }
 
-// waitSamples waits until the collector has seen total samples, tolerating
+// MarkerPrefix is the sync beacon SyncBGP round-trips; exported so harness
+// code can tell marker updates apart from traffic-driven ones.
+func MarkerPrefix() netip.Prefix { return markerPrefix }
+
+// WaitSamples waits until the collector has seen total samples, tolerating
 // loopback UDP loss by giving up once progress stalls.
-func waitSamples(ctx context.Context, c *sflow.Collector, total uint64) error {
+func WaitSamples(ctx context.Context, c *sflow.Collector, total uint64) error {
 	last := c.Stats.Samples.Load()
 	stall := 0
 	for {
@@ -64,7 +78,9 @@ func waitSamples(ctx context.Context, c *sflow.Collector, total uint64) error {
 	}
 }
 
-func pollUntil(ctx context.Context, cond func() bool) error {
+// PollUntil spins (with a short sleep) until cond holds, the context ends,
+// or a 10 s deadline expires.
+func PollUntil(ctx context.Context, cond func() bool) error {
 	deadline := time.Now().Add(10 * time.Second)
 	for !cond() {
 		if err := ctx.Err(); err != nil {

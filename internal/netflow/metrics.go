@@ -1,6 +1,10 @@
 package netflow
 
-import "github.com/ixp-scrubber/ixpscrubber/internal/obs"
+import (
+	"sync/atomic"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
+)
 
 // RegisterMetrics exposes the reader's counters under the shared
 // ixps_collector_* families, labeled proto="netflow" (the binary flow file
@@ -19,4 +23,36 @@ func (r *Reader) RegisterMetrics(reg *obs.Registry) {
 	reg.CounterVec("ixps_collector_malformed_total",
 		"Datagrams or samples rejected as malformed (beyond truncation).", "proto").
 		WithFunc(u64(&r.Stats.Malformed), proto)
+}
+
+// RegisterMetrics exposes the bounded inter-stage queue under
+// ixps_queue_*, labeled by stage name (e.g. stage="ingest"). Depth and
+// drop counters are the observable half of the backpressure contract:
+// depth pinned at capacity plus a rising drop counter is the signature of
+// a stuck consumer.
+func (q *Queue) RegisterMetrics(reg *obs.Registry, stage string) {
+	u64 := func(a *atomic.Uint64) func() float64 {
+		return func() float64 { return float64(a.Load()) }
+	}
+	reg.GaugeVec("ixps_queue_depth",
+		"Batches currently queued between pipeline stages.", "stage").
+		WithFunc(func() float64 { return float64(q.Len()) }, stage)
+	reg.GaugeVec("ixps_queue_capacity",
+		"Batch capacity of the inter-stage queue.", "stage").
+		WithFunc(func() float64 { return float64(q.Cap()) }, stage)
+	reg.CounterVec("ixps_queue_batches_total",
+		"Batches accepted into the queue.", "stage").
+		WithFunc(u64(&q.Stats.BatchesIn), stage)
+	reg.CounterVec("ixps_queue_records_total",
+		"Records accepted into the queue.", "stage").
+		WithFunc(u64(&q.Stats.RecordsIn), stage)
+	reg.CounterVec("ixps_queue_dropped_batches_total",
+		"Batches lost to the overflow policy (queue full).", "stage").
+		WithFunc(u64(&q.Stats.DroppedBatches), stage)
+	reg.CounterVec("ixps_queue_dropped_records_total",
+		"Records lost to the overflow policy (queue full).", "stage").
+		WithFunc(u64(&q.Stats.DroppedRecords), stage)
+	reg.CounterVec("ixps_queue_blocked_puts_total",
+		"Producer waits caused by a full queue under the block policy.", "stage").
+		WithFunc(u64(&q.Stats.BlockedPuts), stage)
 }

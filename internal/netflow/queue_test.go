@@ -1,0 +1,164 @@
+package netflow
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+)
+
+func qrec(minute int64, i int) Record {
+	return Record{
+		Timestamp: minute*60 + int64(i%60),
+		SrcIP:     netip.MustParseAddr("10.0.0.1"),
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		Packets:   1, Bytes: 64,
+	}
+}
+
+func TestQueueFIFOAndCopy(t *testing.T) {
+	q := NewQueue(4, Block)
+	batch := []Record{qrec(0, 0), qrec(0, 1)}
+	if !q.Put(batch) {
+		t.Fatal("put failed")
+	}
+	batch[0].SrcPort = 999 // caller reuses its slice; queue must have copied
+	if !q.Put([]Record{qrec(1, 0)}) {
+		t.Fatal("put failed")
+	}
+	ctx := context.Background()
+	got, ok := q.Get(ctx)
+	if !ok || len(got) != 2 {
+		t.Fatalf("get = %v, %v", got, ok)
+	}
+	if got[0].SrcPort == 999 {
+		t.Fatal("queue aliased the producer's batch slice")
+	}
+	got, ok = q.Get(ctx)
+	if !ok || len(got) != 1 || got[0].Minute() != 1 {
+		t.Fatalf("fifo order broken: %v", got)
+	}
+	if q.Stats.BatchesIn.Load() != 2 || q.Stats.RecordsIn.Load() != 3 ||
+		q.Stats.BatchesOut.Load() != 2 || q.Stats.RecordsOut.Load() != 3 {
+		t.Fatalf("stats mismatch: %+v", &q.Stats)
+	}
+}
+
+func TestQueueDropNewest(t *testing.T) {
+	q := NewQueue(2, DropNewest)
+	for i := 0; i < 2; i++ {
+		if !q.Put([]Record{qrec(int64(i), 0)}) {
+			t.Fatal("put on non-full queue failed")
+		}
+	}
+	if q.Put([]Record{qrec(9, 0), qrec(9, 1)}) {
+		t.Fatal("put on full drop-newest queue succeeded")
+	}
+	if d := q.Stats.DroppedBatches.Load(); d != 1 {
+		t.Fatalf("dropped batches = %d", d)
+	}
+	if d := q.Stats.DroppedRecords.Load(); d != 2 {
+		t.Fatalf("dropped records = %d", d)
+	}
+	// The queued batches survive untouched.
+	b, _ := q.Get(context.Background())
+	if b[0].Minute() != 0 {
+		t.Fatalf("oldest batch = minute %d", b[0].Minute())
+	}
+}
+
+func TestQueueDropOldest(t *testing.T) {
+	q := NewQueue(2, DropOldest)
+	for i := 0; i < 3; i++ {
+		if !q.Put([]Record{qrec(int64(i), 0)}) {
+			t.Fatal("drop-oldest put failed")
+		}
+	}
+	if d := q.Stats.DroppedBatches.Load(); d != 1 {
+		t.Fatalf("dropped batches = %d", d)
+	}
+	b, _ := q.Get(context.Background())
+	if b[0].Minute() != 1 {
+		t.Fatalf("oldest surviving batch = minute %d, want 1 (minute 0 evicted)", b[0].Minute())
+	}
+}
+
+func TestQueueBlockBackpressure(t *testing.T) {
+	q := NewQueue(1, Block)
+	q.Put([]Record{qrec(0, 0)})
+	done := make(chan struct{})
+	go func() {
+		q.Put([]Record{qrec(1, 0)}) // must wait for the consumer
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Put on a full Block queue returned before a Get")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, ok := q.Get(context.Background()); !ok {
+		t.Fatal("get failed")
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Put never resumed after Get freed space")
+	}
+	if q.Stats.BlockedPuts.Load() == 0 {
+		t.Fatal("BlockedPuts not counted")
+	}
+}
+
+func TestQueueCloseDrainsAndUnblocks(t *testing.T) {
+	q := NewQueue(4, Block)
+	q.Put([]Record{qrec(0, 0)})
+	q.Close()
+	if q.Put([]Record{qrec(1, 0)}) {
+		t.Fatal("Put after Close succeeded")
+	}
+	ctx := context.Background()
+	if b, ok := q.Get(ctx); !ok || len(b) != 1 {
+		t.Fatal("Close discarded queued batches")
+	}
+	if _, ok := q.Get(ctx); ok {
+		t.Fatal("Get on drained closed queue returned a batch")
+	}
+}
+
+func TestQueueGetHonorsContext(t *testing.T) {
+	q := NewQueue(1, Block)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, ok := q.Get(ctx); ok {
+		t.Fatal("Get returned a batch from an empty queue")
+	}
+}
+
+func TestQueueConcurrentProducers(t *testing.T) {
+	q := NewQueue(8, Block)
+	const producers, per = 4, 50
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				q.Put([]Record{qrec(int64(p), i)})
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); q.Close() }()
+	var total int
+	ctx := context.Background()
+	for {
+		b, ok := q.Get(ctx)
+		if !ok {
+			break
+		}
+		total += len(b)
+	}
+	if total != producers*per {
+		t.Fatalf("consumed %d records, want %d", total, producers*per)
+	}
+}

@@ -1,0 +1,108 @@
+package par
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Backoff produces capped exponential retry delays with seeded jitter:
+// attempt n sleeps Base*Factor^n, capped at Max, then multiplied by a
+// uniform factor in [1-Jitter, 1+Jitter]. The jitter stream is seeded, so a
+// retry schedule is reproducible for a given seed — which is what lets the
+// chaos harness assert exact backoff sequences while production gets the
+// thundering-herd protection jitter exists for.
+//
+// The zero value is not usable; construct with NewBackoff. A Backoff is not
+// safe for concurrent use: it belongs to one retry loop.
+type Backoff struct {
+	// Base is the first delay. Defaults to 50ms when zero.
+	Base time.Duration
+	// Max caps the exponential growth. Defaults to 30s when zero.
+	Max time.Duration
+	// Factor is the growth multiplier between attempts. Defaults to 2.
+	Factor float64
+	// Jitter is the relative jitter half-width (0.2 = ±20%). Zero disables
+	// jitter entirely (fully deterministic schedules).
+	Jitter float64
+	// Sleep performs the waiting; defaults to time.Sleep. The chaos harness
+	// injects a virtual sleeper here so retries cost no wall time.
+	Sleep func(time.Duration)
+
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff returns a Backoff with the given seed driving its jitter and
+// the documented defaults for unset fields.
+func NewBackoff(seed uint64) *Backoff {
+	return &Backoff{rng: rand.New(rand.NewPCG(seed, seed^0x6C62272E07BB0142))}
+}
+
+func (b *Backoff) defaults() (base, max time.Duration, factor float64) {
+	base, max, factor = b.Base, b.Max, b.Factor
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	if factor < 1 {
+		factor = 2
+	}
+	return base, max, factor
+}
+
+// Next returns the delay for the current attempt and advances the attempt
+// counter. It does not sleep.
+func (b *Backoff) Next() time.Duration {
+	base, max, factor := b.defaults()
+	d := float64(base)
+	for i := 0; i < b.attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	b.attempt++
+	if b.Jitter > 0 && b.rng != nil {
+		j := 1 + b.Jitter*(2*b.rng.Float64()-1)
+		d *= j
+	}
+	return time.Duration(d)
+}
+
+// Attempt returns how many delays Next has handed out since the last Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset rewinds the schedule to the first attempt; call it after a success
+// so the next failure starts from Base again.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Wait sleeps for the next delay in the schedule, honoring ctx: it returns
+// ctx.Err() without sleeping when the context is already done. With an
+// injected Sleep the sleep itself is not interruptible — virtual sleepers
+// return immediately anyway.
+func (b *Backoff) Wait(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	d := b.Next()
+	sleep := b.Sleep
+	if sleep == nil {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+		}
+		return nil
+	}
+	sleep(d)
+	return ctx.Err()
+}

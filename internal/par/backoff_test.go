@@ -1,0 +1,82 @@
+package par
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	b := NewBackoff(1)
+	b.Base = 10 * time.Millisecond
+	b.Max = 80 * time.Millisecond
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := b.Next(); got != w {
+			t.Errorf("attempt %d: got %v, want %v", i, got, w)
+		}
+	}
+	b.Reset()
+	if got := b.Next(); got != 10*time.Millisecond {
+		t.Errorf("after reset: got %v, want 10ms", got)
+	}
+}
+
+func TestBackoffJitterDeterministicPerSeed(t *testing.T) {
+	mk := func(seed uint64) []time.Duration {
+		b := NewBackoff(seed)
+		b.Base = 10 * time.Millisecond
+		b.Jitter = 0.3
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = b.Next()
+		}
+		return out
+	}
+	a1, a2, c := mk(7), mk(7), mk(8)
+	same := true
+	nominal := float64(10 * time.Millisecond)
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a1[i], a2[i])
+		}
+		if a1[i] != c[i] {
+			same = false
+		}
+		lo, hi := time.Duration(nominal*0.69), time.Duration(nominal*1.31)
+		if a1[i] < lo || a1[i] > hi {
+			t.Errorf("attempt %d = %v outside jitter envelope [%v, %v]", i, a1[i], lo, hi)
+		}
+		nominal *= 2
+	}
+	if same {
+		t.Error("different seeds produced identical jitter streams")
+	}
+}
+
+func TestBackoffWaitVirtualSleeper(t *testing.T) {
+	var slept []time.Duration
+	b := NewBackoff(3)
+	b.Base = time.Second // would stall the test with a real sleeper
+	b.Sleep = func(d time.Duration) { slept = append(slept, d) }
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := b.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(slept) != 3 || slept[0] != time.Second || slept[1] != 2*time.Second {
+		t.Fatalf("virtual sleeps = %v", slept)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := b.Wait(canceled); err == nil {
+		t.Fatal("Wait on canceled context succeeded")
+	}
+}

@@ -30,6 +30,7 @@ type CollectorStats struct {
 	DecodeErrs atomic.Uint64 // datagrams/samples malformed beyond truncation
 	NonIP      atomic.Uint64
 	Blackholed atomic.Uint64
+	Panics     atomic.Uint64 // datagram handlers that panicked (recovered)
 }
 
 // DefaultBatchSize is the record batch delivered downstream per EmitBatch
@@ -193,6 +194,24 @@ func (c *Collector) HandleDatagram(data []byte) {
 	c.Stats.Records.Add(records)
 }
 
+// safeHandle isolates a panic in the datagram path (a decode bug tripped by
+// hostile input, a panicking Label or EmitBatch hook) to the one datagram:
+// the collector counts it, discards the possibly half-converted pending
+// batch, and keeps receiving. One poisoned exporter must not take the whole
+// collector goroutine down with it.
+func (c *Collector) safeHandle(data []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.Stats.Panics.Add(1)
+			c.batch = c.batch[:0]
+			if c.Log != nil {
+				c.Log.Error("sflow datagram handler panicked", "panic", r)
+			}
+		}
+	}()
+	c.HandleDatagram(data)
+}
+
 // Flush delivers a pending partial batch downstream.
 func (c *Collector) Flush() { c.flushBatch() }
 
@@ -255,7 +274,7 @@ func (c *Collector) Listen(ctx context.Context, conn net.PacketConn) error {
 			}
 			return fmt.Errorf("sflow: read: %w", err)
 		}
-		c.HandleDatagram(buf[:n])
+		c.safeHandle(buf[:n])
 	}
 }
 

@@ -33,4 +33,7 @@ func (c *Collector) RegisterMetrics(r *obs.Registry) {
 	r.CounterVec("ixps_collector_blackholed_total",
 		"Records labeled blackholed against the BGP registry.", "proto").
 		WithFunc(u64(&c.Stats.Blackholed), proto)
+	r.CounterVec("ixps_collector_panics_total",
+		"Recovered panics in the datagram handler (the pending batch is dropped).", "proto").
+		WithFunc(u64(&c.Stats.Panics), proto)
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Regenerate experiments_output.txt: every experiment in paper order, one
+# invocation each so a slow artifact (the fig11/fig13 timelines dominate
+# wall time by two orders of magnitude) never hides the progress of the
+# rest. fig11a and fig11b run as one comma-list invocation: they share the
+# 10-day temporal corpora, which only a single process can reuse.
+# EXPERIMENTS.md quotes this output; keep scale/seed in sync with it.
+set -eu
+
+SCALE="${SCALE:-0.15}"
+SEED="${SEED:-1}"
+OUT="${OUT:-experiments_output.txt}"
+
+go build -o /tmp/ixps-experiments ./cmd/experiments
+
+: > "$OUT"
+for id in table2 fig3a fig3c fig4a fig4b rulecount fig15 operator \
+          table3 table5 table4 fig10 fig11a,fig11b fig12 fig13 \
+          fig14a fig14b fig16a fig16b multiclass; do
+    echo ">> $id (scale $SCALE, seed $SEED)"
+    /tmp/ixps-experiments -run "$id" -scale "$SCALE" -seed "$SEED" >> "$OUT" 2>&1
+done
+echo "wrote $OUT"
