@@ -22,6 +22,17 @@
 // model serving, and -checkpoint persists the pipeline state (balancer,
 // window, model) across restarts.
 //
+// Model lifecycle: -registry-dir versions every trained model in an
+// immutable on-disk registry (content-addressed bundles, atomic champion
+// pointer, GC of old versions) and serves the registry champion on restart.
+// -shadow holds each newly trained model as a challenger that is scored in
+// shadow against the incumbent champion — only the champion's verdicts
+// reach the ACL file — until it auto-promotes under the disagreement
+// policy. -import-classifier installs a classifier-only bundle from another
+// vantage point as the standing challenger; it is re-bound to the local WoE
+// encoder at promotion time (geographic transfer, paper §6.4). Usually
+// paired with -shadow so the import is evaluated before it serves.
+//
 // Without real traffic sources, pair it with the live-ixp example, which
 // replays synthetic member traffic against both sockets.
 package main
@@ -43,6 +54,7 @@ import (
 	"github.com/ixp-scrubber/ixpscrubber/internal/ixpsim"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
 	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
+	modelreg "github.com/ixp-scrubber/ixpscrubber/internal/registry"
 	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
 )
 
@@ -60,6 +72,10 @@ func main() {
 		queueCap   = flag.Int("queue-cap", 64, "ingest queue capacity in batches")
 		dropPolicy = flag.String("drop-policy", "drop-newest", "full-queue policy: block, drop-newest or drop-oldest")
 		seed       = flag.Uint64("seed", 0, "balancer sampling seed (0 derives one from the clock)")
+
+		registryDir = flag.String("registry-dir", "", "directory for the versioned model registry (publish, promote, GC); empty disables")
+		shadow      = flag.Bool("shadow", false, "hold newly trained models as shadow challengers instead of promoting immediately")
+		importPath  = flag.String("import-classifier", "", "classifier-only bundle to import as the standing challenger at startup")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -89,6 +105,9 @@ func main() {
 		QueueCap:       *queueCap,
 		DropPolicy:     policy,
 		Seed:           balSeed,
+		RegistryDir:    *registryDir,
+		Shadow:         *shadow,
+		ImportPath:     *importPath,
 	}
 	if err := run(ctx, log, opts); err != nil {
 		log.Error("scrubberd failed", "err", err)
@@ -110,6 +129,9 @@ type options struct {
 	QueueCap       int
 	DropPolicy     netflow.DropPolicy
 	Seed           uint64
+	RegistryDir    string // empty disables the model registry
+	Shadow         bool   // challenger shadow scoring before promotion
+	ImportPath     string // classifier-only bundle to import at startup
 }
 
 func run(ctx context.Context, log *slog.Logger, o options) error {
@@ -137,6 +159,17 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 	go func() { rsDone <- rs.Serve(ctx, ln) }()
 	log.Info("route server listening", "addr", ln.Addr())
 
+	// Versioned model registry: every trained model publishes before it
+	// serves, and the on-disk champion survives restarts.
+	var models *modelreg.Registry
+	if o.RegistryDir != "" {
+		models, err = modelreg.Open(o.RegistryDir, modelreg.Options{Log: log})
+		if err != nil {
+			return fmt.Errorf("model registry: %w", err)
+		}
+		log.Info("model registry open", "dir", o.RegistryDir)
+	}
+
 	// The processing chain behind the sockets: bounded queue, balancer,
 	// sliding window, model, atomic ACL/checkpoint writes.
 	pipe := ixpsim.NewPipeline(ixpsim.PipelineConfig{
@@ -149,11 +182,27 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 		CheckpointPath: o.CheckpointPath,
 		Metrics:        reg,
 		Log:            log,
+		Registry:       models,
+		Shadow:         o.Shadow,
 	})
 	if restored, err := pipe.RestoreCheckpoint(); err != nil {
 		log.Warn("checkpoint restore failed, starting cold", "err", err)
 	} else if restored {
 		health.SetReady(pipe.Trained())
+	}
+	if pipe.Trained() {
+		// A warm registry champion serves before the first local round.
+		health.SetReady(true)
+	}
+	if o.ImportPath != "" {
+		bundle, err := os.ReadFile(o.ImportPath)
+		if err != nil {
+			return fmt.Errorf("import-classifier: %w", err)
+		}
+		if err := pipe.ImportClassifier(ctx, bundle); err != nil {
+			return fmt.Errorf("import-classifier: %w", err)
+		}
+		log.Info("classifier-only bundle imported as challenger", "path", o.ImportPath)
 	}
 	pipe.Start(ctx)
 	defer pipe.Stop()

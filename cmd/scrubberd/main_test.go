@@ -246,6 +246,8 @@ func TestDaemonMetricsEndToEnd(t *testing.T) {
 			Window:      time.Hour,
 			ACLOut:      filepath.Join(dir, "acls.txt"),
 			MetricsAddr: metricsAddr,
+			RegistryDir: filepath.Join(dir, "registry"),
+			Shadow:      true,
 		})
 	}()
 
@@ -305,6 +307,9 @@ func TestDaemonMetricsEndToEnd(t *testing.T) {
 		"ixps_predictions_total",
 		"ixps_rules_accepted",
 		"ixps_acl_writes_total",
+		"ixps_model_active_seq",
+		"ixps_model_promotions_total",
+		"ixps_registry_publishes_total",
 		"go_goroutines",
 	}
 	for _, name := range positive {
@@ -313,6 +318,27 @@ func TestDaemonMetricsEndToEnd(t *testing.T) {
 		} else if v <= 0 {
 			t.Errorf("metric %s = %g, want > 0", name, v)
 		}
+	}
+	// Lifecycle and drift gauges must be exposed; their values are
+	// traffic-dependent (PSI gates on sample counts, disagreement needs a
+	// standing challenger), so presence is the contract here.
+	for _, name := range []string{
+		"ixps_drift_feature_psi_mean",
+		"ixps_drift_feature_psi_max",
+		"ixps_drift_score_psi",
+		"ixps_drift_retrain_recommended",
+		"ixps_shadow_disagreement_ratio",
+		"ixps_shadow_scored_total",
+		"ixps_registry_publish_failures_total",
+		"ixps_registry_gc_removed_total",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("lifecycle metric %s missing from /metrics", name)
+		}
+	}
+	// The registry really versioned the served models on disk.
+	if ents, err := os.ReadDir(filepath.Join(dir, "registry")); err != nil || len(ents) == 0 {
+		t.Errorf("registry dir empty after training rounds (err=%v)", err)
 	}
 	// The balancer must keep a roughly class-balanced subset: its kept
 	// stream is smaller than what it saw.

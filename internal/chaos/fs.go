@@ -52,3 +52,43 @@ func (f *FlakyFS) Rename(oldpath, newpath string) error { return f.inner().Renam
 
 // Remove passes through.
 func (f *FlakyFS) Remove(name string) error { return f.inner().Remove(name) }
+
+// OutageFS models a persistent storage outage: once tripped, every
+// WriteFile leaves half the data behind and fails — past any retry budget,
+// so publishes through it fail for good. The registry outage scenario uses
+// it to prove a dead model store degrades serving gracefully (the last-good
+// champion keeps writing ACLs) instead of failing rounds.
+type OutageFS struct {
+	// Inner is the real filesystem; nil means acl.OSFS.
+	Inner acl.FS
+
+	down atomic.Bool
+	// Torn counts writes torn by the outage.
+	Torn atomic.Uint64
+}
+
+func (f *OutageFS) inner() acl.FS {
+	if f.Inner != nil {
+		return f.Inner
+	}
+	return acl.OSFS{}
+}
+
+// Trip starts the outage; there is no recovery.
+func (f *OutageFS) Trip() { f.down.Store(true) }
+
+// WriteFile tears every call once the outage has been tripped.
+func (f *OutageFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if f.down.Load() {
+		f.Torn.Add(1)
+		_ = f.inner().WriteFile(name, data[:len(data)/2], perm)
+		return ErrTornWrite
+	}
+	return f.inner().WriteFile(name, data, perm)
+}
+
+// Rename passes through.
+func (f *OutageFS) Rename(oldpath, newpath string) error { return f.inner().Rename(oldpath, newpath) }
+
+// Remove passes through.
+func (f *OutageFS) Remove(name string) error { return f.inner().Remove(name) }

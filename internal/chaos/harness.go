@@ -14,12 +14,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/ixp-scrubber/ixpscrubber/internal/acl"
 	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
 	"github.com/ixp-scrubber/ixpscrubber/internal/ixpsim"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
 	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
 	"github.com/ixp-scrubber/ixpscrubber/internal/packet"
 	"github.com/ixp-scrubber/ixpscrubber/internal/par"
+	modelreg "github.com/ixp-scrubber/ixpscrubber/internal/registry"
 	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
 	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
 )
@@ -90,6 +92,23 @@ type Scenario struct {
 	// the pipeline from the checkpoint left in the work dir.
 	Checkpoint bool
 	Restore    bool
+
+	// Registry versions every trained model in <dir>/registry; promotions
+	// flip the on-disk champion pointer and what serves is the re-loaded
+	// bundle. A registry-backed run must be bit-identical to the in-process
+	// reference.
+	Registry bool
+	// Shadow holds newly trained models as challengers (auto-promotion
+	// disabled, so PromoteAt is the only promotion path and the script stays
+	// exact).
+	Shadow bool
+	// PromoteAt promotes the standing challenger before those minutes; a
+	// scripted minute with no challenger standing fails the run.
+	PromoteAt []int64
+	// RegistryOutageAt, when > 0, tears every registry write from that
+	// minute on — a persistent model-store outage. Publishes fail for good;
+	// the last-good champion must keep serving and ACL output must continue.
+	RegistryOutageAt int64
 }
 
 // RoundDigest summarizes one training round for comparison.
@@ -101,6 +120,11 @@ type RoundDigest struct {
 	RulesMined int
 	Flagged    []string
 	ACLDigest  uint64
+	// Lifecycle: which model version served the round, and whether it was
+	// freshly promoted or a challenger was shadow-scored alongside it.
+	Seq      uint64
+	Promoted bool
+	Shadowed bool
 }
 
 // Outcome is everything a scenario run produced, reduced to comparable
@@ -140,6 +164,11 @@ type Outcome struct {
 	WriterWrites      uint64
 	TornWrites        uint64
 
+	// Model-registry accounting (zero when the scenario has no registry).
+	RegistryVersions    int    // committed versions visible at run end
+	RegistryChampionSeq uint64 // seq the on-disk champion resolves to
+	RegistryTorn        uint64 // writes torn by the scripted outage
+
 	// Blackholes is the registry's distinct-prefix count (marker included).
 	Blackholes int
 	// ACLFile is the content of the published ACL file at run end.
@@ -163,6 +192,8 @@ func (o *Outcome) Key() string {
 		o.Reconnects, o.DialFailures, o.SendFailures, o.Blackholes)
 	fmt.Fprintf(&b, "writer: writes=%d retries=%d torn=%d ckpt=%v\n",
 		o.WriterWrites, o.WriterRetries, o.TornWrites, o.CheckpointOK)
+	fmt.Fprintf(&b, "modelreg: versions=%d champion=%d torn=%d\n",
+		o.RegistryVersions, o.RegistryChampionSeq, o.RegistryTorn)
 	b.WriteString(o.ExactKey())
 	return b.String()
 }
@@ -175,8 +206,9 @@ func (o *Outcome) ExactKey() string {
 	var b strings.Builder
 	b.WriteString(o.digestKey())
 	for _, r := range o.Rounds {
-		fmt.Fprintf(&b, "round@%d skip=%v rec=%d agg=%d rules=%d flagged=%v acl=%016x\n",
-			r.Minute, r.Skipped, r.Records, r.Aggregates, r.RulesMined, r.Flagged, r.ACLDigest)
+		fmt.Fprintf(&b, "round@%d skip=%v rec=%d agg=%d rules=%d flagged=%v acl=%016x seq=%d prom=%v shad=%v\n",
+			r.Minute, r.Skipped, r.Records, r.Aggregates, r.RulesMined, r.Flagged, r.ACLDigest,
+			r.Seq, r.Promoted, r.Shadowed)
 	}
 	fmt.Fprintf(&b, "acl-file=%016x\n", TextDigest(o.ACLFile))
 	return b.String()
@@ -241,6 +273,8 @@ type Harness struct {
 	member   *bgp.Persistent
 	pipe     *ixpsim.Pipeline
 	fs       *FlakyFS
+	models   *modelreg.Registry
+	outage   *OutageFS
 
 	collector   *sflow.Collector
 	conns       chan *PacketConn
@@ -342,6 +376,26 @@ func (h *Harness) start() error {
 	if sc.FlakyWrites {
 		h.fs = &FlakyFS{Fail: 2, Period: 3}
 	}
+	if sc.Registry {
+		// The model registry shares the run's virtual clock (manifests stamp
+		// deterministic times) and, when an outage is scripted, writes through
+		// the trippable filesystem.
+		var rfs acl.FS
+		if sc.RegistryOutageAt > 0 {
+			h.outage = &OutageFS{}
+			rfs = h.outage
+		}
+		models, err := modelreg.Open(filepath.Join(h.dir, "registry"), modelreg.Options{
+			FS:    rfs,
+			Clock: func() time.Time { return time.Unix(h.clock.Now(), 0) },
+			Log:   log,
+		})
+		if err != nil {
+			return fmt.Errorf("chaos: model registry: %w", err)
+		}
+		models.Writer().Backoff = instantBackoff()
+		h.models = models
+	}
 	cfg := ixpsim.PipelineConfig{
 		Seed:            sc.Profile.Seed,
 		Window:          24 * time.Hour,
@@ -355,6 +409,14 @@ func (h *Harness) start() error {
 		Log:             log,
 		KeepHook:        h.keepHook,
 		ConsumeGate:     h.gate.Wait,
+		Registry:        h.models,
+		Shadow:          sc.Shadow,
+	}
+	if sc.Shadow {
+		// Scripted promotions only: with auto-promotion disabled, PromoteAt
+		// is the single path a challenger takes to champion, so which model
+		// serves each round is exact.
+		cfg.Promotion = ixpsim.PromotionPolicy{MaxDisagreement: -1}
 	}
 	if h.fs != nil {
 		cfg.FS = h.fs
@@ -460,6 +522,7 @@ func (h *Harness) replay() (*Outcome, error) {
 		exportSeq   uint32
 	)
 	trainAt := minuteSet(sc.TrainAt)
+	promoteAt := minuteSet(sc.PromoteAt)
 	socketErrAt := minuteSet(sc.SocketErrAt)
 	killAt := minuteSet(sc.KillBGPAt)
 	skewAt := minuteSet(sc.SkewAt)
@@ -474,6 +537,18 @@ func (h *Harness) replay() (*Outcome, error) {
 		abs := sc.StartMin + m
 		h.clock.Set(abs * 60)
 		buf = gen.GenerateMinute(abs, buf[:0])
+
+		// Scripted lifecycle events for this minute: the model-store outage
+		// trips first (persistent — no recovery), then any scripted promotion
+		// of the standing challenger.
+		if h.outage != nil && m == sc.RegistryOutageAt {
+			h.outage.Trip()
+		}
+		if promoteAt[m] {
+			if err := h.pipe.PromoteChallenger(h.ctx); err != nil {
+				return nil, fmt.Errorf("chaos: promoting challenger at minute %d: %w", m, err)
+			}
+		}
 
 		// Consumer gate transitions happen on minute boundaries so the
 		// backlog at the stall is an exact, replayable batch sequence.
@@ -597,6 +672,9 @@ func (h *Harness) replay() (*Outcome, error) {
 				Aggregates: round.Aggregates,
 				RulesMined: round.RulesMined,
 				ACLDigest:  TextDigest(round.ACLText),
+				Seq:        round.Seq,
+				Promoted:   round.Promoted,
+				Shadowed:   round.Shadowed,
 			}
 			for _, t := range round.Flagged {
 				rd.Flagged = append(rd.Flagged, t.String())
@@ -763,6 +841,15 @@ func (h *Harness) collect(out *Outcome) {
 	out.WriterWrites = w.Writes.Load()
 	if h.fs != nil {
 		out.TornWrites = h.fs.Torn.Load()
+	}
+	if h.outage != nil {
+		out.RegistryTorn = h.outage.Torn.Load()
+	}
+	if h.models != nil {
+		out.RegistryVersions = len(h.models.List())
+		if m, _, err := h.models.Champion(); err == nil {
+			out.RegistryChampionSeq = m.Seq
+		}
 	}
 	out.Blackholes = h.registry.PrefixCount()
 	if data, err := os.ReadFile(h.aclPath()); err == nil {

@@ -304,6 +304,119 @@ func TestChaosScenarios(t *testing.T) {
 			},
 		},
 		{
+			// Registry-backed serving must be invisible downstream: every
+			// round publishes its model to the on-disk registry and serves
+			// the re-loaded bundle, and the output still matches the
+			// in-process reference bit for bit — the full-stack hot-swap
+			// equivalence guarantee.
+			sc: func() chaos.Scenario {
+				sc := baseScenario("registry-backed")
+				sc.Registry = true
+				return sc
+			}(),
+			bitExact: true,
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if out.RegistryVersions != 2 || out.RegistryChampionSeq != 2 {
+					t.Errorf("registry state: versions=%d champion=%d, want 2/2",
+						out.RegistryVersions, out.RegistryChampionSeq)
+				}
+				if got := metricValue(t, out.Metrics, "ixps_registry_publishes_total"); got != 2 {
+					t.Errorf("ixps_registry_publishes_total = %v, want 2", got)
+				}
+				if got := metricValue(t, out.Metrics, "ixps_model_promotions_total"); got != 2 {
+					t.Errorf("ixps_model_promotions_total = %v, want 2", got)
+				}
+			},
+		},
+		{
+			// A persistent model-store outage from minute 5 on: round@4
+			// published and promoted seq 1; round@7's publish fails past the
+			// retry budget. The round must still succeed — the last-good
+			// champion keeps serving and writes the ACL — and the on-disk
+			// registry (re-read from scratch at collect time) still resolves
+			// the pre-outage champion despite the torn temp files the outage
+			// left behind.
+			sc: func() chaos.Scenario {
+				sc := baseScenario("registry-outage")
+				sc.Registry = true
+				sc.RegistryOutageAt = 5
+				return sc
+			}(),
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if len(out.Rounds) != 2 {
+					t.Fatalf("rounds = %d, want 2", len(out.Rounds))
+				}
+				if out.Rounds[0].Seq != 1 || !out.Rounds[0].Promoted {
+					t.Errorf("pre-outage round did not promote seq 1: %+v", out.Rounds[0])
+				}
+				r := out.Rounds[1]
+				if r.Skipped || r.Seq != 1 || r.Promoted {
+					t.Errorf("outage round must serve last-good seq 1 unpromoted: %+v", r)
+				}
+				if len(r.Flagged) == 0 || out.ACLFile == "" {
+					t.Error("champion stopped producing ACLs during the outage")
+				}
+				// Pre-outage output matches the reference exactly.
+				if out.Rounds[0].ACLDigest != ref.Rounds[0].ACLDigest {
+					t.Error("pre-outage round diverged from reference")
+				}
+				if out.RegistryTorn == 0 {
+					t.Error("outage tore no writes; fault not exercised")
+				}
+				if out.RegistryVersions != 1 || out.RegistryChampionSeq != 1 {
+					t.Errorf("registry after outage: versions=%d champion=%d, want 1/1 (last-good)",
+						out.RegistryVersions, out.RegistryChampionSeq)
+				}
+				if got := metricValue(t, out.Metrics, "ixps_registry_publish_failures_total"); got != 1 {
+					t.Errorf("ixps_registry_publish_failures_total = %v, want 1", got)
+				}
+			},
+		},
+		{
+			// Champion/challenger lifecycle under script: round@4 seeds the
+			// champion (seq 1), round@7 trains seq 2 into the shadow slot
+			// (champion still serves), minute 9 promotes it, round@11 serves
+			// seq 2 while shadowing the next challenger. Auto-promotion is
+			// disabled, so the serving schedule is exact.
+			sc: func() chaos.Scenario {
+				sc := baseScenario("shadow-registry-promote")
+				sc.Minutes = 12
+				sc.TrainAt = []int64{4, 7, 11}
+				sc.PromoteAt = []int64{9}
+				sc.Registry = true
+				sc.Shadow = true
+				return sc
+			}(),
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if len(out.Rounds) != 3 {
+					t.Fatalf("rounds = %d, want 3", len(out.Rounds))
+				}
+				type lc struct {
+					seq      uint64
+					promoted bool
+					shadowed bool
+				}
+				want := []lc{{1, true, false}, {1, false, true}, {2, false, true}}
+				for i, w := range want {
+					r := out.Rounds[i]
+					if r.Seq != w.seq || r.Promoted != w.promoted || r.Shadowed != w.shadowed {
+						t.Errorf("round %d lifecycle = seq=%d prom=%v shad=%v, want %+v",
+							i, r.Seq, r.Promoted, r.Shadowed, w)
+					}
+				}
+				if out.RegistryChampionSeq != 2 || out.RegistryVersions != 3 {
+					t.Errorf("registry state: versions=%d champion=%d, want 3 versions, champion seq 2",
+						out.RegistryVersions, out.RegistryChampionSeq)
+				}
+				if got := metricValue(t, out.Metrics, "ixps_model_promotions_total"); got != 2 {
+					t.Errorf("ixps_model_promotions_total = %v, want 2", got)
+				}
+				if got := metricValue(t, out.Metrics, "ixps_shadow_scored_total"); got == 0 {
+					t.Error("ixps_shadow_scored_total = 0, want shadow verdicts")
+				}
+			},
+		},
+		{
 			sc: func() chaos.Scenario {
 				sc := baseScenario("checkpointed-run")
 				sc.Checkpoint = true

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/xgb"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+// fuzzBundles trains one small scrubber and renders realistic seeds for the
+// mutator to deform: a full bundle, a classifier-only bundle, a pre-registry
+// bundle with no kind field, truncations at interesting offsets, and the
+// classic garbage inputs. Bundles are what the registry stores and what
+// vantage points exchange, so Load is a trust boundary: arbitrary bytes must
+// never panic it.
+func fuzzBundles(tb testing.TB) [][]byte {
+	tb.Helper()
+	p := synth.ProfileUS1()
+	p.Seed = 4
+	g := synth.NewGenerator(p)
+	bal, _ := balance.Flows(4, g.Generate(0, 60))
+	vectors := make([]string, len(bal))
+	for i := range bal {
+		vectors[i] = bal[i].Vector
+	}
+	records := synth.Records(bal)
+	// A deliberately tiny forest: seeds only need the full envelope shape,
+	// and small inputs keep the mutator's throughput high.
+	cfg := DefaultConfig()
+	opts := xgb.DefaultOptions()
+	opts.Estimators = 4
+	opts.MaxDepth = 4
+	cfg.XGB = &opts
+	s := New(cfg)
+	if _, err := s.MineRules(records); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.Fit(records, s.Aggregate(records, vectors)); err != nil {
+		tb.Fatal(err)
+	}
+
+	var full, classifier bytes.Buffer
+	if err := s.Save(&full); err != nil {
+		tb.Fatal(err)
+	}
+	if err := s.SaveClassifierOnly(&classifier); err != nil {
+		tb.Fatal(err)
+	}
+	seeds := [][]byte{full.Bytes(), classifier.Bytes()}
+
+	// A v0-era bundle: strip the kind field (empty kind must read as full).
+	noKind := bytes.Replace(full.Bytes(), []byte(`"kind":"full",`), nil, 1)
+	seeds = append(seeds, noKind)
+
+	for _, cut := range []int{1, 16, len(full.Bytes()) / 2, len(full.Bytes()) - 2} {
+		if cut < full.Len() {
+			seeds = append(seeds, full.Bytes()[:cut])
+		}
+	}
+	seeds = append(seeds,
+		[]byte("{"),
+		[]byte(`{"version":9}`),
+		[]byte(`{"version":1,"model":"dt"}`),
+		[]byte(`{"version":1,"kind":"half","model":"xgb"}`),
+		[]byte(`null`),
+	)
+	return seeds
+}
+
+// FuzzBundleLoad hammers the bundle deserialization path with mutated
+// bundles. Invariants: Load and InspectBundle never panic; when both accept
+// an input they agree on its kind; and a bundle that loads and re-saves must
+// load again (serialization is closed under round trips).
+func FuzzBundleLoad(f *testing.F) {
+	for _, s := range fuzzBundles(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, infoErr := InspectBundle(data)
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if !s.fitted {
+			t.Fatal("loaded scrubber not marked fitted")
+		}
+		if infoErr == nil {
+			kind := BundleFull
+			if s.needsEncoder {
+				kind = BundleClassifierOnly
+			}
+			if info.Kind != kind {
+				t.Fatalf("InspectBundle kind %q, loaded scrubber is %q", info.Kind, kind)
+			}
+		}
+		// Re-save can refuse (a mutated Config can disagree with the
+		// envelope), but what it does emit must load.
+		var buf bytes.Buffer
+		if s.needsEncoder {
+			err = s.SaveClassifierOnly(&buf)
+		} else {
+			err = s.Save(&buf)
+		}
+		if err != nil {
+			return
+		}
+		if _, err := Load(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("re-saved bundle does not load: %v", err)
+		}
+	})
+}

@@ -101,6 +101,10 @@ type Scrubber struct {
 	pipeline *ml.Pipeline
 	fitted   bool
 	metrics  *Metrics
+	// needsEncoder marks a classifier-only import (Fig. 12): the trees are
+	// fitted but no WoE encoder travelled with them, so Predict refuses to
+	// run until WithEncoder binds a local snapshot.
+	needsEncoder bool
 }
 
 // New creates a Scrubber with an empty rule set.
@@ -303,10 +307,38 @@ func (s *Scrubber) encodeAllWith(enc *woe.Encoder, aggs []*features.Aggregate) [
 	return x
 }
 
+// EncodeFeatures WoE-encodes aggregates against the scrubber's current
+// encoder — the serving-path feature matrix. Exposed so shadow scoring and
+// drift monitoring can reuse one encoded matrix instead of re-encoding per
+// consumer.
+func (s *Scrubber) EncodeFeatures(aggs []*features.Aggregate) [][]float64 {
+	return s.encodeAll(aggs)
+}
+
+// PredictEncoded labels pre-encoded rows produced by EncodeFeatures with a
+// compatible encoder. It skips the encode stage entirely, which is what
+// keeps shadow scoring under 2× the champion-only cost: the challenger
+// shares the champion window's encoded matrix.
+func (s *Scrubber) PredictEncoded(x [][]float64) ([]int, error) {
+	if !s.fitted {
+		return nil, fmt.Errorf("core: model not fitted")
+	}
+	if s.pipeline == nil {
+		return nil, fmt.Errorf("core: PredictEncoded requires a pipeline model, have %s", s.cfg.Model)
+	}
+	start := time.Now()
+	out := s.pipeline.Predict(x)
+	s.metrics.observePredict(start, out)
+	return out, nil
+}
+
 // Predict labels aggregates (1 = DDoS target).
 func (s *Scrubber) Predict(aggs []*features.Aggregate) ([]int, error) {
 	if !s.fitted {
 		return nil, fmt.Errorf("core: model not fitted")
+	}
+	if s.needsEncoder {
+		return nil, fmt.Errorf("core: classifier-only bundle not bound to an encoder; call WithEncoder first")
 	}
 	start := time.Now()
 	out := make([]int, len(aggs))
@@ -393,6 +425,7 @@ func (s *Scrubber) EvaluatePerVector(test []*features.Aggregate) (map[string]ml.
 func (s *Scrubber) WithEncoder(enc *woe.Encoder) *Scrubber {
 	t := *s
 	t.encoder = enc
+	t.needsEncoder = false
 	return &t
 }
 

@@ -15,28 +15,56 @@ import (
 // Model bundle serialization: a fitted Scrubber persists as one JSON
 // envelope carrying the curated rule set, the WoE encoder (the local
 // knowledge), the feature-reduction column selection and the fitted
-// classifier. Bundles are what scrubberd persists across restarts and what
-// vantage points exchange for geographic transfer (ship the bundle, then
-// swap the encoder via WithEncoder to keep knowledge local).
+// classifier. Bundles are what scrubberd persists across restarts, what the
+// model registry versions, and what vantage points exchange for geographic
+// transfer.
+//
+// Two bundle kinds exist (§6.4, Fig. 12): a full bundle carries everything
+// including the WoE encoder; a classifier-only bundle strips the encoder so
+// the local knowledge never leaves the vantage point — the importer re-binds
+// the trees to its own encoder via WithEncoder.
 //
 // Serialization supports the recommended production model (XGB); for other
 // classifiers retrain from the balanced data, which is cheap.
 
 const bundleVersion = 1
 
+// Bundle kinds.
+const (
+	// BundleFull is a complete model: rules, WoE encoder, classifier.
+	BundleFull = "full"
+	// BundleClassifierOnly omits the WoE encoder (it stays local); the
+	// loaded scrubber must be bound to an encoder before predicting.
+	BundleClassifierOnly = "classifier-only"
+)
+
 type bundleJSON struct {
 	Version int             `json:"version"`
+	Kind    string          `json:"kind,omitempty"` // empty = full (pre-registry bundles)
 	Model   ModelName       `json:"model"`
 	Config  Config          `json:"config"`
 	Rules   json.RawMessage `json:"rules"`
-	Encoder json.RawMessage `json:"encoder"`
+	Encoder json.RawMessage `json:"encoder,omitempty"`
 	Kept    []int           `json:"kept_columns"`
 	XGB     json.RawMessage `json:"xgb"`
 }
 
-// Save writes the fitted scrubber as a JSON bundle. Only the XGB model is
-// serializable.
+// Save writes the fitted scrubber as a full JSON bundle. Only the XGB model
+// is serializable.
 func (s *Scrubber) Save(w io.Writer) error {
+	return s.save(w, BundleFull)
+}
+
+// SaveClassifierOnly writes the bundle without the WoE encoder — the
+// geographic-transfer export of §6.4 (Fig. 12, right): the trees, rules and
+// column selection travel, the local knowledge stays home. Loading the
+// result yields a scrubber that refuses to predict until WithEncoder binds
+// it to the destination's local encoder.
+func (s *Scrubber) SaveClassifierOnly(w io.Writer) error {
+	return s.save(w, BundleClassifierOnly)
+}
+
+func (s *Scrubber) save(w io.Writer, kind string) error {
 	if !s.fitted {
 		return fmt.Errorf("core: cannot save an unfitted scrubber")
 	}
@@ -51,31 +79,69 @@ func (s *Scrubber) Save(w io.Writer) error {
 	if err := s.rules.Export(&rules); err != nil {
 		return err
 	}
-	if err := s.encoder.Save(&encoder); err != nil {
-		return err
+	if kind == BundleFull {
+		if err := s.encoder.Save(&encoder); err != nil {
+			return err
+		}
 	}
 	if err := model.Save(&xgbBuf); err != nil {
 		return err
 	}
+	// Both the original VarianceThreshold and the keptProjector a loaded
+	// bundle carries expose Kept(), so a loaded scrubber re-saves (e.g.
+	// registry classifier-only export) without losing its column selection.
 	var kept []int
 	if len(s.pipeline.Stages) > 0 {
-		if vt, ok := s.pipeline.Stages[0].(*ml.VarianceThreshold); ok {
-			kept = vt.Kept()
+		if k, ok := s.pipeline.Stages[0].(interface{ Kept() []int }); ok {
+			kept = k.Kept()
 		}
 	}
 	out := bundleJSON{
 		Version: bundleVersion,
+		Kind:    kind,
 		Model:   s.cfg.Model,
 		Config:  s.cfg,
 		Rules:   json.RawMessage(rules.Bytes()),
-		Encoder: json.RawMessage(encoder.Bytes()),
 		Kept:    kept,
 		XGB:     json.RawMessage(xgbBuf.Bytes()),
+	}
+	if kind == BundleFull {
+		out.Encoder = json.RawMessage(encoder.Bytes())
 	}
 	if err := json.NewEncoder(w).Encode(&out); err != nil {
 		return fmt.Errorf("core: saving bundle: %w", err)
 	}
 	return nil
+}
+
+// BundleInfo is the envelope metadata of a serialized bundle.
+type BundleInfo struct {
+	Version int
+	Kind    string // BundleFull or BundleClassifierOnly
+	Model   ModelName
+}
+
+// InspectBundle decodes only the bundle envelope — enough for a registry to
+// classify a bundle without paying for a full model load.
+func InspectBundle(data []byte) (BundleInfo, error) {
+	var in struct {
+		Version int       `json:"version"`
+		Kind    string    `json:"kind"`
+		Model   ModelName `json:"model"`
+	}
+	if err := json.Unmarshal(data, &in); err != nil {
+		return BundleInfo{}, fmt.Errorf("core: inspecting bundle: %w", err)
+	}
+	if in.Version != bundleVersion {
+		return BundleInfo{}, fmt.Errorf("core: unsupported bundle version %d", in.Version)
+	}
+	if in.Kind == "" {
+		in.Kind = BundleFull
+	}
+	if in.Kind != BundleFull && in.Kind != BundleClassifierOnly {
+		return BundleInfo{}, fmt.Errorf("core: unknown bundle kind %q", in.Kind)
+	}
+	return BundleInfo{Version: in.Version, Kind: in.Kind, Model: in.Model}, nil
 }
 
 // keptProjector replays a saved feature-reduction column selection.
@@ -104,8 +170,10 @@ func (k *keptProjector) Transform(x [][]float64) [][]float64 {
 	return out
 }
 
-// Load reads a bundle saved with Save and returns a ready-to-predict
-// Scrubber.
+// Load reads a bundle saved with Save or SaveClassifierOnly and returns a
+// Scrubber. A full bundle loads ready to predict; a classifier-only bundle
+// loads with no encoder and refuses to predict until WithEncoder binds it
+// to a local WoE snapshot.
 func Load(r io.Reader) (*Scrubber, error) {
 	var in bundleJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
@@ -117,19 +185,31 @@ func Load(r io.Reader) (*Scrubber, error) {
 	if in.Model != ModelXGB {
 		return nil, fmt.Errorf("core: bundle model %s not supported", in.Model)
 	}
+	kind := in.Kind
+	if kind == "" {
+		kind = BundleFull
+	}
+	if kind != BundleFull && kind != BundleClassifierOnly {
+		return nil, fmt.Errorf("core: unknown bundle kind %q", in.Kind)
+	}
 	s := New(in.Config)
 	rules, err := tagging.Import(bytes.NewReader(in.Rules))
 	if err != nil {
 		return nil, err
 	}
 	s.SetRules(rules)
-	enc, err := woe.Load(bytes.NewReader(in.Encoder))
-	if err != nil {
-		return nil, err
+	switch kind {
+	case BundleFull:
+		enc, err := woe.Load(bytes.NewReader(in.Encoder))
+		if err != nil {
+			return nil, err
+		}
+		enc.Smoothing = in.Config.WoESmoothing
+		enc.MinCount = in.Config.WoEMinCount
+		s.encoder = enc
+	case BundleClassifierOnly:
+		s.needsEncoder = true
 	}
-	enc.Smoothing = in.Config.WoESmoothing
-	enc.MinCount = in.Config.WoEMinCount
-	s.encoder = enc
 	model, err := xgb.Load(bytes.NewReader(in.XGB))
 	if err != nil {
 		return nil, err

@@ -82,4 +82,96 @@ func TestBundleLoadRejectsGarbage(t *testing.T) {
 	if _, err := Load(bytes.NewReader([]byte(`{"version":1,"model":"DT"}`))); err == nil {
 		t.Error("non-XGB bundle accepted")
 	}
+	if _, err := Load(bytes.NewReader([]byte(`{"version":1,"model":"XGB","kind":"half"}`))); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestClassifierOnlyBundleRoundTrip(t *testing.T) {
+	s, test := quickScrubber(t)
+	var buf bytes.Buffer
+	if err := s.SaveClassifierOnly(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The encoder must not travel: the serialized form is strictly smaller
+	// than the full bundle and carries no encoder field.
+	var full bytes.Buffer
+	if err := s.Save(&full); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= full.Len() {
+		t.Errorf("classifier-only bundle (%d bytes) not smaller than full (%d)", buf.Len(), full.Len())
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"encoder"`)) {
+		t.Error("classifier-only bundle carries an encoder")
+	}
+
+	info, err := InspectBundle(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != BundleClassifierOnly || info.Model != ModelXGB {
+		t.Errorf("inspect: %+v", info)
+	}
+
+	loaded, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbound: predicting must refuse until an encoder is attached.
+	if _, err := loaded.Predict(test); err == nil {
+		t.Fatal("unbound classifier-only bundle predicted")
+	}
+	// Re-bound to the exporter's own encoder, predictions match exactly
+	// (same trees, same WoE tables).
+	bound := loaded.WithEncoder(s.Encoder())
+	want, err := s.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := bound.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("aggregate %d: prediction %d != %d after classifier-only round trip", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInspectBundleFullDefault(t *testing.T) {
+	s, _ := quickScrubber(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := InspectBundle(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Kind != BundleFull {
+		t.Errorf("kind = %q, want %q", info.Kind, BundleFull)
+	}
+	if _, err := InspectBundle([]byte("not json")); err == nil {
+		t.Error("garbage inspected")
+	}
+}
+
+func TestPredictEncodedMatchesPredict(t *testing.T) {
+	s, test := quickScrubber(t)
+	want, err := s.Predict(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := s.EncodeFeatures(test)
+	got, err := s.PredictEncoded(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("aggregate %d: PredictEncoded %d != Predict %d", i, got[i], want[i])
+		}
+	}
 }

@@ -1,0 +1,282 @@
+package drift
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// gaussianMatrix draws rows of iid normals with per-column mean shift.
+func gaussianMatrix(seed uint64, rows, cols int, shift float64) [][]float64 {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	x := make([][]float64, rows)
+	for i := range x {
+		row := make([]float64, cols)
+		for c := range row {
+			row[c] = rng.NormFloat64() + shift
+		}
+		x[i] = row
+	}
+	return x
+}
+
+func TestPSIStableDistribution(t *testing.T) {
+	train := gaussianMatrix(1, 2000, 4, 0)
+	ref, err := NewReference(train, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(DefaultConfig())
+	m.SetReference(ref)
+	m.ObserveFeatures(gaussianMatrix(2, 2000, 4, 0)) // same distribution
+	s := m.Stats()
+	if s.Samples != 2000 {
+		t.Fatalf("samples = %d", s.Samples)
+	}
+	if s.FeaturePSIMax > 0.1 {
+		t.Errorf("stable distribution PSI max = %.4f, want < 0.1", s.FeaturePSIMax)
+	}
+	if s.RetrainRecommended {
+		t.Error("stable distribution recommended retraining")
+	}
+}
+
+func TestPSIDetectsShift(t *testing.T) {
+	train := gaussianMatrix(1, 2000, 4, 0)
+	ref, err := NewReference(train, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(DefaultConfig())
+	m.SetReference(ref)
+	m.ObserveFeatures(gaussianMatrix(2, 2000, 4, 2.0)) // two sigma shift
+	s := m.Stats()
+	if s.FeaturePSIMax < 0.25 {
+		t.Errorf("shifted distribution PSI max = %.4f, want > 0.25", s.FeaturePSIMax)
+	}
+	if !s.RetrainRecommended {
+		t.Error("two-sigma shift not flagged")
+	}
+	if s.MaxPSIColumn < 0 || s.MaxPSIColumn >= 4 {
+		t.Errorf("max column = %d", s.MaxPSIColumn)
+	}
+}
+
+func TestScorePSI(t *testing.T) {
+	train := gaussianMatrix(1, 500, 2, 0)
+	preds := make([]int, 500)
+	for i := range preds {
+		if i%10 == 0 { // 10% training positive rate
+			preds[i] = 1
+		}
+	}
+	ref, err := NewReference(train, preds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(DefaultConfig())
+	m.SetReference(ref)
+	m.ObserveFeatures(gaussianMatrix(2, 500, 2, 0))
+
+	// Same positive rate: negligible score PSI.
+	same := make([]int, 500)
+	for i := range same {
+		if i%10 == 3 {
+			same[i] = 1
+		}
+	}
+	m.ObserveScores(same)
+	if s := m.Stats(); s.ScorePSI > 0.01 {
+		t.Errorf("matched positive rate score PSI = %.4f", s.ScorePSI)
+	}
+
+	// Now flood positives: 60% rate vs 10% reference must cross 0.25.
+	m.SetReference(ref)
+	m.ObserveFeatures(gaussianMatrix(3, 500, 2, 0))
+	flood := make([]int, 500)
+	for i := range flood {
+		if i%10 < 6 {
+			flood[i] = 1
+		}
+	}
+	m.ObserveScores(flood)
+	s := m.Stats()
+	if s.ScorePSI < 0.25 {
+		t.Errorf("flooded score PSI = %.4f, want > 0.25", s.ScorePSI)
+	}
+	if !s.RetrainRecommended {
+		t.Error("score flood not flagged")
+	}
+}
+
+func TestShadowDisagreement(t *testing.T) {
+	m := NewMonitor(DefaultConfig())
+	// Shadow disagreement works without a feature reference.
+	champ := make([]int, 100)
+	chall := make([]int, 100)
+	for i := 0; i < 5; i++ {
+		chall[i] = 1 // 5% disagreement
+	}
+	m.ObserveShadow(champ, chall)
+	s := m.Stats()
+	if s.ShadowSamples != 100 {
+		t.Fatalf("shadow samples = %d", s.ShadowSamples)
+	}
+	if math.Abs(s.Disagreement-0.05) > 1e-12 {
+		t.Fatalf("disagreement = %v", s.Disagreement)
+	}
+	if !s.RetrainRecommended {
+		t.Error("5% disagreement (threshold 2%) not flagged")
+	}
+
+	// Below threshold: quiet.
+	m.SetReference(nil)
+	m.ObserveShadow(champ, champ)
+	if s := m.Stats(); s.Disagreement != 0 || s.RetrainRecommended {
+		t.Errorf("identical verdicts: %+v", s)
+	}
+}
+
+func TestMinCountGate(t *testing.T) {
+	train := gaussianMatrix(1, 1000, 2, 0)
+	ref, err := NewReference(train, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(DefaultConfig())
+	m.SetReference(ref)
+	m.ObserveFeatures(gaussianMatrix(2, 10, 2, 5.0)) // wildly shifted but tiny
+	if s := m.Stats(); s.RetrainRecommended || s.FeaturePSIMax != 0 {
+		t.Errorf("below MinCount: %+v", s)
+	}
+}
+
+func TestDeterministicStats(t *testing.T) {
+	run := func() Stats {
+		train := gaussianMatrix(7, 800, 5, 0)
+		ref, err := NewReference(train, nil, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := NewMonitor(DefaultConfig())
+		m.SetReference(ref)
+		m.ObserveFeatures(gaussianMatrix(8, 400, 5, 0.5))
+		m.ObserveFeatures(gaussianMatrix(9, 400, 5, 0.7))
+		m.ObserveScores([]int{1, 0, 1, 0, 0, 0, 1})
+		m.ObserveShadow([]int{1, 0, 1}, []int{1, 1, 1})
+		return m.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("stats not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestConstantColumn(t *testing.T) {
+	// A constant column collapses all quantile edges; PSI must stay 0 when
+	// serving data is also constant, and finite when it is not.
+	rows := 200
+	x := make([][]float64, rows)
+	for i := range x {
+		x[i] = []float64{3.14}
+	}
+	ref, err := NewReference(x, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(DefaultConfig())
+	m.SetReference(ref)
+	m.ObserveFeatures(x)
+	if s := m.Stats(); s.FeaturePSIMax != 0 {
+		t.Errorf("constant/constant PSI = %v", s.FeaturePSIMax)
+	}
+	shifted := make([][]float64, rows)
+	for i := range shifted {
+		shifted[i] = []float64{99.0}
+	}
+	m.SetReference(ref)
+	m.ObserveFeatures(shifted)
+	s := m.Stats()
+	if math.IsInf(s.FeaturePSIMax, 0) || math.IsNaN(s.FeaturePSIMax) {
+		t.Errorf("constant-shift PSI not finite: %v", s.FeaturePSIMax)
+	}
+}
+
+func TestNaNBin(t *testing.T) {
+	train := gaussianMatrix(1, 500, 2, 0)
+	ref, err := NewReference(train, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor(DefaultConfig())
+	m.SetReference(ref)
+	nan := make([][]float64, 200)
+	for i := range nan {
+		nan[i] = []float64{math.NaN(), math.NaN()}
+	}
+	m.ObserveFeatures(nan)
+	s := m.Stats()
+	if s.FeaturePSIMax <= 0.25 {
+		t.Errorf("all-NaN serving data PSI = %v, want > 0.25", s.FeaturePSIMax)
+	}
+	if math.IsNaN(s.FeaturePSIMax) {
+		t.Error("NaN leaked into PSI")
+	}
+}
+
+func TestEmptyReference(t *testing.T) {
+	if _, err := NewReference(nil, nil, DefaultConfig()); err == nil {
+		t.Fatal("empty reference accepted")
+	}
+}
+
+func TestOfflineFeaturePSI(t *testing.T) {
+	train := gaussianMatrix(1, 1000, 3, 0)
+	ref, err := NewReference(train, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offline batch must agree with the monitor fed the same matrix.
+	eval := gaussianMatrix(2, 1000, 3, 1.0)
+	mean, max, col := ref.FeaturePSI(eval)
+	m := NewMonitor(DefaultConfig())
+	m.SetReference(ref)
+	m.ObserveFeatures(eval)
+	s := m.Stats()
+	if mean != s.FeaturePSIMean || max != s.FeaturePSIMax || col != s.MaxPSIColumn {
+		t.Fatalf("offline (%v, %v, %d) != monitor (%v, %v, %d)",
+			mean, max, col, s.FeaturePSIMean, s.FeaturePSIMax, s.MaxPSIColumn)
+	}
+}
+
+func BenchmarkObserveFeatures(b *testing.B) {
+	train := gaussianMatrix(1, 2000, 44, 0)
+	ref, err := NewReference(train, nil, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewMonitor(DefaultConfig())
+	m.SetReference(ref)
+	batch := gaussianMatrix(2, 100, 44, 0.1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ObserveFeatures(batch)
+	}
+}
+
+func BenchmarkStats(b *testing.B) {
+	train := gaussianMatrix(1, 2000, 44, 0)
+	ref, err := NewReference(train, nil, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := NewMonitor(DefaultConfig())
+	m.SetReference(ref)
+	m.ObserveFeatures(gaussianMatrix(2, 1000, 44, 0.1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Stats()
+	}
+}

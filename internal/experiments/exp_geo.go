@@ -1,10 +1,15 @@
 package experiments
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/core"
 	"github.com/ixp-scrubber/ixpscrubber/internal/features"
+	"github.com/ixp-scrubber/ixpscrubber/internal/registry"
 	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
 	"github.com/ixp-scrubber/ixpscrubber/internal/woe"
 )
@@ -138,14 +143,55 @@ func RunFig12(cfg Config) (*Result, error) {
 		"mean pairwise overlap: source IPs %.3f vs source ports %.3f (ports overlap far more, as in the paper)",
 		ipSum/float64(n), portSum/float64(n)))
 
-	// Panel 3: classifier-only transfer with local WoE.
+	// Panel 3: classifier-only transfer with local WoE, moved between sites
+	// through the production path — each source publishes its model to its
+	// model registry and exports the classifier-only bundle (the WoE table
+	// stays home); each destination imports the bundle into its own registry
+	// and re-binds the trees to the local encoder. The panel therefore also
+	// certifies that the transfer artifact survives serialization bit-exactly.
+	dir, err := os.MkdirTemp("", "fig12-registry-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
 	local := Table{Name: "classifier-only transfer with local WoE, Fβ=0.5",
 		Header: append([]string{"trained \\ tested"}, names...)}
 	for _, src := range sites {
+		srcReg, err := registry.Open(filepath.Join(dir, src.name), registry.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var bundle bytes.Buffer
+		if err := src.scrubber.Save(&bundle); err != nil {
+			return nil, fmt.Errorf("publishing %s model: %w", src.name, err)
+		}
+		man, err := srcReg.Publish(ctx, bundle.Bytes(), registry.Meta{
+			EncoderFingerprint: src.localEnc.Fingerprint(),
+			Notes:              "fig12 source model at " + src.name,
+		})
+		if err != nil {
+			return nil, err
+		}
+		export, err := srcReg.ExportClassifier(man.ID)
+		if err != nil {
+			return nil, err
+		}
 		row := []string{src.name}
 		for _, dst := range sites {
-			transferred := src.scrubber.WithEncoder(dst.localEnc)
-			conf, err := transferred.Evaluate(dst.testAggs)
+			dstReg, err := registry.Open(filepath.Join(dir, dst.name+"-imports"), registry.Options{})
+			if err != nil {
+				return nil, err
+			}
+			imp, err := dstReg.ImportClassifier(ctx, export, registry.Meta{Parent: man.ID})
+			if err != nil {
+				return nil, fmt.Errorf("importing %s classifier at %s: %w", src.name, dst.name, err)
+			}
+			_, transferred, err := dstReg.LoadScrubber(imp.ID)
+			if err != nil {
+				return nil, err
+			}
+			conf, err := transferred.WithEncoder(dst.localEnc).Evaluate(dst.testAggs)
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/drift"
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
 	"github.com/ixp-scrubber/ixpscrubber/internal/par"
 	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
 )
@@ -109,11 +111,21 @@ func RunFig11a(cfg Config) (*Result, error) {
 			if win.n >= days {
 				continue
 			}
-			s, err := trainOn(cfg.Seed, cfg.Workers, concat(tc.byDay[:win.n]))
+			trainFlows := concat(tc.byDay[:win.n])
+			s, err := trainOn(cfg.Seed, cfg.Workers, trainFlows)
+			if err != nil {
+				return nil, err
+			}
+			// Drift reference over the training window's encoded features:
+			// the same statistic the online Monitor tracks, computed offline
+			// so the decay series pairs with the signal that would have
+			// flagged it for retraining.
+			ref, err := drift.NewReference(s.EncodeFeatures(aggregate(s, trainFlows)), nil, drift.DefaultConfig())
 			if err != nil {
 				return nil, err
 			}
 			series := Series{Name: fmt.Sprintf("%s one-shot %s", site.Name, win.name)}
+			psiSeries := Series{Name: fmt.Sprintf("%s one-shot %s feature PSI", site.Name, win.name)}
 			for d := win.n; d < days; d++ {
 				if len(tc.byDay[d]) == 0 {
 					continue
@@ -124,10 +136,13 @@ func RunFig11a(cfg Config) (*Result, error) {
 				}
 				series.X = append(series.X, float64(d))
 				series.Y = append(series.Y, fb)
+				mean, _, _ := ref.FeaturePSI(s.EncodeFeatures(aggregate(s, tc.byDay[d])))
+				psiSeries.X = append(psiSeries.X, float64(d))
+				psiSeries.Y = append(psiSeries.Y, mean)
 			}
-			res.Series = append(res.Series, series)
-			res.Notes = append(res.Notes, fmt.Sprintf("%s %s: median Fβ %.3f, min %.3f",
-				site.Name, win.name, Median(series.Y), minOf(series.Y)))
+			res.Series = append(res.Series, series, psiSeries)
+			res.Notes = append(res.Notes, fmt.Sprintf("%s %s: median Fβ %.3f, min %.3f; feature PSI median %.3f, max %.3f",
+				site.Name, win.name, Median(series.Y), minOf(series.Y), Median(psiSeries.Y), maxOf(psiSeries.Y)))
 		}
 	}
 	return res, nil
@@ -194,6 +209,16 @@ func RunFig11b(cfg Config) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// aggregate re-aggregates flows with a trained scrubber's rule set — the
+// per-target aggregates its encoder and drift reference operate on.
+func aggregate(s *core.Scrubber, flows []synth.Flow) []*features.Aggregate {
+	vectors := make([]string, len(flows))
+	for i := range flows {
+		vectors[i] = flows[i].Vector
+	}
+	return s.Aggregate(synth.Records(flows), vectors)
 }
 
 func minOf(v []float64) float64 {

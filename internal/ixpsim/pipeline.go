@@ -17,8 +17,10 @@ import (
 	"github.com/ixp-scrubber/ixpscrubber/internal/acl"
 	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
 	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/drift"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
 	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
+	"github.com/ixp-scrubber/ixpscrubber/internal/registry"
 )
 
 // PipelineConfig parameterizes the daemon-side processing chain downstream
@@ -67,6 +69,28 @@ type PipelineConfig struct {
 	// nil disables instrumentation.
 	Metrics *obs.Registry
 	Log     *slog.Logger
+
+	// Registry, when set, versions every trained model: bundles publish
+	// before they serve, promotions flip the on-disk champion pointer, and
+	// old versions are garbage-collected. Without it the pipeline serves
+	// in-process models exactly as before.
+	Registry *registry.Registry
+	// Shadow holds each newly trained model as a challenger instead of
+	// promoting it immediately: the incumbent champion keeps writing ACLs
+	// while the challenger is scored in shadow on the same windows, and
+	// promotion follows Promotion (or an explicit PromoteChallenger). The
+	// first trained model always promotes immediately — there is nothing
+	// to shadow against.
+	Shadow bool
+	// Promotion tunes challenger auto-promotion; zero value means 1 shadow
+	// round and ≤2% disagreement.
+	Promotion PromotionPolicy
+	// Drift sets the drift-monitor thresholds; zero value means
+	// drift.DefaultConfig.
+	Drift drift.Config
+	// RegistryKeep is how many unpinned, non-champion versions registry GC
+	// retains after each promotion; 0 means 3.
+	RegistryKeep int
 }
 
 // Round reports one training round.
@@ -83,6 +107,15 @@ type Round struct {
 	ACLText string
 	// RulesMined is the mined (minimized) rule count.
 	RulesMined int
+	// Seq is the serving model's sequence number after this round.
+	Seq uint64
+	// Promoted is true when this round hot-swapped the champion.
+	Promoted bool
+	// Shadowed is true when a challenger was shadow-scored this round.
+	Shadowed bool
+	// Disagreement is the challenger's cumulative disagreement ratio after
+	// this round (0 without a challenger).
+	Disagreement float64
 }
 
 // Pipeline is the daemon's processing chain between the collector sockets
@@ -105,8 +138,21 @@ type Pipeline struct {
 	winMu  sync.Mutex
 	window []netflow.Record
 
-	scrubber *core.Scrubber
-	writer   *acl.Writer
+	// trainer is the mutable model: it accumulates rule history and refits
+	// every round. What serves is champion — in the default configuration
+	// the same object, with registry/shadow an immutable copy.
+	trainer *core.Scrubber
+	writer  *acl.Writer
+
+	// lifeMu serializes lifecycle transitions (candidate adoption,
+	// promotion, challenger swaps). The serving read path never takes it:
+	// champion is an atomic pointer.
+	lifeMu     sync.Mutex
+	champion   atomic.Pointer[served]
+	challenger atomic.Pointer[served]
+	seq        atomic.Uint64
+	monitor    *drift.Monitor
+	lm         *lifecycleMetrics
 
 	tm       *trainMetrics
 	ingested atomic.Uint64 // records through the balancer
@@ -174,18 +220,24 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 	if cfg.Core != nil {
 		coreCfg = *cfg.Core
 	}
+	cfg.Promotion = cfg.Promotion.withDefaults()
 	p := &Pipeline{
-		cfg:      cfg,
-		queue:    netflow.NewQueue(cfg.QueueCap, cfg.DropPolicy),
-		scrubber: core.New(coreCfg),
-		writer:   &acl.Writer{FS: cfg.FS, Log: cfg.Log},
+		cfg:     cfg,
+		queue:   netflow.NewQueue(cfg.QueueCap, cfg.DropPolicy),
+		trainer: core.New(coreCfg),
+		writer:  &acl.Writer{FS: cfg.FS, Log: cfg.Log},
+		monitor: drift.NewMonitor(cfg.Drift),
 	}
 	p.bal = balance.ForRecords(cfg.Seed, p.keep)
 	if cfg.Metrics != nil {
 		p.queue.RegisterMetrics(cfg.Metrics, "ingest")
 		p.balMetrics = balance.RegisterMetrics(cfg.Metrics)
-		p.scrubber.SetMetrics(core.RegisterMetrics(cfg.Metrics))
+		p.trainer.SetMetrics(core.RegisterMetrics(cfg.Metrics))
 		p.tm = newTrainMetrics(cfg.Metrics)
+		p.lm = newLifecycleMetrics(cfg.Metrics)
+		if cfg.Registry != nil {
+			cfg.Registry.Metrics = p.lm.registryMetrics()
+		}
 	}
 	return p
 }
@@ -199,8 +251,9 @@ func (p *Pipeline) keep(r netflow.Record) {
 	}
 }
 
-// Scrubber exposes the model for inspection (rule export, bundles).
-func (p *Pipeline) Scrubber() *core.Scrubber { return p.scrubber }
+// Scrubber exposes the trainer model for inspection (rule export, bundles,
+// classifier-only geographic export).
+func (p *Pipeline) Scrubber() *core.Scrubber { return p.trainer }
 
 // QueueStats exposes the ingest queue counters.
 func (p *Pipeline) QueueStats() *netflow.QueueStats { return &p.queue.Stats }
@@ -330,8 +383,8 @@ func (p *Pipeline) TrainRound(ctx context.Context, now int64) (*Round, error) {
 }
 
 func (p *Pipeline) trainAndClassify(ctx context.Context, records []netflow.Record) (*Round, error) {
-	s := p.scrubber
-	// Rule mining replaces the scrubber's rule set before Fit gets a
+	s := p.trainer
+	// Rule mining replaces the trainer's rule set before Fit gets a
 	// chance to fail; roll it back on any error so a bad round leaves the
 	// old rules serving alongside the old model.
 	oldRules := s.Rules()
@@ -344,14 +397,97 @@ func (p *Pipeline) trainAndClassify(ctx context.Context, records []netflow.Recor
 		s.SetRules(oldRules)
 		return nil, err
 	}
-	pred, err := s.Predict(aggs)
+	// One encoded matrix feeds the candidate's verdicts, its frozen drift
+	// reference, and challenger shadow scoring — encode once, score many.
+	candPred, x, err := scoreAggs(s, aggs)
 	if err != nil {
 		s.SetRules(oldRules)
 		return nil, err
 	}
+
+	// Lifecycle step: wrap the fitted trainer as an immutable candidate
+	// (publishing to the registry when configured) and decide who serves.
+	// A failed publish is graceful degradation, not a failed round: the
+	// last-good champion keeps writing ACLs and the failure is counted.
+	cand, candErr := p.buildCandidate(ctx, s, x, candPred, records)
+
+	p.lifeMu.Lock()
+	champ := p.champion.Load()
+	promoted := false
+	switch {
+	case candErr != nil:
+		p.cfg.Log.Error("candidate publish failed; champion keeps serving", "err", candErr)
+		if champ == nil {
+			// Nothing to fall back to: serve the in-process model without
+			// registry backing rather than serving nothing.
+			cand = &served{s: s, seq: p.nextSeq(nil)}
+			if x != nil {
+				if ref, rerr := drift.NewReference(x, candPred, p.cfg.Drift); rerr == nil {
+					cand.ref = ref
+				}
+			}
+			p.promoteLocked(ctx, cand)
+			champ = cand
+			promoted = true
+		}
+	case champ == nil || !p.cfg.Shadow:
+		p.promoteLocked(ctx, cand)
+		champ = cand
+		promoted = true
+	default:
+		// Shadow mode with an incumbent: the new model challenges. An
+		// imported transfer keeps its challenger slot — its shadow evaluation
+		// spans rounds, and a locally trained candidate can always be rebuilt
+		// next round.
+		if cur := p.challenger.Load(); cur == nil || !cur.imported {
+			p.challenger.Store(cand)
+			p.cfg.Log.Info("model installed as challenger", "seq", cand.seq, "id", cand.id)
+		}
+	}
+
+	// Champion verdicts are what reach the ACL writer. When the champion
+	// is this round's candidate its verdicts are already computed on the
+	// shared matrix; an older champion re-scores the window through its
+	// own encoder (its view of the world, matching its drift reference).
+	champPred, champX := candPred, x
+	if champ != cand {
+		var perr error
+		champPred, champX, perr = scoreAggs(champ.s, aggs)
+		if perr != nil {
+			p.lifeMu.Unlock()
+			return nil, fmt.Errorf("ixpsim: champion scoring: %w", perr)
+		}
+	}
+	// The ACL is wholly the scoring champion's artifact — its verdicts,
+	// its rules — even if a challenger promotes at the end of this round
+	// (the promotion serves from the next round).
+	aclModel := champ.s
+	p.monitor.ObserveFeatures(champX)
+	p.monitor.ObserveScores(champPred)
+
+	// Shadow-score the standing challenger (a just-installed candidate or
+	// an imported classifier) on the shared local encoding, then apply the
+	// auto-promotion policy.
+	shadowed := false
+	disagreement := 0.0
+	if ch := p.challenger.Load(); ch != nil && ch != champ && x != nil {
+		disagreement = p.shadowScoreLocked(ch, x, champPred)
+		shadowed = true
+		pol := p.cfg.Promotion
+		if ch.rounds >= pol.ShadowRounds && pol.MaxDisagreement >= 0 && disagreement <= pol.MaxDisagreement {
+			p.promoteLocked(ctx, ch)
+			p.challenger.Store(nil)
+			promoted = true
+			champ = ch
+		}
+	}
+	seq := champ.seq
+	p.lifeMu.Unlock()
+	p.publishDriftMetrics()
+
 	targetSet := map[netip.Addr]struct{}{}
 	for i, a := range aggs {
-		if pred[i] == 1 {
+		if champPred[i] == 1 {
 			targetSet[a.Target] = struct{}{}
 		}
 	}
@@ -363,7 +499,7 @@ func (p *Pipeline) trainAndClassify(ctx context.Context, records []netflow.Recor
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].Compare(targets[j]) < 0 })
 
-	entries := s.GenerateACLs(targets, acl.ActionDrop)
+	entries := aclModel.GenerateACLs(targets, acl.ActionDrop)
 	text := acl.RenderText(entries)
 	if p.cfg.ACLPath != "" {
 		if err := p.writer.Publish(ctx, p.cfg.ACLPath, []byte(text)); err != nil {
@@ -385,11 +521,15 @@ func (p *Pipeline) trainAndClassify(ctx context.Context, records []netflow.Recor
 		}
 	}
 	return &Round{
-		Records:    len(records),
-		Aggregates: len(aggs),
-		Flagged:    targets,
-		ACLText:    text,
-		RulesMined: rep.RulesMinimized,
+		Records:      len(records),
+		Aggregates:   len(aggs),
+		Flagged:      targets,
+		ACLText:      text,
+		RulesMined:   rep.RulesMinimized,
+		Seq:          seq,
+		Promoted:     promoted,
+		Shadowed:     shadowed,
+		Disagreement: disagreement,
 	}, nil
 }
 
@@ -409,6 +549,10 @@ type checkpointJSON struct {
 	Window   []netflow.Record               `json:"window"`
 	Trained  bool                           `json:"trained"`
 	Bundle   json.RawMessage                `json:"bundle,omitempty"`
+	// ModelSeq is the serving champion's sequence at checkpoint time, so a
+	// restored pipeline resumes the version count instead of restarting at
+	// 1 (additive; absent in pre-lifecycle checkpoints).
+	ModelSeq uint64 `json:"model_seq,omitempty"`
 }
 
 // SaveCheckpoint atomically persists the pipeline state to CheckpointPath.
@@ -425,6 +569,9 @@ func (p *Pipeline) SaveCheckpoint(ctx context.Context) error {
 		Ingested: p.ingested.Load(),
 		Trained:  p.trained.Load(),
 	}
+	if ch := p.champion.Load(); ch != nil {
+		cp.ModelSeq = ch.seq
+	}
 	p.balMu.Lock()
 	st, err := p.bal.Checkpoint()
 	p.balMu.Unlock()
@@ -437,7 +584,7 @@ func (p *Pipeline) SaveCheckpoint(ctx context.Context) error {
 	p.winMu.Unlock()
 	if cp.Trained {
 		var buf bytes.Buffer
-		if err := p.scrubber.Save(&buf); err != nil {
+		if err := p.trainer.Save(&buf); err != nil {
 			return fmt.Errorf("ixpsim: bundling model: %w", err)
 		}
 		cp.Bundle = buf.Bytes()
@@ -452,8 +599,18 @@ func (p *Pipeline) SaveCheckpoint(ctx context.Context) error {
 // RestoreCheckpoint loads CheckpointPath, if present, and resumes from it:
 // the balancer continues its RNG stream mid-bin, the window carries over,
 // and the saved model serves immediately (readiness flips true). A missing
-// file is not an error — the pipeline simply starts cold.
+// file is not an error — the pipeline simply starts cold. With a registry
+// configured, the registry's champion (last-good version) takes over the
+// serving slot regardless of checkpoint state, so a warm registry serves
+// even before the first local training round; the drift reference is
+// rebuilt at the next promotion.
 func (p *Pipeline) RestoreCheckpoint() (bool, error) {
+	restored, err := p.restoreCheckpointFile()
+	p.restoreChampionFromRegistry()
+	return restored, err
+}
+
+func (p *Pipeline) restoreCheckpointFile() (bool, error) {
 	if p.cfg.CheckpointPath == "" {
 		return false, nil
 	}
@@ -489,7 +646,25 @@ func (p *Pipeline) RestoreCheckpoint() (bool, error) {
 		if p.cfg.Metrics != nil {
 			s.SetMetrics(core.RegisterMetrics(p.cfg.Metrics))
 		}
-		p.scrubber = s
+		p.trainer = s
+		// The restored model serves as champion at its checkpointed
+		// sequence; the next trained round continues the count.
+		seq := cp.ModelSeq
+		if seq == 0 {
+			seq = 1 // pre-lifecycle checkpoint
+		}
+		for {
+			cur := p.seq.Load()
+			if seq <= cur || p.seq.CompareAndSwap(cur, seq) {
+				break
+			}
+		}
+		p.lifeMu.Lock()
+		p.champion.Store(&served{s: s, seq: seq})
+		p.lifeMu.Unlock()
+		if p.lm != nil {
+			p.lm.activeSeq.Set(float64(seq))
+		}
 		p.trained.Store(true)
 	}
 	p.cfg.Log.Info("pipeline state restored",

@@ -337,6 +337,88 @@ func (e *Encoder) Merge(other *Encoder) {
 	e.snap.Store(nil)
 }
 
+// Fingerprint returns a deterministic 64-bit digest of the encoder's
+// accumulated counts and overrides: same observations → same fingerprint,
+// regardless of map iteration order or when Fit ran. The model registry
+// records it in bundle manifests so an importer can tell whether a
+// classifier-only bundle was trained against the same local knowledge it is
+// about to be re-bound to.
+func (e *Encoder) Fingerprint() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	// FNV-1a over a canonical byte stream: totals, then domains sorted by
+	// name, then each domain's keys sorted numerically with both counts.
+	const (
+		offset64 = 0xcbf29ce484222325
+		prime64  = 0x100000001b3
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], v)
+		for _, c := range b {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // terminator so "ab"+"c" != "a"+"bc"
+		h *= prime64
+	}
+	mix(e.posTotal)
+	mix(e.negTotal)
+	names := make([]string, 0, len(e.domains))
+	for name := range e.domains {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	keys := make([]uint64, 0, 64)
+	for _, name := range names {
+		d := e.domains[name]
+		mixStr(name)
+		keys = keys[:0]
+		for k := range d.pos {
+			keys = append(keys, k)
+		}
+		for k := range d.neg {
+			if _, ok := d.pos[k]; !ok {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			mix(k)
+			mix(d.pos[k])
+			mix(d.neg[k])
+		}
+	}
+	ovNames := make([]string, 0, len(e.overrides))
+	for name, ov := range e.overrides {
+		if len(ov) > 0 {
+			ovNames = append(ovNames, name)
+		}
+	}
+	sort.Strings(ovNames)
+	for _, name := range ovNames {
+		ov := e.overrides[name]
+		mixStr(name)
+		keys = keys[:0]
+		for k := range ov {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			mix(k)
+			mix(math.Float64bits(ov[k]))
+		}
+	}
+	return h
+}
+
 // Key helpers: stable uint64 keys for the categorical value types.
 
 // KeyAddr keys an IP address.

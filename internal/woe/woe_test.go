@@ -283,3 +283,47 @@ func BenchmarkWoELookup(b *testing.B) {
 		e.WoE("src_ip", uint64(i)%20000)
 	}
 }
+
+func TestFingerprintDeterministic(t *testing.T) {
+	build := func() *Encoder {
+		e := NewEncoder()
+		for i := uint64(0); i < 500; i++ {
+			e.Observe("src_ip", i*7, i%3 == 0)
+			e.Observe("dst_port", i%53, i%5 == 0)
+		}
+		e.Override("src_ip", 99, -2.5)
+		return e
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical encoders fingerprint differently")
+	}
+	// Fit state must not matter: the fingerprint hashes counts, not tables.
+	a.Fit()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint changed after Fit")
+	}
+	// Any extra observation changes it.
+	b.Observe("src_ip", 12345, true)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint blind to new observation")
+	}
+	// So does an override change.
+	c := build()
+	c.Override("src_ip", 99, -2.0)
+	if c.Fingerprint() == a.Fingerprint() {
+		t.Fatal("fingerprint blind to override value")
+	}
+	// Save/Load round trip preserves it.
+	var buf bytes.Buffer
+	if err := a.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint changed across save/load")
+	}
+}

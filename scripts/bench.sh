@@ -123,3 +123,40 @@ END {
 }' "$tmp3" > BENCH_PR3.json
 
 echo "wrote BENCH_PR3.json ($(nproc) cores)"
+
+# Model lifecycle (PR 5): hot-swap latency (promoteLocked under the
+# lifecycle lock), per-round scoring with and without a shadow challenger
+# (the acceptance bound is shadow < 2x champion-only), the PSI drift-stat
+# update, and the registry publish path. Records BENCH_PR5.json with the
+# shadow overhead ratio computed from min-of-5, like the PR2/PR3 sections.
+tmp5=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp5"' EXIT
+
+go test -run '^$' -bench 'BenchmarkHotSwap|BenchmarkScoringChampionOnly|BenchmarkScoringWithShadow|BenchmarkPSIUpdate' \
+    -benchtime 1s -count 5 ./internal/ixpsim | tee "$tmp5"
+go test -run '^$' -bench 'BenchmarkObserveFeatures|BenchmarkStats' \
+    -benchtime 1s -count 5 ./internal/drift | tee -a "$tmp5"
+go test -run '^$' -bench 'BenchmarkPublish' \
+    -benchtime 1s -count 5 ./internal/registry | tee -a "$tmp5"
+
+awk -v cores="$(nproc)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    sub(/-[0-9]+$/, "", $1)   # strip the -GOMAXPROCS suffix
+    if (!($1 in ns) || $3 + 0 < ns[$1]) ns[$1] = $3 + 0
+}
+END {
+    champ = ns["BenchmarkScoringChampionOnly"]
+    shadow = ns["BenchmarkScoringWithShadow"]
+    ratio = champ > 0 ? shadow / champ : 0
+    printf "{\n  \"date\": \"%s\",\n  \"cores\": %d,\n", date, cores
+    printf "  \"hot_swap_ns\": %g,\n", ns["BenchmarkHotSwap"]
+    printf "  \"scoring_ns_per_round\": {\"champion_only\": %g, \"with_shadow\": %g},\n", champ, shadow
+    printf "  \"shadow_overhead_ratio\": %.3f,\n", ratio
+    printf "  \"psi_update_ns_per_round\": %g,\n", ns["BenchmarkPSIUpdate"]
+    printf "  \"drift_observe_features_ns\": %g,\n", ns["BenchmarkObserveFeatures"]
+    printf "  \"drift_stats_ns\": %g,\n", ns["BenchmarkStats"]
+    printf "  \"registry_publish_ns\": %g\n", ns["BenchmarkPublish"]
+    print "}"
+}' "$tmp5" > BENCH_PR5.json
+
+echo "wrote BENCH_PR5.json ($(nproc) cores)"
