@@ -33,6 +33,11 @@
 // encoder at promotion time (geographic transfer, paper §6.4). Usually
 // paired with -shadow so the import is evaluated before it serves.
 //
+// Memory: -sketch switches per-minute aggregation to the bounded-memory
+// sketch path — resident per-target state is capped and heavy hitters stay
+// exact within -sketch-budget — and reports its resident-group count, sketch
+// heap bytes, and estimate error bound as gauges on /metrics.
+//
 // Without real traffic sources, pair it with the live-ixp example, which
 // replays synthetic member traffic against both sockets.
 package main
@@ -51,6 +56,8 @@ import (
 	"time"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
 	"github.com/ixp-scrubber/ixpscrubber/internal/ixpsim"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
 	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
@@ -76,6 +83,9 @@ func main() {
 		registryDir = flag.String("registry-dir", "", "directory for the versioned model registry (publish, promote, GC); empty disables")
 		shadow      = flag.Bool("shadow", false, "hold newly trained models as shadow challengers instead of promoting immediately")
 		importPath  = flag.String("import-classifier", "", "classifier-only bundle to import as the standing challenger at startup")
+
+		sketchMode   = flag.Bool("sketch", false, "bounded-memory sketch aggregation: resident per-target state is capped and heavy hitters stay exact within -sketch-budget")
+		sketchBudget = flag.Float64("sketch-budget", features.DefaultSketchBudget, "relative exactness budget for -sketch rankings and distinct counts")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -109,6 +119,9 @@ func main() {
 		Shadow:         *shadow,
 		ImportPath:     *importPath,
 	}
+	if *sketchMode {
+		opts.Sketch = &features.SketchConfig{Budget: *sketchBudget}
+	}
 	if err := run(ctx, log, opts); err != nil {
 		log.Error("scrubberd failed", "err", err)
 		os.Exit(1)
@@ -132,6 +145,8 @@ type options struct {
 	RegistryDir    string // empty disables the model registry
 	Shadow         bool   // challenger shadow scoring before promotion
 	ImportPath     string // classifier-only bundle to import at startup
+	// Sketch enables bounded-memory sketch aggregation; nil means exact.
+	Sketch *features.SketchConfig
 }
 
 func run(ctx context.Context, log *slog.Logger, o options) error {
@@ -172,6 +187,12 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 
 	// The processing chain behind the sockets: bounded queue, balancer,
 	// sliding window, model, atomic ACL/checkpoint writes.
+	var coreCfg *core.Config
+	if o.Sketch != nil {
+		c := core.DefaultConfig()
+		c.Sketch = o.Sketch
+		coreCfg = &c
+	}
 	pipe := ixpsim.NewPipeline(ixpsim.PipelineConfig{
 		Seed:           o.Seed,
 		Window:         o.Window,
@@ -180,6 +201,7 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 		ACLPath:        o.ACLOut,
 		RulesPath:      o.RulesOut,
 		CheckpointPath: o.CheckpointPath,
+		Core:           coreCfg,
 		Metrics:        reg,
 		Log:            log,
 		Registry:       models,

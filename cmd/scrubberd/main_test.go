@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
 	"github.com/ixp-scrubber/ixpscrubber/internal/packet"
 	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
 	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
@@ -248,6 +249,7 @@ func TestDaemonMetricsEndToEnd(t *testing.T) {
 			MetricsAddr: metricsAddr,
 			RegistryDir: filepath.Join(dir, "registry"),
 			Shadow:      true,
+			Sketch:      &features.SketchConfig{Budget: 0.05},
 		})
 	}()
 
@@ -310,6 +312,11 @@ func TestDaemonMetricsEndToEnd(t *testing.T) {
 		"ixps_model_active_seq",
 		"ixps_model_promotions_total",
 		"ixps_registry_publishes_total",
+		// Sketch-mode aggregation gauges: the daemon runs with -sketch here,
+		// so groups were resident at the last flush and the sketch structures
+		// occupy real heap.
+		"ixps_features_resident_groups",
+		"ixps_features_sketch_bytes",
 		"go_goroutines",
 	}
 	for _, name := range positive {
@@ -331,6 +338,9 @@ func TestDaemonMetricsEndToEnd(t *testing.T) {
 		"ixps_shadow_scored_total",
 		"ixps_registry_publish_failures_total",
 		"ixps_registry_gc_removed_total",
+		// The error bound is 0 until a summary evicts, so presence is the
+		// contract.
+		"ixps_features_estimate_rel_error",
 	} {
 		if _, ok := m[name]; !ok {
 			t.Errorf("lifecycle metric %s missing from /metrics", name)

@@ -16,6 +16,8 @@ import (
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/acl"
 	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
 	"github.com/ixp-scrubber/ixpscrubber/internal/ixpsim"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
 	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
@@ -109,6 +111,12 @@ type Scenario struct {
 	// minute on — a persistent model-store outage. Publishes fail for good;
 	// the last-good champion must keep serving and ACL output must continue.
 	RegistryOutageAt int64
+
+	// SketchBudget, when > 0, runs per-minute aggregation through the
+	// bounded-memory sketch path with that relative exactness budget. The
+	// sketch path is deterministic, so sketch scenarios replay exactly like
+	// exact ones.
+	SketchBudget float64
 }
 
 // RoundDigest summarizes one training round for comparison.
@@ -396,9 +404,16 @@ func (h *Harness) start() error {
 		models.Writer().Backoff = instantBackoff()
 		h.models = models
 	}
+	var coreCfg *core.Config
+	if sc.SketchBudget > 0 {
+		cc := core.DefaultConfig()
+		cc.Sketch = &features.SketchConfig{Budget: sc.SketchBudget}
+		coreCfg = &cc
+	}
 	cfg := ixpsim.PipelineConfig{
 		Seed:            sc.Profile.Seed,
 		Window:          24 * time.Hour,
+		Core:            coreCfg,
 		QueueCap:        sc.QueueCap,
 		DropPolicy:      sc.Drop,
 		MinTrainRecords: 64,

@@ -21,16 +21,29 @@ import (
 //     BGP session (with historical clock), so labels are identical;
 //   - the published ACL text is byte-identical.
 func TestCrashRestartConvergesToReference(t *testing.T) {
+	testCrashRestart(t, 0)
+}
+
+// TestCrashRestartSketchMode is the same crash/restart convergence, with
+// aggregation running through the bounded-memory sketch path: every round of
+// the restarted run must rank, classify and publish bit-identically to the
+// uninterrupted sketch-mode reference.
+func TestCrashRestartSketchMode(t *testing.T) {
+	testCrashRestart(t, 0.05)
+}
+
+func testCrashRestart(t *testing.T, sketchBudget float64) {
 	if testing.Short() {
 		t.Skip("chaos scenarios replay full pipeline runs; skipped in -short")
 	}
 	baseline := runtime.NumGoroutine()
 
 	base := chaos.Scenario{
-		Name:       "restart-reference",
-		Minutes:    10,
-		TrainAt:    []int64{5, 9},
-		Checkpoint: true,
+		Name:         "restart-reference",
+		Minutes:      10,
+		TrainAt:      []int64{5, 9},
+		Checkpoint:   true,
+		SketchBudget: sketchBudget,
 	}
 	ref, err := chaos.Run(context.Background(), base, t.TempDir())
 	if err != nil {

@@ -432,6 +432,38 @@ func TestChaosScenarios(t *testing.T) {
 				}
 			},
 		},
+		{
+			// Sketch-mode aggregation: the bounded-memory path replaces the
+			// exact per-target maps, so the scenario is not compared against
+			// the exact reference — runScenario already proves three replays
+			// are bit-identical, and the checks prove the pipeline still
+			// trains, classifies and publishes through the sketch path while
+			// exporting its gauges.
+			sc: func() chaos.Scenario {
+				sc := baseScenario("sketch-aggregation")
+				sc.SketchBudget = 0.05
+				return sc
+			}(),
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if len(out.Rounds) != 2 || out.Rounds[1].Skipped || len(out.Rounds[1].Flagged) == 0 {
+					t.Fatalf("sketch run did not classify: %+v", out.Rounds)
+				}
+				if out.ACLFile == "" {
+					t.Error("sketch run published no ACL file")
+				}
+				// The balanced input stream is upstream of aggregation and
+				// must match the exact reference bit for bit.
+				if got, want := out.DigestsFrom(0), ref.DigestsFrom(0); got != want {
+					t.Errorf("sketch mode disturbed the balanced stream:\n%s\nwant:\n%s", got, want)
+				}
+				if got := metricValue(t, out.Metrics, "ixps_features_resident_groups"); got <= 0 {
+					t.Errorf("ixps_features_resident_groups = %v, want > 0", got)
+				}
+				if got := metricValue(t, out.Metrics, "ixps_features_sketch_bytes"); got <= 0 {
+					t.Errorf("ixps_features_sketch_bytes = %v, want > 0", got)
+				}
+			},
+		},
 	}
 
 	for _, tc := range scenarios {

@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
 	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
 )
 
@@ -17,6 +18,10 @@ type Metrics struct {
 	positives      *obs.Counter
 	rulesMined     *obs.Counter
 	rulesAccepted  *obs.Gauge
+
+	featResident    *obs.Gauge
+	featSketchBytes *obs.Gauge
+	featRelError    *obs.Gauge
 }
 
 // RegisterMetrics creates the scrubber metric families on r.
@@ -36,6 +41,25 @@ func RegisterMetrics(r *obs.Registry) *Metrics {
 			"Minimized rules produced by Step 1 mining rounds."),
 		rulesAccepted: r.Gauge("ixps_rules_accepted",
 			"Rules currently accepted into the tagging rule set."),
+		featResident: r.Gauge("ixps_features_resident_groups",
+			"Per-target aggregation groups resident at the last minute flush."),
+		featSketchBytes: r.Gauge("ixps_features_sketch_bytes",
+			"Steady-state heap bytes of the sketch aggregation structures (0 in exact mode)."),
+		featRelError: r.Gauge("ixps_features_estimate_rel_error",
+			"Relative error bound of the last flushed minute's sketch rankings (0 in exact mode)."),
+	}
+}
+
+// featureMetrics adapts the scrubber metrics into the aggregator's per-flush
+// gauge hooks.
+func (m *Metrics) featureMetrics() *features.Metrics {
+	if m == nil {
+		return nil
+	}
+	return &features.Metrics{
+		ResidentGroups:   m.featResident.Set,
+		SketchBytes:      m.featSketchBytes.Set,
+		EstimateRelError: m.featRelError.Set,
 	}
 }
 

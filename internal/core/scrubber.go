@@ -79,6 +79,10 @@ type Config struct {
 	// 1 forces the serial path. Outputs are bit-for-bit identical at every
 	// value (see internal/par).
 	Workers int
+	// Sketch enables the bounded-memory sketch aggregation path with the
+	// given exactness budget; nil means exact aggregation. See
+	// features.SketchConfig for the error-budget semantics.
+	Sketch *features.SketchConfig
 }
 
 // DefaultConfig returns the recommended production configuration (XGB).
@@ -165,10 +169,24 @@ func (s *Scrubber) SetRules(set *tagging.RuleSet) {
 // Aggregate groups balanced flow records into per-<minute, target>
 // aggregates annotated with the scrubber's accepted rules. vectors may be
 // nil; when given it must align with records (ground truth for per-vector
-// scoring).
+// scoring). With cfg.Sketch set the bounded-memory sketch path is used; with
+// more than one worker available, ingest runs through the per-core sharded
+// parallel path. Both switches preserve emission order, and the parallel
+// path is bit-identical to serial.
 func (s *Scrubber) Aggregate(records []netflow.Record, vectors []string) []*features.Aggregate {
 	var out []*features.Aggregate
-	agg := features.NewAggregator(s.tagger, func(a *features.Aggregate) { out = append(out, a) })
+	agg := features.NewAggregatorSketch(s.tagger, features.DefaultShards(), s.cfg.Sketch,
+		func(a *features.Aggregate) { out = append(out, a) })
+	agg.Workers = s.cfg.Workers
+	if s.metrics != nil {
+		agg.Metrics = s.metrics.featureMetrics()
+	}
+	if par.Workers(s.cfg.Workers) > 1 {
+		p := features.NewParallelAggregator(agg)
+		p.AddBatch(records, vectors)
+		p.Close()
+		return out
+	}
 	agg.AddBatch(records, vectors)
 	agg.Close()
 	return out

@@ -159,6 +159,7 @@ func (g *refGroup) finish() *Aggregate {
 				agg.Mets[c][m][r] = scratch[r].met
 			}
 		}
+		agg.Distinct[c] = float64(len(g.acc[c]))
 	}
 	if len(g.rules) > 0 {
 		agg.RuleIDs = make([]string, 0, len(g.rules))

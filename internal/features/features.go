@@ -73,6 +73,11 @@ type Aggregate struct {
 	Present [NumCats][NumMets][R]bool
 	Mets    [NumCats][NumMets][R]float64
 
+	// Distinct estimates the number of distinct values seen per categorical
+	// (exact map cardinality on the exact path, HyperLogLog estimate in
+	// sketch mode). Informational: not one of the 150 paper feature columns.
+	Distinct [NumCats]float64
+
 	// RuleIDs are the tagging rules matched by at least one flow of this
 	// aggregate (annotation only; see package comment).
 	RuleIDs []string
@@ -167,26 +172,72 @@ type Aggregator struct {
 	// Workers bounds the flush fan-out: 0 sizes from GOMAXPROCS, 1 forces
 	// the serial path. Output is identical at every value.
 	Workers int
+	// Metrics, when set, receives aggregation gauges at every minute flush.
+	Metrics *Metrics
 
 	cur    int64
-	shards []map[netip.Addr]*group
+	shards []shardState
 	mask   uint64
-	free   []*group // recycled groups, maps pre-grown by earlier minutes
-	hits   []int
 	finish []*Aggregate // flush scratch, reused across minutes
+	errW   []float64    // per-group rel-error scratch: summed error bounds
+	errT   []float64    // per-group rel-error scratch: summed totals
 }
 
-// DefaultShards is the shard-count heuristic: the smallest power of two
-// covering GOMAXPROCS, clamped to [1, 16]. More shards than cores buys no
-// flush parallelism, and beyond 16 the per-shard maps are too sparse to
-// matter at realistic per-minute target counts.
-func DefaultShards() int {
-	n := runtime.GOMAXPROCS(0)
-	if n > 16 {
-		n = 16
+// shardState is the per-shard half of the aggregator: either an exact target
+// map or a bounded sketch table, plus the shard-owned scratch (free list,
+// tagger hit buffer) that lets shards run on independent goroutines in the
+// parallel ingest path without sharing mutable state.
+type shardState struct {
+	groups map[netip.Addr]*group // exact mode
+	sk     *sketchShard          // sketch mode (nil when exact)
+	free   []*group              // recycled groups, maps pre-grown by earlier minutes
+	hits   []int                 // tagger match scratch
+}
+
+// Metrics receives aggregation gauges at each minute flush. Any field may be
+// nil; the core wiring points them at obs gauges.
+type Metrics struct {
+	// ResidentGroups is the number of <minute, target> groups resident at
+	// the flush.
+	ResidentGroups func(float64)
+	// SketchBytes is the steady-state heap footprint of the sketch
+	// structures (0 on the exact path).
+	SketchBytes func(float64)
+	// EstimateRelError is the flushed minute's aggregate relative error
+	// bound: summed admission error over summed estimated totals across all
+	// emitted ranking entries (0 on the exact path).
+	EstimateRelError func(float64)
+}
+
+func (m *Metrics) observeFlush(resident, sketchBytes, relErr float64) {
+	if m == nil {
+		return
+	}
+	if m.ResidentGroups != nil {
+		m.ResidentGroups(resident)
+	}
+	if m.SketchBytes != nil {
+		m.SketchBytes(sketchBytes)
+	}
+	if m.EstimateRelError != nil {
+		m.EstimateRelError(relErr)
+	}
+}
+
+// DefaultShards ties the shard count to the worker parallelism actually
+// available: the largest power of two not exceeding GOMAXPROCS, clamped to
+// [1, 16]. Shards beyond core count buy no flush or ingest parallelism (a
+// 1-core box gets exactly 1 shard), and beyond 16 the per-shard maps are too
+// sparse to matter at realistic per-minute target counts.
+func DefaultShards() int { return shardsFor(runtime.GOMAXPROCS(0)) }
+
+// shardsFor is DefaultShards for an explicit parallelism level.
+func shardsFor(procs int) int {
+	if procs > 16 {
+		procs = 16
 	}
 	s := 1
-	for s < n {
+	for s*2 <= procs {
 		s <<= 1
 	}
 	return s
@@ -198,11 +249,19 @@ func NewAggregator(tagger *tagging.Tagger, emit func(*Aggregate)) *Aggregator {
 	return NewAggregatorShards(tagger, DefaultShards(), emit)
 }
 
-// NewAggregatorShards returns an Aggregator with an explicit shard count
-// (rounded up to a power of two). Aggregate output is bit-for-bit identical
-// at every shard count; the knob trades memory locality against flush
-// parallelism.
+// NewAggregatorShards returns an exact-mode Aggregator with an explicit
+// shard count (rounded up to a power of two). Aggregate output is
+// bit-for-bit identical at every shard count; the knob trades memory
+// locality against flush parallelism.
 func NewAggregatorShards(tagger *tagging.Tagger, shards int, emit func(*Aggregate)) *Aggregator {
+	return NewAggregatorSketch(tagger, shards, nil, emit)
+}
+
+// NewAggregatorSketch returns an Aggregator with an explicit shard count and,
+// when cfg is non-nil, the bounded-memory sketch mode enabled: steady-state
+// heap is O(shards × K × sketch width) regardless of how many distinct
+// targets appear per minute, at the cost of the error budget declared by cfg.
+func NewAggregatorSketch(tagger *tagging.Tagger, shards int, cfg *SketchConfig, emit func(*Aggregate)) *Aggregator {
 	if shards < 1 {
 		shards = 1
 	}
@@ -214,13 +273,29 @@ func NewAggregatorShards(tagger *tagging.Tagger, shards int, emit func(*Aggregat
 		Tagger: tagger,
 		Emit:   emit,
 		cur:    math.MinInt64,
-		shards: make([]map[netip.Addr]*group, n),
+		shards: make([]shardState, n),
 		mask:   uint64(n - 1),
 	}
-	for i := range a.shards {
-		a.shards[i] = make(map[netip.Addr]*group)
+	if cfg != nil {
+		rc := cfg.resolve()
+		for i := range a.shards {
+			a.shards[i].sk = newSketchShard(rc, n)
+		}
+	} else {
+		for i := range a.shards {
+			a.shards[i].groups = make(map[netip.Addr]*group)
+		}
 	}
 	return a
+}
+
+// Sketch reports the resolved sketch configuration, or nil in exact mode.
+func (a *Aggregator) Sketch() *SketchConfig {
+	if a.shards[0].sk == nil {
+		return nil
+	}
+	cfg := a.shards[0].sk.cfg
+	return &cfg
 }
 
 // shardIndex hashes a target address onto a shard (FNV-1a over the 16-byte
@@ -273,12 +348,38 @@ func (a *Aggregator) AddBatch(recs []netflow.Record, vectors []string) {
 }
 
 func (a *Aggregator) add(rec *netflow.Record, vector string, m int64) {
-	shard := a.shards[a.shardIndex(rec.DstIP)]
-	g := shard[rec.DstIP]
+	a.shards[a.shardIndex(rec.DstIP)].add(a.Tagger, rec, vector, m)
+}
+
+// add feeds one flow into this shard. It touches only shard-owned state, so
+// the parallel ingest path can run it on a dedicated goroutine per shard.
+func (s *shardState) add(tagger *tagging.Tagger, rec *netflow.Record, vector string, m int64) {
+	if s.sk != nil {
+		g := s.sk.add(rec, m)
+		if g == nil {
+			return // not admitted: absorbed by the admission sketch only
+		}
+		g.flows++
+		if rec.Blackholed {
+			g.label = true
+		}
+		if vector != "" {
+			g.vec[vector]++
+		}
+		g.observe(rec)
+		if tagger != nil {
+			s.hits = tagger.Match(rec, s.hits[:0])
+			for _, i := range s.hits {
+				g.rules[tagger.Rules()[i].ID] = struct{}{}
+			}
+		}
+		return
+	}
+	g := s.groups[rec.DstIP]
 	if g == nil {
-		if n := len(a.free); n > 0 {
-			g = a.free[n-1]
-			a.free = a.free[:n-1]
+		if n := len(s.free); n > 0 {
+			g = s.free[n-1]
+			s.free = s.free[:n-1]
 			g.reset(m, rec.DstIP)
 		} else {
 			g = &group{
@@ -291,7 +392,7 @@ func (a *Aggregator) add(rec *netflow.Record, vector string, m int64) {
 				g.acc[c] = make(map[uint64][2]uint64)
 			}
 		}
-		shard[rec.DstIP] = g
+		s.groups[rec.DstIP] = g
 	}
 	g.flows++
 	if rec.Blackholed {
@@ -307,11 +408,10 @@ func (a *Aggregator) add(rec *netflow.Record, vector string, m int64) {
 		bp[1] += rec.Packets
 		g.acc[c][k] = bp
 	}
-	if a.Tagger != nil {
-		a.hits = a.hits[:0]
-		a.hits = a.Tagger.Match(rec, a.hits)
-		for _, i := range a.hits {
-			g.rules[a.Tagger.Rules()[i].ID] = struct{}{}
+	if tagger != nil {
+		s.hits = tagger.Match(rec, s.hits[:0])
+		for _, i := range s.hits {
+			g.rules[tagger.Rules()[i].ID] = struct{}{}
 		}
 	}
 }
@@ -320,21 +420,26 @@ func (a *Aggregator) add(rec *netflow.Record, vector string, m int64) {
 func (a *Aggregator) Close() { a.flushMinute() }
 
 func (a *Aggregator) flushMinute() {
+	if a.shards[0].sk != nil {
+		a.flushSketch()
+		return
+	}
 	total := 0
-	for _, s := range a.shards {
-		total += len(s)
+	for i := range a.shards {
+		total += len(a.shards[i].groups)
 	}
 	if total == 0 {
+		a.Metrics.observeFlush(0, 0, 0)
 		return
 	}
 	// Deterministic emission order across shards: gather every group and
 	// sort by target, exactly like the unsharded implementation did.
 	groups := make([]*group, 0, total)
-	for _, s := range a.shards {
-		for _, g := range s {
+	for i := range a.shards {
+		for _, g := range a.shards[i].groups {
 			groups = append(groups, g)
 		}
-		clear(s)
+		clear(a.shards[i].groups)
 	}
 	sort.Slice(groups, func(i, j int) bool {
 		return groups[i].target.Compare(groups[j].target) < 0
@@ -361,8 +466,10 @@ func (a *Aggregator) flushMinute() {
 			a.Emit(agg)
 		}
 		out[i] = nil
-		a.free = append(a.free, groups[i])
+		s := &a.shards[a.shardIndex(groups[i].target)]
+		s.free = append(s.free, groups[i])
 	}
+	a.Metrics.observeFlush(float64(total), 0, 0)
 }
 
 // topEntry is one candidate in a (categorical, metric) ranking.
@@ -472,6 +579,7 @@ func (g *group) finish() *Aggregate {
 				agg.Mets[c][m][r] = e.met
 			}
 		}
+		agg.Distinct[c] = float64(len(g.acc[c]))
 	}
 	if len(g.rules) > 0 {
 		agg.RuleIDs = make([]string, 0, len(g.rules))

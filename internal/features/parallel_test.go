@@ -1,0 +1,219 @@
+package features
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+)
+
+// TestParallelAggregatorEquivalence locks the SPSC-ring ingest path to the
+// serial aggregator: identical emissions in identical order, across shard
+// counts, exact and sketch modes, with and without a tagger.
+func TestParallelAggregatorEquivalence(t *testing.T) {
+	recs, vecs := equivalenceFlows(t, 25)
+	// Splice a late record mid-stream to exercise the producer's drop path.
+	late := recs[0]
+	late.Timestamp = 0
+	recs = append(recs[:len(recs):len(recs)], late)
+	vecs = append(vecs[:len(vecs):len(vecs)], "")
+
+	rules := []tagging.Rule{
+		{ID: "udp", Antecedent: []tagging.Item{tagging.NewItem(tagging.FieldProtocol, 17)}},
+	}
+	for _, mode := range []string{"exact", "sketch"} {
+		var cfg *SketchConfig
+		if mode == "sketch" {
+			cfg = &SketchConfig{Budget: 0.05, MaxGroups: 128}
+		}
+		for _, withTagger := range []bool{false, true} {
+			var tagger *tagging.Tagger
+			if withTagger {
+				tagger = tagging.NewTagger(rules)
+			}
+			for _, shards := range []int{1, 4, 16} {
+				var want []*Aggregate
+				serial := NewAggregatorSketch(tagger, shards, cfg, func(a *Aggregate) { want = append(want, a) })
+				serial.AddBatch(recs, vecs)
+				serial.Close()
+
+				for _, batch := range []int{1, 64, 4096} {
+					var got []*Aggregate
+					p := NewParallelAggregator(NewAggregatorSketch(tagger, shards, cfg,
+						func(a *Aggregate) { got = append(got, a) }))
+					for lo := 0; lo < len(recs); lo += batch {
+						hi := min(lo+batch, len(recs))
+						p.AddBatch(recs[lo:hi], vecs[lo:hi])
+					}
+					p.Close()
+					if len(got) != len(want) {
+						t.Fatalf("%s tagger=%v shards=%d batch=%d: %d aggregates, serial %d",
+							mode, withTagger, shards, batch, len(got), len(want))
+					}
+					for i := range want {
+						if !reflect.DeepEqual(got[i], want[i]) {
+							t.Fatalf("%s tagger=%v shards=%d batch=%d: aggregate %d differs:\n got: %+v\nwant: %+v",
+								mode, withTagger, shards, batch, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAggregatorRingPressure drives a stream much larger than the
+// ring capacity into few shards so producers repeatedly hit full rings, and
+// verifies nothing is lost or reordered.
+func TestParallelAggregatorRingPressure(t *testing.T) {
+	const targets = 8
+	var recs []netflow.Record
+	for m := int64(1); m <= 3; m++ {
+		for i := 0; i < 4*ringSize; i++ {
+			recs = append(recs, netflow.Record{
+				Timestamp: m * 60,
+				SrcIP:     netip.AddrFrom4([4]byte{192, 0, 2, byte(i)}),
+				DstIP:     netip.AddrFrom4([4]byte{10, 0, 0, byte(i % targets)}),
+				SrcPort:   uint16(1024 + i%50000),
+				DstPort:   80,
+				Protocol:  6,
+				Packets:   3,
+				Bytes:     1500,
+			})
+		}
+	}
+	var want []*Aggregate
+	serial := NewAggregatorShards(nil, 2, func(a *Aggregate) { want = append(want, a) })
+	serial.AddBatch(recs, nil)
+	serial.Close()
+
+	var got []*Aggregate
+	p := NewParallelAggregator(NewAggregatorShards(nil, 2, func(a *Aggregate) { got = append(got, a) }))
+	p.AddBatch(recs, nil)
+	p.Close()
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ring-pressure run diverged from serial: %d vs %d aggregates", len(got), len(want))
+	}
+	totalFlows := 0
+	for _, a := range got {
+		totalFlows += a.Flows
+	}
+	if totalFlows != len(recs) {
+		t.Fatalf("parallel path lost records: %d flows aggregated of %d", totalFlows, len(recs))
+	}
+}
+
+// benchCardinalityFlows builds `minutes` minutes of traffic at `targets`
+// distinct targets per minute with a handful of flows and source values per
+// target — the cardinality axis of the BENCH_PR6 matrix.
+func benchCardinalityFlows(targets, minutes int) []netflow.Record {
+	rng := rand.New(rand.NewSource(11))
+	recs := make([]netflow.Record, 0, targets*minutes*3)
+	for m := 1; m <= minutes; m++ {
+		for tg := 0; tg < targets; tg++ {
+			dst := netip.AddrFrom4([4]byte{10, byte(tg >> 16), byte(tg >> 8), byte(tg)})
+			for f := 0; f < 3; f++ {
+				recs = append(recs, netflow.Record{
+					Timestamp: int64(m) * 60,
+					SrcIP:     netip.AddrFrom4([4]byte{172, 16, byte(rng.Intn(256)), byte(rng.Intn(256))}),
+					DstIP:     dst,
+					SrcPort:   uint16(1024 + rng.Intn(60000)),
+					DstPort:   uint16(53 + f),
+					Protocol:  17,
+					SrcMAC:    [6]byte{2, 0, 0, 0, byte(f), byte(tg)},
+					Packets:   uint64(1 + rng.Intn(40)),
+					Bytes:     uint64(100 + rng.Intn(59000)),
+				})
+			}
+		}
+	}
+	return recs
+}
+
+// heapDelta measures the live-heap growth of running fn, in bytes.
+func heapDelta(fn func()) float64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	return float64(after.HeapAlloc) - float64(before.HeapAlloc)
+}
+
+// BenchmarkAggCardinality is the BENCH_PR6 cardinality matrix: minute-flush
+// throughput (ns/op over one minute of flows) and peak aggregation heap
+// (live bytes while the minute's groups are resident) for the exact and
+// sketch paths at 1×/10×/100×/1000× the 512-target baseline. The sketch
+// configuration is identical at every cardinality, so its peak-heap column
+// staying flat is the bounded-memory claim.
+func BenchmarkAggCardinality(b *testing.B) {
+	const baseline = 512
+	sketchCfg := &SketchConfig{Budget: 0.05, MaxGroups: baseline}
+	for _, mode := range []string{"exact", "sketch"} {
+		for _, mult := range []int{1, 10, 100, 1000} {
+			b.Run(fmt.Sprintf("%s/x%d", mode, mult), func(b *testing.B) {
+				recs := benchCardinalityFlows(baseline*mult, 1)
+				build := func() *Aggregator {
+					if mode == "sketch" {
+						return NewAggregatorSketch(nil, 1, sketchCfg, nil)
+					}
+					return NewAggregatorShards(nil, 1, nil)
+				}
+				// Peak heap: all of the minute's groups resident, pre-flush.
+				pinned := build()
+				peak := heapDelta(func() { pinned.AddBatch(recs, nil) })
+				pinned.Close()
+				runtime.KeepAlive(pinned)
+
+				// Throughput is steady-state: a long-lived aggregator whose
+				// groups recycle minute over minute, which is how every
+				// production caller holds it. One op = one minute ingested
+				// plus the previous minute's flush.
+				a := build()
+				a.AddBatch(recs, nil) // warm pools and maps
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for j := range recs {
+						recs[j].Timestamp += 60
+					}
+					a.AddBatch(recs, nil)
+				}
+				b.StopTimer()
+				a.Close()
+				// ResetTimer deletes user metrics, so report after the loop.
+				b.ReportMetric(peak, "peak-heap-bytes")
+				b.ReportMetric(float64(len(recs)), "flows/op")
+			})
+		}
+	}
+}
+
+// BenchmarkParallelIngest is the BENCH_PR6 GOMAXPROCS scaling matrix: the
+// full ingest-to-flush pipeline (SPSC handoff, per-shard aggregation,
+// barrier flush) at 1, 2, 4 and 8 procs, shards tied to procs via shardsFor.
+// On a 1-core box the >1 rows measure oversubscription, which is exactly the
+// regression BENCH_PR1 exposed and this matrix exists to track.
+func BenchmarkParallelIngest(b *testing.B) {
+	recs := benchCardinalityFlows(512, 4)
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			prev := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(prev)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := NewParallelAggregator(NewAggregatorShards(nil, shardsFor(procs), nil))
+				p.AddBatch(recs, nil)
+				p.Close()
+			}
+			b.ReportMetric(float64(len(recs)), "flows/op")
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package features
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+)
+
+// ringSize is the per-shard SPSC ring capacity (power of two). 1024 slots ×
+// ~120 bytes/slot keeps each ring well under a megabyte while absorbing
+// bursty batches.
+const ringSize = 1024
+
+// ringSlot carries one partitioned flow to a shard consumer. The record is
+// copied in, so callers may reuse their batch slices immediately.
+type ringSlot struct {
+	rec    netflow.Record
+	vec    string
+	minute int64
+}
+
+// spscRing is a single-producer single-consumer ring buffer: the ingest
+// goroutine owns tail, a shard consumer owns head, and the two atomics are
+// padded onto separate cache lines so publication doesn't false-share. The
+// producer batches tail publication (once per AddBatch, or before blocking on
+// a full ring), which keeps the common path to plain slot stores.
+type spscRing struct {
+	buf  []ringSlot
+	mask uint64
+
+	// producer-owned (no atomics needed on these)
+	tailLocal uint64
+	headCache uint64
+
+	_    [64]byte
+	head atomic.Uint64 // consumer position: everything below is processed
+	_    [64]byte
+	tail atomic.Uint64 // published producer position
+	_    [64]byte
+	stop atomic.Bool
+}
+
+func newSPSCRing() *spscRing {
+	return &spscRing{buf: make([]ringSlot, ringSize), mask: ringSize - 1}
+}
+
+// push enqueues one slot, publishing and spinning if the ring is full.
+func (r *spscRing) push(rec *netflow.Record, vec string, minute int64) {
+	for r.tailLocal-r.headCache >= uint64(len(r.buf)) {
+		r.headCache = r.head.Load()
+		if r.tailLocal-r.headCache < uint64(len(r.buf)) {
+			break
+		}
+		// Full: the consumer can only drain what has been published.
+		r.tail.Store(r.tailLocal)
+		runtime.Gosched()
+	}
+	s := &r.buf[r.tailLocal&r.mask]
+	s.rec = *rec
+	s.vec = vec
+	s.minute = minute
+	r.tailLocal++
+}
+
+// publish makes every pushed slot visible to the consumer.
+func (r *spscRing) publish() { r.tail.Store(r.tailLocal) }
+
+// drained reports whether the consumer has processed every published slot.
+func (r *spscRing) drained() bool { return r.head.Load() == r.tailLocal }
+
+// ParallelAggregator is an Aggregator front-end that partitions ingest
+// across per-shard consumer goroutines over SPSC rings: the caller
+// goroutine hashes and hands off records, each shard consumer runs the same
+// shardState.add the serial path uses, and minute flushes happen on the
+// caller goroutine behind a drain barrier. Emission is therefore
+// single-threaded and bit-for-bit identical to the serial Aggregator at the
+// same shard count and sketch configuration.
+//
+// AddBatch and Close must be called from one goroutine (the producer).
+type ParallelAggregator struct {
+	agg   *Aggregator
+	rings []*spscRing
+	wg    sync.WaitGroup
+}
+
+// NewParallelAggregator wraps agg with per-shard ingest goroutines. The
+// aggregator must not be used directly afterwards except through the
+// returned wrapper.
+func NewParallelAggregator(agg *Aggregator) *ParallelAggregator {
+	p := &ParallelAggregator{
+		agg:   agg,
+		rings: make([]*spscRing, len(agg.shards)),
+	}
+	for i := range p.rings {
+		p.rings[i] = newSPSCRing()
+	}
+	p.wg.Add(len(p.rings))
+	for i := range p.rings {
+		go p.consume(i)
+	}
+	return p
+}
+
+// consume is one shard's ingest loop.
+func (p *ParallelAggregator) consume(i int) {
+	defer p.wg.Done()
+	r := p.rings[i]
+	s := &p.agg.shards[i]
+	tagger := p.agg.Tagger
+	h := r.head.Load()
+	for {
+		t := r.tail.Load()
+		if t == h {
+			if r.stop.Load() && r.tail.Load() == h {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		for ; h != t; h++ {
+			sl := &r.buf[h&r.mask]
+			s.add(tagger, &sl.rec, sl.vec, sl.minute)
+			sl.vec = "" // release the string for GC
+		}
+		r.head.Store(h)
+	}
+}
+
+// barrier publishes all pending slots and waits until every shard consumer
+// has drained its ring. On return, all shard state written by consumers is
+// visible to the caller (the head/tail atomics order the accesses).
+func (p *ParallelAggregator) barrier() {
+	for _, r := range p.rings {
+		r.publish()
+	}
+	for _, r := range p.rings {
+		for !r.drained() {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Add feeds one flow. See AddBatch.
+func (p *ParallelAggregator) Add(rec *netflow.Record, vector string) {
+	p.addOne(rec, vector)
+	p.rings[p.agg.shardIndex(rec.DstIP)].publish()
+}
+
+// AddBatch partitions a batch across the shard rings. Flows must arrive in
+// non-decreasing minute order; earlier flows are dropped, and a minute
+// advance drains all shards and flushes on the calling goroutine, exactly
+// like the serial path.
+func (p *ParallelAggregator) AddBatch(recs []netflow.Record, vectors []string) {
+	for i := range recs {
+		v := ""
+		if vectors != nil {
+			v = vectors[i]
+		}
+		p.addOne(&recs[i], v)
+	}
+	for _, r := range p.rings {
+		r.publish()
+	}
+}
+
+func (p *ParallelAggregator) addOne(rec *netflow.Record, vector string) {
+	m := rec.Minute()
+	if m < p.agg.cur {
+		return
+	}
+	if m > p.agg.cur {
+		p.barrier()
+		p.agg.flushMinute()
+		p.agg.cur = m
+	}
+	p.rings[p.agg.shardIndex(rec.DstIP)].push(rec, vector, m)
+}
+
+// Close drains every shard, flushes the final minute and stops the
+// consumers.
+func (p *ParallelAggregator) Close() {
+	p.barrier()
+	for _, r := range p.rings {
+		r.stop.Store(true)
+	}
+	p.wg.Wait()
+	p.agg.flushMinute()
+}

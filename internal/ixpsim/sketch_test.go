@@ -1,0 +1,87 @@
+package ixpsim
+
+// Sketch-mode pipeline tests: the bounded-memory aggregation path slots in
+// behind PipelineConfig.Core and must train, classify and publish like the
+// exact path — deterministically, with the same aggregate counts at test
+// cardinality (every per-minute target fits the resident budget, so only
+// the per-source rankings are approximate).
+
+import (
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/features"
+)
+
+func sketchPipeline(seed uint64) *Pipeline {
+	cc := core.DefaultConfig()
+	cc.Sketch = &features.SketchConfig{Budget: 0.05}
+	return NewPipeline(PipelineConfig{Seed: seed, MinTrainRecords: 64, Core: &cc})
+}
+
+// TestSketchPipelineRounds drives a full multi-round run through the sketch
+// aggregation path: rounds must train (not skip), flag attacked targets, and
+// publish non-empty ACLs.
+func TestSketchPipelineRounds(t *testing.T) {
+	prof := lcProfile()
+	rounds := driveRounds(t, sketchPipeline(prof.Seed), 12, 3, nil)
+
+	if len(rounds) != 4 {
+		t.Fatalf("got %d rounds, want 4", len(rounds))
+	}
+	var flagged, acls int
+	for i, r := range rounds {
+		if r.Skipped {
+			t.Errorf("round %d skipped in sketch mode", i)
+		}
+		if r.Aggregates == 0 {
+			t.Errorf("round %d classified zero aggregates", i)
+		}
+		flagged += len(r.Flagged)
+		if r.ACLText != "" {
+			acls++
+		}
+	}
+	if flagged == 0 {
+		t.Error("no targets flagged across any sketch-mode round")
+	}
+	if acls == 0 {
+		t.Error("no round published a non-empty ACL in sketch mode")
+	}
+}
+
+// TestSketchPipelineDeterministic replays the identical profile twice through
+// independent sketch-mode pipelines; every round — verdicts, ACL bytes, model
+// sequence — must match bit-for-bit. The sketch path has no randomized state,
+// so divergence here means iteration-order leakage in the aggregator.
+func TestSketchPipelineDeterministic(t *testing.T) {
+	prof := lcProfile()
+	a := driveRounds(t, sketchPipeline(prof.Seed), 12, 3, nil)
+	b := driveRounds(t, sketchPipeline(prof.Seed), 12, 3, nil)
+	if want, have := roundsKey(a), roundsKey(b); want != have {
+		t.Errorf("sketch-mode runs diverge:\n--- first\n%s--- second\n%s", want, have)
+	}
+}
+
+// TestSketchPipelineMatchesExactAggregates compares sketch-mode rounds to the
+// exact path on the same stream. Per-target aggregate counts and record
+// counts must be identical: the lifecycle profile's distinct targets per
+// minute sit far below the resident-group budget, so the sketch path admits
+// every target and only the per-source summaries are approximate.
+func TestSketchPipelineMatchesExactAggregates(t *testing.T) {
+	prof := lcProfile()
+	exact := driveRounds(t, NewPipeline(PipelineConfig{Seed: prof.Seed, MinTrainRecords: 64}), 12, 3, nil)
+	sk := driveRounds(t, sketchPipeline(prof.Seed), 12, 3, nil)
+
+	if len(exact) != len(sk) {
+		t.Fatalf("round counts differ: exact %d, sketch %d", len(exact), len(sk))
+	}
+	for i := range exact {
+		if exact[i].Records != sk[i].Records {
+			t.Errorf("round %d: records exact=%d sketch=%d", i, exact[i].Records, sk[i].Records)
+		}
+		if exact[i].Aggregates != sk[i].Aggregates {
+			t.Errorf("round %d: aggregates exact=%d sketch=%d", i, exact[i].Aggregates, sk[i].Aggregates)
+		}
+	}
+}

@@ -11,24 +11,34 @@
 # difference of medians-of-noise otherwise, and min-of-N is the stable
 # estimator on shared hardware.
 #
-# Usage: scripts/bench.sh [-benchtime 1x] [-count 1]
+# Usage: scripts/bench.sh [-benchtime 1x] [-count 1] [-only pr1,pr6]
+#
+# -only runs a subset of the per-PR sections (pr1 pr2 pr3 pr5 pr6,
+# comma-separated); the default runs all of them. CI uses
+# "-only pr6 -benchtime 1x" as a smoke test that the benchmarks still
+# compile and run, without paying for stable numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime=1x
 count=1
+only=pr1,pr2,pr3,pr5,pr6
 while [ $# -gt 0 ]; do
     case "$1" in
     -benchtime) benchtime=$2; shift 2 ;;
     -count) count=$2; shift 2 ;;
-    *) echo "usage: $0 [-benchtime DUR] [-count N]" >&2; exit 2 ;;
+    -only) only=$2; shift 2 ;;
+    *) echo "usage: $0 [-benchtime DUR] [-count N] [-only pr1,pr6]" >&2; exit 2 ;;
     esac
 done
+
+want() { case ",$only," in *",$1,"*) return 0 ;; *) return 1 ;; esac }
 
 tmp=$(mktemp)
 tmp2=$(mktemp)
 trap 'rm -f "$tmp" "$tmp2"' EXIT
 
+if want pr1; then
 go test -run '^$' -bench 'BenchmarkFitWorkers|BenchmarkPredictWorkers' \
     -benchtime "$benchtime" -count "$count" ./internal/ml/xgb | tee -a "$tmp"
 go test -run '^$' -bench 'BenchmarkMineFrequentWorkers' \
@@ -52,7 +62,9 @@ END { print "\n  ]\n}" }
 ' "$tmp" > BENCH_PR1.json
 
 echo "wrote BENCH_PR1.json ($(nproc) cores)"
+fi
 
+if want pr2; then
 go test -run '^$' -bench 'BenchmarkIngestMetrics' \
     -benchtime 2s -count 5 ./cmd/scrubberd | tee "$tmp2"
 
@@ -71,6 +83,7 @@ END {
 }' "$tmp2" > BENCH_PR2.json
 
 echo "wrote BENCH_PR2.json ($(nproc) cores)"
+fi
 
 # Zero-allocation hot path (PR 3): each pair benchmarks the pre-PR
 # implementation (kept as reference code in the test files) against the
@@ -78,6 +91,8 @@ echo "wrote BENCH_PR2.json ($(nproc) cores)"
 # into BENCH_PR3.json. Same min-of-5 estimator as the PR2 section.
 tmp3=$(mktemp)
 trap 'rm -f "$tmp" "$tmp2" "$tmp3"' EXIT
+
+if want pr3; then
 
 run3() { # package, bench regex, name prefix (disambiguates cross-package names)
     go test -run '^$' -bench "$2" -benchmem -benchtime 1s -count 5 "$1" \
@@ -123,6 +138,7 @@ END {
 }' "$tmp3" > BENCH_PR3.json
 
 echo "wrote BENCH_PR3.json ($(nproc) cores)"
+fi
 
 # Model lifecycle (PR 5): hot-swap latency (promoteLocked under the
 # lifecycle lock), per-round scoring with and without a shadow challenger
@@ -132,6 +148,7 @@ echo "wrote BENCH_PR3.json ($(nproc) cores)"
 tmp5=$(mktemp)
 trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp5"' EXIT
 
+if want pr5; then
 go test -run '^$' -bench 'BenchmarkHotSwap|BenchmarkScoringChampionOnly|BenchmarkScoringWithShadow|BenchmarkPSIUpdate' \
     -benchtime 1s -count 5 ./internal/ixpsim | tee "$tmp5"
 go test -run '^$' -bench 'BenchmarkObserveFeatures|BenchmarkStats' \
@@ -160,3 +177,66 @@ END {
 }' "$tmp5" > BENCH_PR5.json
 
 echo "wrote BENCH_PR5.json ($(nproc) cores)"
+fi
+
+# Sketch-backed aggregation (PR 6): the cardinality matrix (exact vs sketch
+# minute-flush throughput and peak aggregation heap at 1x/10x/100x/1000x the
+# 512-target baseline — the sketch heap column staying flat is the
+# bounded-memory claim) plus the GOMAXPROCS scaling matrix for the sharded
+# SPSC ingest path. Min-of-N like the other sections; the awk scans
+# unit-tagged fields instead of positions because -benchmem and ReportMetric
+# ordering differ between the two benchmarks.
+tmp6=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp5" "$tmp6"' EXIT
+
+if want pr6; then
+go test -run '^$' -bench 'BenchmarkAggCardinality' -benchmem \
+    -benchtime "$benchtime" -count "$count" ./internal/features | tee "$tmp6"
+go test -run '^$' -bench 'BenchmarkParallelIngest' \
+    -benchtime "$benchtime" -count "$count" ./internal/features | tee -a "$tmp6"
+
+awk -v cores="$(nproc)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+$1 ~ /^Benchmark/ {
+    sub(/-[0-9]+$/, "", $1)   # strip the -GOMAXPROCS suffix
+    # $2 is the iteration count; value/unit pairs start at $3.
+    for (i = 3; i < NF; i += 2) {
+        u = $(i + 1); v = $i + 0
+        if (u == "ns/op" && (!($1 in ns) || v < ns[$1])) ns[$1] = v
+        if (u == "peak-heap-bytes" && (!($1 in hp) || v < hp[$1])) hp[$1] = v
+    }
+}
+function card(mode, mult,    n) {
+    n = "BenchmarkAggCardinality/" mode "/x" mult
+    if (!first) printf(",\n")
+    first = 0
+    printf("    {\"mode\": \"%s\", \"mult\": %d, \"ns_per_op\": %g, \"peak_heap_bytes\": %g}",
+        mode, mult, ns[n], hp[n])
+}
+function scale(procs,    n) {
+    n = "BenchmarkParallelIngest/procs=" procs
+    if (!first) printf(",\n")
+    first = 0
+    printf("    {\"procs\": %d, \"ns_per_op\": %g}", procs, ns[n])
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"cores\": %d,\n", date, cores
+    printf "  \"note\": \"min of N runs; one op = one minute of flows at 512*mult distinct targets\",\n"
+    print  "  \"cardinality\": ["
+    first = 1
+    card("exact", 1); card("exact", 10); card("exact", 100); card("exact", 1000)
+    card("sketch", 1); card("sketch", 10); card("sketch", 100); card("sketch", 1000)
+    print "\n  ],"
+    e1 = ns["BenchmarkAggCardinality/exact/x1"]
+    s1 = ns["BenchmarkAggCardinality/sketch/x1"]
+    h1 = hp["BenchmarkAggCardinality/sketch/x1"]
+    h100 = hp["BenchmarkAggCardinality/sketch/x100"]
+    printf("  \"sketch_throughput_vs_exact_x1\": %.3f,\n", s1 > 0 ? e1 / s1 : 0)
+    printf("  \"sketch_heap_growth_x1_to_x100\": %.3f,\n", h1 > 0 ? h100 / h1 : 0)
+    print  "  \"scaling\": ["
+    first = 1
+    scale(1); scale(2); scale(4); scale(8)
+    print "\n  ]\n}"
+}' "$tmp6" > BENCH_PR6.json
+
+echo "wrote BENCH_PR6.json ($(nproc) cores)"
+fi
