@@ -38,6 +38,18 @@
 // exact within -sketch-budget — and reports its resident-group count, sketch
 // heap bytes, and estimate error bound as gauges on /metrics.
 //
+// Mitigation: -drop turns the detector into a scrubber. After every
+// training round the champion's ACL verdicts compile into a flat match
+// program (port bitmaps, size range table, prefix tries) that every ingest
+// batch passes before the queue; matching records are dropped inline, and
+// recompile + hot swap is an atomic pointer store that never pauses
+// ingest. -drop-rules FILE seeds the stage with operator-authored static
+// rules at startup (one per line, e.g. "drop proto=udp src-port=123
+// dst=198.51.100.7/32 id=ntp"); training rounds then replace them with
+// compiled verdicts, and a checkpointed program takes precedence on
+// restore. Counters surface as ixps_dropper_* on /metrics, including
+// per-rule drop totals.
+//
 // Without real traffic sources, pair it with the live-ixp example, which
 // replays synthetic member traffic against both sockets.
 package main
@@ -57,6 +69,7 @@ import (
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
 	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/dropper"
 	"github.com/ixp-scrubber/ixpscrubber/internal/features"
 	"github.com/ixp-scrubber/ixpscrubber/internal/ixpsim"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
@@ -86,6 +99,9 @@ func main() {
 
 		sketchMode   = flag.Bool("sketch", false, "bounded-memory sketch aggregation: resident per-target state is capped and heavy hitters stay exact within -sketch-budget")
 		sketchBudget = flag.Float64("sketch-budget", features.DefaultSketchBudget, "relative exactness budget for -sketch rankings and distinct counts")
+
+		dropStage = flag.Bool("drop", false, "compiled mitigation fast path: champion verdicts compile into a flat match program that drops matching records before ingest")
+		dropRules = flag.String("drop-rules", "", "file of static drop rules seeding the fast path at startup (implies -drop)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -118,6 +134,8 @@ func main() {
 		RegistryDir:    *registryDir,
 		Shadow:         *shadow,
 		ImportPath:     *importPath,
+		Drop:           *dropStage || *dropRules != "",
+		DropRulesPath:  *dropRules,
 	}
 	if *sketchMode {
 		opts.Sketch = &features.SketchConfig{Budget: *sketchBudget}
@@ -147,6 +165,10 @@ type options struct {
 	ImportPath     string // classifier-only bundle to import at startup
 	// Sketch enables bounded-memory sketch aggregation; nil means exact.
 	Sketch *features.SketchConfig
+	// Drop enables the compiled mitigation fast path in front of ingest;
+	// DropRulesPath optionally seeds it with static operator rules.
+	Drop          bool
+	DropRulesPath string
 }
 
 func run(ctx context.Context, log *slog.Logger, o options) error {
@@ -206,7 +228,22 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 		Log:            log,
 		Registry:       models,
 		Shadow:         o.Shadow,
+		Drop:           o.Drop || o.DropRulesPath != "",
 	})
+	if o.DropRulesPath != "" {
+		text, err := os.ReadFile(o.DropRulesPath)
+		if err != nil {
+			return fmt.Errorf("drop-rules: %w", err)
+		}
+		rules, err := dropper.ParseRules(string(text))
+		if err != nil {
+			return fmt.Errorf("drop-rules %s: %w", o.DropRulesPath, err)
+		}
+		// Static rules are the startup baseline; a checkpointed program
+		// (fresher verdicts) restored below takes precedence.
+		pipe.Dropper().Swap(dropper.Compile(rules))
+		log.Info("static drop rules compiled", "path", o.DropRulesPath, "rules", len(rules))
+	}
 	if restored, err := pipe.RestoreCheckpoint(); err != nil {
 		log.Warn("checkpoint restore failed, starting cold", "err", err)
 	} else if restored {

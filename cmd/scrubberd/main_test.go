@@ -237,19 +237,28 @@ func TestDaemonMetricsEndToEnd(t *testing.T) {
 	metricsAddr := reservePort(t, "tcp")
 	base := "http://" + metricsAddr
 
+	// Seed the mitigation fast path with one narrow static rule so the
+	// dropper families and its per-rule series are live from startup;
+	// training rounds later replace the program with compiled verdicts.
+	dropRulesPath := filepath.Join(dir, "drop.rules")
+	if err := os.WriteFile(dropRulesPath, []byte("drop proto=udp src-port=11211 id=memcached\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
 	done := make(chan error, 1)
 	go func() {
 		done <- run(ctx, log, options{
-			SFlowAddr:   sflowAddr,
-			BGPAddr:     bgpAddr,
-			ASN:         64999,
-			TrainEvery:  500 * time.Millisecond,
-			Window:      time.Hour,
-			ACLOut:      filepath.Join(dir, "acls.txt"),
-			MetricsAddr: metricsAddr,
-			RegistryDir: filepath.Join(dir, "registry"),
-			Shadow:      true,
-			Sketch:      &features.SketchConfig{Budget: 0.05},
+			SFlowAddr:     sflowAddr,
+			BGPAddr:       bgpAddr,
+			ASN:           64999,
+			TrainEvery:    500 * time.Millisecond,
+			Window:        time.Hour,
+			ACLOut:        filepath.Join(dir, "acls.txt"),
+			MetricsAddr:   metricsAddr,
+			RegistryDir:   filepath.Join(dir, "registry"),
+			Shadow:        true,
+			Sketch:        &features.SketchConfig{Budget: 0.05},
+			DropRulesPath: dropRulesPath,
 		})
 	}()
 
@@ -317,6 +326,11 @@ func TestDaemonMetricsEndToEnd(t *testing.T) {
 		// occupy real heap.
 		"ixps_features_resident_groups",
 		"ixps_features_sketch_bytes",
+		// The mitigation fast path sits in front of the queue, so every
+		// ingested record passed through it; compiling the seed rules took
+		// real time.
+		"ixps_dropper_evaluated_total",
+		"ixps_dropper_compile_ns",
 		"go_goroutines",
 	}
 	for _, name := range positive {
@@ -341,6 +355,13 @@ func TestDaemonMetricsEndToEnd(t *testing.T) {
 		// The error bound is 0 until a summary evicts, so presence is the
 		// contract.
 		"ixps_features_estimate_rel_error",
+		// Dropper families whose values depend on the traffic draw: how
+		// many records the seeded memcached rule (or a compiled verdict)
+		// actually dropped, and how many rules the live program holds after
+		// training rounds replaced the static seed.
+		"ixps_dropper_dropped_total",
+		"ixps_dropper_rules",
+		`ixps_dropper_rule_drops_total{rule="memcached"}`,
 	} {
 		if _, ok := m[name]; !ok {
 			t.Errorf("lifecycle metric %s missing from /metrics", name)

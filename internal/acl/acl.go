@@ -60,13 +60,22 @@ func (f *Filter) Hits() []uint64 { return append([]uint64(nil), f.hits...) }
 
 // Apply returns the action of the first matching entry, or "" for no match.
 func (f *Filter) Apply(rec *netflow.Record) Action {
+	_, a := f.ApplyIndex(rec)
+	return a
+}
+
+// ApplyIndex returns the index and action of the first matching entry, or
+// (-1, "") for no match. The index identifies which entry fired — the
+// reference the compiled mitigation fast path is equivalence-tested
+// against.
+func (f *Filter) ApplyIndex(rec *netflow.Record) (int, Action) {
 	for i := range f.entries {
 		if f.entries[i].Matches(rec) {
 			f.hits[i]++
-			return f.entries[i].Action
+			return i, f.entries[i].Action
 		}
 	}
-	return ""
+	return -1, ""
 }
 
 // ForRules scopes every accepted rule to all destinations.

@@ -117,6 +117,14 @@ type Scenario struct {
 	// sketch path is deterministic, so sketch scenarios replay exactly like
 	// exact ones.
 	SketchBudget float64
+
+	// Dropper puts the compiled mitigation fast path in front of the
+	// ingest queue: every training round compiles the champion's verdicts
+	// and hot-swaps them into the match stage, so later minutes' matching
+	// records are dropped before the queue. Compilation is deterministic,
+	// so dropper scenarios replay exactly — against dropper-enabled
+	// references only, since dropping reshapes the training stream.
+	Dropper bool
 }
 
 // RoundDigest summarizes one training round for comparison.
@@ -177,6 +185,12 @@ type Outcome struct {
 	RegistryChampionSeq uint64 // seq the on-disk champion resolves to
 	RegistryTorn        uint64 // writes torn by the scripted outage
 
+	// Drop-stage accounting (zero when the scenario has no dropper).
+	DropperEvaluated uint64
+	DropperDropped   uint64
+	DropperSwaps     uint64
+	DropperRules     int
+
 	// Blackholes is the registry's distinct-prefix count (marker included).
 	Blackholes int
 	// ACLFile is the content of the published ACL file at run end.
@@ -202,6 +216,8 @@ func (o *Outcome) Key() string {
 		o.WriterWrites, o.WriterRetries, o.TornWrites, o.CheckpointOK)
 	fmt.Fprintf(&b, "modelreg: versions=%d champion=%d torn=%d\n",
 		o.RegistryVersions, o.RegistryChampionSeq, o.RegistryTorn)
+	fmt.Fprintf(&b, "dropper: eval=%d dropped=%d swaps=%d rules=%d\n",
+		o.DropperEvaluated, o.DropperDropped, o.DropperSwaps, o.DropperRules)
 	b.WriteString(o.ExactKey())
 	return b.String()
 }
@@ -426,6 +442,7 @@ func (h *Harness) start() error {
 		ConsumeGate:     h.gate.Wait,
 		Registry:        h.models,
 		Shadow:          sc.Shadow,
+		Drop:            sc.Dropper,
 	}
 	if sc.Shadow {
 		// Scripted promotions only: with auto-promotion disabled, PromoteAt
@@ -801,9 +818,20 @@ func (h *Harness) settle(waitQueue bool) error {
 	}); err != nil {
 		return fmt.Errorf("settling collector samples: %w", err)
 	}
+	// The drop stage sits between collector and queue: records it drops
+	// never arrive at the balancer, and batches it consumes entirely never
+	// reach the queue. Both count toward the injected stream's drain.
+	dropStats := func() (records, batches uint64) {
+		if d := h.pipe.Dropper(); d != nil {
+			st := d.Stats()
+			return st.Dropped, st.FullyDroppedBatches
+		}
+		return 0, 0
+	}
 	qs := h.pipe.QueueStats()
 	if err := ixpsim.PollUntil(h.ctx, func() bool {
-		return qs.BatchesIn.Load()+qs.DroppedBatches.Load() >= h.expBatches
+		_, dropBatches := dropStats()
+		return qs.BatchesIn.Load()+qs.DroppedBatches.Load()+dropBatches >= h.expBatches
 	}); err != nil {
 		return fmt.Errorf("settling collector batches: %w", err)
 	}
@@ -812,7 +840,8 @@ func (h *Harness) settle(waitQueue bool) error {
 	}
 	if err := ixpsim.PollUntil(h.ctx, func() bool {
 		ing := h.pipe.Ingested() - h.ingestBase
-		return ing+qs.DroppedRecords.Load() >= h.expIngest &&
+		dropRecords, _ := dropStats()
+		return ing+qs.DroppedRecords.Load()+dropRecords >= h.expIngest &&
 			qs.BatchesOut.Load() == qs.BatchesIn.Load() &&
 			qs.RecordsOut.Load() == ing
 	}); err != nil {
@@ -865,6 +894,13 @@ func (h *Harness) collect(out *Outcome) {
 		if m, _, err := h.models.Champion(); err == nil {
 			out.RegistryChampionSeq = m.Seq
 		}
+	}
+	if d := h.pipe.Dropper(); d != nil {
+		st := d.Stats()
+		out.DropperEvaluated = st.Evaluated
+		out.DropperDropped = st.Dropped
+		out.DropperSwaps = st.Swaps
+		out.DropperRules = d.Program().Len()
 	}
 	out.Blackholes = h.registry.PrefixCount()
 	if data, err := os.ReadFile(h.aclPath()); err == nil {

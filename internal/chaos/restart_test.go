@@ -21,7 +21,7 @@ import (
 //     BGP session (with historical clock), so labels are identical;
 //   - the published ACL text is byte-identical.
 func TestCrashRestartConvergesToReference(t *testing.T) {
-	testCrashRestart(t, 0)
+	testCrashRestart(t, 0, false)
 }
 
 // TestCrashRestartSketchMode is the same crash/restart convergence, with
@@ -29,10 +29,19 @@ func TestCrashRestartConvergesToReference(t *testing.T) {
 // the restarted run must rank, classify and publish bit-identically to the
 // uninterrupted sketch-mode reference.
 func TestCrashRestartSketchMode(t *testing.T) {
-	testCrashRestart(t, 0.05)
+	testCrashRestart(t, 0.05, false)
 }
 
-func testCrashRestart(t *testing.T, sketchBudget float64) {
+// TestCrashRestartWithDropper crashes with the mitigation fast path live.
+// The compiled program rides the checkpoint as DROP1 bytes, so the
+// restarted stage drops bit-identically from its first post-restore batch
+// — without it, minutes 6-9 would pass records the reference dropped and
+// every downstream digest would diverge.
+func TestCrashRestartWithDropper(t *testing.T) {
+	testCrashRestart(t, 0, true)
+}
+
+func testCrashRestart(t *testing.T, sketchBudget float64, dropper bool) {
 	if testing.Short() {
 		t.Skip("chaos scenarios replay full pipeline runs; skipped in -short")
 	}
@@ -44,6 +53,7 @@ func testCrashRestart(t *testing.T, sketchBudget float64) {
 		TrainAt:      []int64{5, 9},
 		Checkpoint:   true,
 		SketchBudget: sketchBudget,
+		Dropper:      dropper,
 	}
 	ref, err := chaos.Run(context.Background(), base, t.TempDir())
 	if err != nil {
@@ -51,6 +61,9 @@ func testCrashRestart(t *testing.T, sketchBudget float64) {
 	}
 	if len(ref.Rounds) != 2 || ref.Rounds[1].Skipped {
 		t.Fatalf("reference run did not complete both rounds: %+v", ref.Rounds)
+	}
+	if dropper && ref.DropperDropped == 0 {
+		t.Fatal("dropper reference dropped nothing; fast path not exercised")
 	}
 	startMin := int64(0)
 	for m := range ref.Digests {
@@ -93,6 +106,9 @@ func testCrashRestart(t *testing.T, sketchBudget float64) {
 		t.Fatal(err)
 	}
 
+	if dropper && out2.DropperRules == 0 {
+		t.Error("restored checkpoint carried no drop program")
+	}
 	// The post-restart balanced stream must be bit-identical to the same
 	// minutes of the uninterrupted run.
 	resumeFrom := startMin + 6

@@ -417,6 +417,59 @@ func TestChaosScenarios(t *testing.T) {
 			},
 		},
 		{
+			// Mitigation fast path live in front of ingest: round@4 compiles
+			// the champion's drop verdicts and hot-swaps them into the match
+			// stage mid-storm, so minutes 5+ shed attack records before the
+			// queue. Not compared to the reference — dropping reshapes the
+			// training stream by design — but three replays must still be
+			// bit-identical (compilation and matching are deterministic),
+			// and record conservation must hold exactly across every swap.
+			sc: func() chaos.Scenario {
+				sc := baseScenario("drop-stage-swap")
+				sc.Minutes = 12
+				sc.TrainAt = []int64{4, 7, 11}
+				sc.Dropper = true
+				return sc
+			}(),
+			check: func(t *testing.T, out *chaos.Outcome) {
+				if len(out.Rounds) != 3 {
+					t.Fatalf("rounds = %d, want 3", len(out.Rounds))
+				}
+				if out.DropperSwaps != 3 {
+					t.Errorf("DropperSwaps = %d, want one hot swap per round", out.DropperSwaps)
+				}
+				if out.DropperDropped == 0 {
+					t.Error("compiled verdicts dropped nothing; fast path not exercised")
+				}
+				// Every converted record entered the stage, and every one of
+				// them either reached the balancer or was dropped by a rule —
+				// recompile + swap lost nothing, not even mid-storm.
+				if out.DropperEvaluated != out.Records {
+					t.Errorf("stage evaluated %d of %d converted records",
+						out.DropperEvaluated, out.Records)
+				}
+				if out.Ingested+out.DropperDropped != out.Records {
+					t.Errorf("records unaccounted for across swaps: ingested=%d dropped=%d converted=%d",
+						out.Ingested, out.DropperDropped, out.Records)
+				}
+				// The swap itself must never cost ingest: the queue saw no
+				// batch or record drops at any point.
+				if out.DroppedBatches != 0 || out.DroppedRecords != 0 {
+					t.Errorf("queue dropped during swaps: batches=%d records=%d",
+						out.DroppedBatches, out.DroppedRecords)
+				}
+				if out.Rounds[2].Skipped || len(out.Rounds[2].Flagged) == 0 {
+					t.Errorf("pipeline stopped classifying with the dropper live: %+v", out.Rounds[2])
+				}
+				if !strings.Contains(out.Metrics, "ixps_dropper_rule_drops_total{rule=") {
+					t.Error("per-rule drop counters missing from metrics")
+				}
+				if got := metricValue(t, out.Metrics, "ixps_dropper_dropped_total"); got != float64(out.DropperDropped) {
+					t.Errorf("dropped metric = %v, counter = %d", got, out.DropperDropped)
+				}
+			},
+		},
+		{
 			sc: func() chaos.Scenario {
 				sc := baseScenario("checkpointed-run")
 				sc.Checkpoint = true

@@ -1,0 +1,181 @@
+package dropper
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/acl"
+	"github.com/ixp-scrubber/ixpscrubber/internal/tagging"
+)
+
+// ParseRules parses the operator drop-rule text format (the -drop-rules
+// file), one rule per line, first match wins top to bottom:
+//
+//	drop proto=udp src-port=123 dst=198.51.100.7/32 id=ntp-reflect
+//	drop proto=udp src-port=other size-bin=15
+//	monitor proto=tcp dst-port=179 src=2001:db8::/32
+//	drop fragment proto=udp
+//
+// Blank lines and #-comments are ignored. The first token is the action
+// (drop, shape, monitor, reroute); the rest are conditions:
+//
+//	proto=<tcp|udp|icmp|gre|0-255>   IP protocol
+//	src-port=<port|other>            tagging port class of the source port
+//	dst-port=<port|other>            tagging port class of the destination
+//	size-bin=<0-15>                  tagging mean-packet-size bin
+//	fragment                         record must be fragmented
+//	src=<CIDR> / dst=<CIDR>          prefix scopes (v4 or v6)
+//	id=<name>                        counter label; defaults to a stable
+//	                                 content hash
+//
+// Literal ports must be in the retained discretization set (0-1023 plus
+// the DDoS catalog ports) — anything else can never match a discretized
+// record, so the parser rejects it instead of compiling a dead condition.
+// Contradictions (fragment plus a port condition, duplicate keys) are
+// errors for the same reason. ParseRules never panics on any input; the
+// FuzzCompileRules target holds it to that.
+func ParseRules(text string) ([]Rule, error) {
+	var rules []Rule
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		r, err := parseRule(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseRule(fields []string) (Rule, error) {
+	var r Rule
+	switch a := acl.Action(fields[0]); a {
+	case acl.ActionDrop, acl.ActionShape, acl.ActionMonitor, acl.ActionReroute:
+		r.Action = a
+	default:
+		return r, fmt.Errorf("unknown action %q (want drop, shape, monitor or reroute)", fields[0])
+	}
+	seen := map[string]bool{}
+	for _, tok := range fields[1:] {
+		key, val, hasVal := strings.Cut(tok, "=")
+		if seen[key] {
+			return r, fmt.Errorf("duplicate %s condition", key)
+		}
+		seen[key] = true
+		if key == "fragment" {
+			if hasVal {
+				return r, fmt.Errorf("fragment takes no value")
+			}
+			r.Fragment = true
+			continue
+		}
+		if !hasVal || val == "" {
+			return r, fmt.Errorf("condition %q needs a value", tok)
+		}
+		var err error
+		switch key {
+		case "proto":
+			r.Proto, err = parseProto(val)
+			r.ProtoSet = err == nil
+		case "src-port":
+			r.SrcPort, err = parsePortClass(val)
+			r.SrcPortSet = err == nil
+		case "dst-port":
+			r.DstPort, err = parsePortClass(val)
+			r.DstPortSet = err == nil
+		case "size-bin":
+			var b uint64
+			b, err = strconv.ParseUint(val, 10, 32)
+			if err == nil && b > 15 {
+				err = fmt.Errorf("size-bin %d out of range 0-15", b)
+			}
+			r.SizeBin, r.SizeBinSet = uint32(b), err == nil
+		case "src":
+			r.Src, err = netip.ParsePrefix(val)
+		case "dst":
+			r.Dst, err = netip.ParsePrefix(val)
+		case "id":
+			if !validID(val) {
+				err = fmt.Errorf("id %q: want 1-64 chars of [A-Za-z0-9_.:-]", val)
+			}
+			r.ID = val
+		default:
+			err = fmt.Errorf("unknown condition %q", key)
+		}
+		if err != nil {
+			return r, fmt.Errorf("%s: %w", key, err)
+		}
+	}
+	if r.Fragment && (r.SrcPortSet || r.DstPortSet) {
+		return r, fmt.Errorf("fragment contradicts port conditions: fragmented records carry no port classes")
+	}
+	if r.ID == "" {
+		// Stable content-derived default so counters and serialized
+		// programs keep their identity across restarts and re-parses.
+		h := fnv.New64a()
+		h.Write(Marshal([]Rule{r}))
+		r.ID = fmt.Sprintf("r-%08x", h.Sum64()&0xFFFFFFFF)
+	}
+	return r, nil
+}
+
+func parseProto(val string) (uint32, error) {
+	switch val {
+	case "tcp":
+		return 6, nil
+	case "udp":
+		return 17, nil
+	case "icmp":
+		return 1, nil
+	case "gre":
+		return 47, nil
+	}
+	n, err := strconv.ParseUint(val, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("want tcp, udp, icmp, gre or 0-255")
+	}
+	if n > 255 {
+		return 0, fmt.Errorf("protocol %d out of range 0-255", n)
+	}
+	return uint32(n), nil
+}
+
+func parsePortClass(val string) (uint32, error) {
+	if val == "other" {
+		return tagging.PortOther, nil
+	}
+	n, err := strconv.ParseUint(val, 10, 32)
+	if err != nil || n > 65535 {
+		return 0, fmt.Errorf("want 0-65535 or \"other\"")
+	}
+	pv := tagging.PortValue(uint16(n))
+	if pv != uint32(n) {
+		return 0, fmt.Errorf("port %d is not in the retained discretization set; it matches as \"other\"", n)
+	}
+	return pv, nil
+}
+
+func validID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '.', c == ':', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,249 @@
+package dropper
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/acl"
+)
+
+// DROP1 is the rule-list serialization: the magic, a uvarint rule count,
+// then per rule the ID and action as length-prefixed strings, a condition
+// flag byte, the set conditions as uvarints in flag order, and the two
+// prefix scopes. Programs serialize as their rule lists — the compiled
+// tables are a pure function of the rules, so deserialize + Compile
+// reconstructs a program that matches bit-for-bit (the fuzz suite pins
+// this round trip). The format is what pipeline checkpoints embed so a
+// restarted process resumes dropping with the exact pre-crash program.
+
+const magic = "DROP1"
+
+// Flag bits of the per-rule condition byte.
+const (
+	flagProto = 1 << iota
+	flagSrcPort
+	flagDstPort
+	flagSizeBin
+	flagFragment
+	flagDead
+)
+
+// maxRules bounds deserialization so corrupt or adversarial input cannot
+// demand absurd allocations before failing.
+const maxRules = 1 << 20
+
+// Marshal encodes a rule list in the DROP1 format.
+func Marshal(rules []Rule) []byte {
+	b := []byte(magic)
+	b = binary.AppendUvarint(b, uint64(len(rules)))
+	for i := range rules {
+		r := &rules[i]
+		b = appendString(b, r.ID)
+		b = appendString(b, string(r.Action))
+		var flags byte
+		if r.ProtoSet {
+			flags |= flagProto
+		}
+		if r.SrcPortSet {
+			flags |= flagSrcPort
+		}
+		if r.DstPortSet {
+			flags |= flagDstPort
+		}
+		if r.SizeBinSet {
+			flags |= flagSizeBin
+		}
+		if r.Fragment {
+			flags |= flagFragment
+		}
+		if r.Dead {
+			flags |= flagDead
+		}
+		b = append(b, flags)
+		if r.ProtoSet {
+			b = binary.AppendUvarint(b, uint64(r.Proto))
+		}
+		if r.SrcPortSet {
+			b = binary.AppendUvarint(b, uint64(r.SrcPort))
+		}
+		if r.DstPortSet {
+			b = binary.AppendUvarint(b, uint64(r.DstPort))
+		}
+		if r.SizeBinSet {
+			b = binary.AppendUvarint(b, uint64(r.SizeBin))
+		}
+		b = appendPrefix(b, r.Src)
+		b = appendPrefix(b, r.Dst)
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Prefix encoding: a family byte (0 = none, 4 = IPv4, 6 = IPv6 including
+// 4-mapped-in-6), then the address bytes and a bits byte. The address is
+// stored unmasked so Marshal∘Unmarshal is the identity on the rule.
+func appendPrefix(b []byte, p netip.Prefix) []byte {
+	if !p.IsValid() {
+		return append(b, 0)
+	}
+	if p.Addr().Is4() {
+		a := p.Addr().As4()
+		b = append(b, 4)
+		b = append(b, a[:]...)
+	} else {
+		a := p.Addr().As16()
+		b = append(b, 6)
+		b = append(b, a[:]...)
+	}
+	return append(b, byte(p.Bits()))
+}
+
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("dropper: truncated %s", what)
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *decoder) bytes(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b) < n {
+		d.fail("dropper: truncated %s", what)
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) str(what string) string {
+	n := d.uvarint(what + " length")
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("dropper: truncated %s", what)
+		return ""
+	}
+	return string(d.bytes(int(n), what))
+}
+
+func (d *decoder) u32(what string) uint32 {
+	v := d.uvarint(what)
+	if v > 0xFFFFFF {
+		d.fail("dropper: %s %d exceeds the 24-bit item range", what, v)
+	}
+	return uint32(v)
+}
+
+func (d *decoder) prefix(what string) netip.Prefix {
+	fam := d.bytes(1, what+" family")
+	if d.err != nil || fam[0] == 0 {
+		return netip.Prefix{}
+	}
+	var addr netip.Addr
+	var maxBits int
+	switch fam[0] {
+	case 4:
+		raw := d.bytes(4, what+" address")
+		if d.err != nil {
+			return netip.Prefix{}
+		}
+		addr = netip.AddrFrom4([4]byte(raw))
+		maxBits = 32
+	case 6:
+		raw := d.bytes(16, what+" address")
+		if d.err != nil {
+			return netip.Prefix{}
+		}
+		addr = netip.AddrFrom16([16]byte(raw))
+		maxBits = 128
+	default:
+		d.fail("dropper: bad %s family %d", what, fam[0])
+		return netip.Prefix{}
+	}
+	nb := d.bytes(1, what+" bits")
+	if d.err != nil {
+		return netip.Prefix{}
+	}
+	if int(nb[0]) > maxBits {
+		d.fail("dropper: %s bits %d exceed family width %d", what, nb[0], maxBits)
+		return netip.Prefix{}
+	}
+	return netip.PrefixFrom(addr, int(nb[0]))
+}
+
+// Unmarshal decodes a DROP1 rule list. Every error is reported, never
+// panicked: the format is checkpoint and operator-file input.
+func Unmarshal(data []byte) ([]Rule, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("dropper: missing %s magic", magic)
+	}
+	d := &decoder{b: data[len(magic):]}
+	n := d.uvarint("rule count")
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n > maxRules {
+		return nil, fmt.Errorf("dropper: rule count %d exceeds limit %d", n, maxRules)
+	}
+	rules := make([]Rule, 0, n)
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		var r Rule
+		r.ID = d.str("rule ID")
+		r.Action = acl.Action(d.str("action"))
+		fb := d.bytes(1, "flags")
+		if d.err != nil {
+			break
+		}
+		flags := fb[0]
+		if flags&flagProto != 0 {
+			r.Proto, r.ProtoSet = d.u32("protocol"), true
+		}
+		if flags&flagSrcPort != 0 {
+			r.SrcPort, r.SrcPortSet = d.u32("src port"), true
+		}
+		if flags&flagDstPort != 0 {
+			r.DstPort, r.DstPortSet = d.u32("dst port"), true
+		}
+		if flags&flagSizeBin != 0 {
+			r.SizeBin, r.SizeBinSet = d.u32("size bin"), true
+		}
+		r.Fragment = flags&flagFragment != 0
+		r.Dead = flags&flagDead != 0
+		r.Src = d.prefix("src prefix")
+		r.Dst = d.prefix("dst prefix")
+		rules = append(rules, r)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("dropper: %d trailing bytes after %d rules", len(d.b), n)
+	}
+	return rules, nil
+}

@@ -18,6 +18,7 @@ import (
 	"github.com/ixp-scrubber/ixpscrubber/internal/balance"
 	"github.com/ixp-scrubber/ixpscrubber/internal/core"
 	"github.com/ixp-scrubber/ixpscrubber/internal/drift"
+	"github.com/ixp-scrubber/ixpscrubber/internal/dropper"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
 	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
 	"github.com/ixp-scrubber/ixpscrubber/internal/registry"
@@ -91,6 +92,15 @@ type PipelineConfig struct {
 	// RegistryKeep is how many unpinned, non-champion versions registry GC
 	// retains after each promotion; 0 means 3.
 	RegistryKeep int
+
+	// Drop enables the compiled mitigation fast path: an inline
+	// dropper.Stage between the collectors and the ingest queue. After
+	// every successful round the champion's ACL verdicts recompile into a
+	// flat match program and hot-swap in without pausing ingest; records
+	// whose first matching rule says drop never reach the balancer. The
+	// compiled program rides the checkpoint, so a restarted pipeline
+	// resumes dropping with its exact pre-crash rules.
+	Drop bool
 }
 
 // Round reports one training round.
@@ -157,6 +167,10 @@ type Pipeline struct {
 	tm       *trainMetrics
 	ingested atomic.Uint64 // records through the balancer
 	trained  atomic.Bool
+
+	// drop is the compiled mitigation stage in front of the queue; nil
+	// unless cfg.Drop.
+	drop *dropper.Stage
 
 	wg sync.WaitGroup
 }
@@ -229,8 +243,14 @@ func NewPipeline(cfg PipelineConfig) *Pipeline {
 		monitor: drift.NewMonitor(cfg.Drift),
 	}
 	p.bal = balance.ForRecords(cfg.Seed, p.keep)
+	if cfg.Drop {
+		p.drop = dropper.NewStage(func(b []netflow.Record) { p.queue.Put(b) })
+	}
 	if cfg.Metrics != nil {
 		p.queue.RegisterMetrics(cfg.Metrics, "ingest")
+		if p.drop != nil {
+			p.drop.RegisterMetrics(cfg.Metrics)
+		}
 		p.balMetrics = balance.RegisterMetrics(cfg.Metrics)
 		p.trainer.SetMetrics(core.RegisterMetrics(cfg.Metrics))
 		p.tm = newTrainMetrics(cfg.Metrics)
@@ -276,12 +296,20 @@ func (p *Pipeline) Ingested() uint64 { return p.ingested.Load() }
 func (p *Pipeline) Trained() bool { return p.trained.Load() }
 
 // EmitBatch enqueues one collector batch; it is the collector's EmitBatch
-// hook. The queue copies the batch, so the collector may reuse its slice.
-// Under DropNewest/DropOldest pressure the return value says whether this
-// batch survived.
+// hook. With the dropper enabled the batch first passes the compiled
+// match program, which compacts dropped records out in place before the
+// survivors enqueue. The queue copies what it accepts, so the collector
+// may reuse its slice either way.
 func (p *Pipeline) EmitBatch(recs []netflow.Record) {
+	if p.drop != nil {
+		p.drop.EmitBatch(recs)
+		return
+	}
 	p.queue.Put(recs)
 }
+
+// Dropper exposes the compiled mitigation stage (nil unless cfg.Drop).
+func (p *Pipeline) Dropper() *dropper.Stage { return p.drop }
 
 // Start launches the queue consumer. The consumer exits when the context
 // is canceled or the queue is closed (Stop).
@@ -520,6 +548,15 @@ func (p *Pipeline) trainAndClassify(ctx context.Context, records []netflow.Recor
 			return nil, err
 		}
 	}
+	// Mitigation fast path: the verdicts that just published as ACL text
+	// also compile into the flat match program and hot-swap in — an
+	// atomic pointer store, so promotion → recompile → swap never pauses
+	// ingest. Compilation is total (it cannot fail), and a swap on a
+	// round that flagged nothing installs the empty program, withdrawing
+	// the previous drops exactly like the ACL withdrawal it mirrors.
+	if p.drop != nil {
+		p.drop.Swap(dropper.Compile(dropper.FromEntries(entries)))
+	}
 	return &Round{
 		Records:      len(records),
 		Aggregates:   len(aggs),
@@ -553,6 +590,10 @@ type checkpointJSON struct {
 	// restored pipeline resumes the version count instead of restarting at
 	// 1 (additive; absent in pre-lifecycle checkpoints).
 	ModelSeq uint64 `json:"model_seq,omitempty"`
+	// DropProgram is the live drop program's rule list in DROP1 bytes
+	// (additive; only with the dropper enabled). Restore recompiles it so
+	// post-restart dropping is bit-identical to pre-crash.
+	DropProgram []byte `json:"drop_program,omitempty"`
 }
 
 // SaveCheckpoint atomically persists the pipeline state to CheckpointPath.
@@ -571,6 +612,11 @@ func (p *Pipeline) SaveCheckpoint(ctx context.Context) error {
 	}
 	if ch := p.champion.Load(); ch != nil {
 		cp.ModelSeq = ch.seq
+	}
+	if p.drop != nil {
+		if prog := p.drop.Program(); prog != nil && prog.Len() > 0 {
+			cp.DropProgram = dropper.Marshal(prog.Rules())
+		}
 	}
 	p.balMu.Lock()
 	st, err := p.bal.Checkpoint()
@@ -638,6 +684,17 @@ func (p *Pipeline) restoreCheckpointFile() (bool, error) {
 	p.window = append(p.window[:0], cp.Window...)
 	p.winMu.Unlock()
 	p.ingested.Store(cp.Ingested)
+	if p.drop != nil && len(cp.DropProgram) > 0 {
+		rules, derr := dropper.Unmarshal(cp.DropProgram)
+		if derr != nil {
+			// A corrupt embedded program degrades to the empty program the
+			// stage already serves; the next round recompiles from fresh
+			// verdicts. Not a restore failure.
+			p.cfg.Log.Error("checkpointed drop program unreadable; starting with none", "err", derr)
+		} else {
+			p.drop.Swap(dropper.Compile(rules))
+		}
+	}
 	if cp.Trained {
 		s, err := core.Load(bytes.NewReader(cp.Bundle))
 		if err != nil {

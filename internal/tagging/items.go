@@ -96,12 +96,30 @@ func portValue(p uint16) uint32 {
 	return PortOther
 }
 
-// sizeBin returns the packet size bin index of a mean packet size.
-func sizeBin(meanSize float64) uint32 {
+// PortValue discretizes a port: retained ports stay literal, everything
+// else collapses into PortOther. Exported for the compiled mitigation fast
+// path (internal/dropper), which must discretize bit-identically to the
+// rule interpreter.
+func PortValue(p uint16) uint32 { return portValue(p) }
+
+// SizeValue is the integer mean packet size that SizeBin bins: negative
+// sizes clamp to 0, everything else truncates toward zero. The dropper's
+// packet-size range table is keyed on this value so both paths share one
+// float64→uint32 conversion; any drift here breaks their bit-for-bit
+// equivalence.
+func SizeValue(meanSize float64) uint32 {
 	if meanSize < 0 {
 		return 0
 	}
-	b := uint32(meanSize) / SizeBinWidth
+	return uint32(meanSize)
+}
+
+// SizeBin returns the packet size bin index of a mean packet size.
+func SizeBin(meanSize float64) uint32 { return sizeBin(meanSize) }
+
+// sizeBin returns the packet size bin index of a mean packet size.
+func sizeBin(meanSize float64) uint32 {
+	b := SizeValue(meanSize) / SizeBinWidth
 	if b > 15 {
 		b = 15
 	}

@@ -13,16 +13,16 @@
 #
 # Usage: scripts/bench.sh [-benchtime 1x] [-count 1] [-only pr1,pr6]
 #
-# -only runs a subset of the per-PR sections (pr1 pr2 pr3 pr5 pr6,
+# -only runs a subset of the per-PR sections (pr1 pr2 pr3 pr5 pr6 pr7,
 # comma-separated); the default runs all of them. CI uses
-# "-only pr6 -benchtime 1x" as a smoke test that the benchmarks still
+# "-only pr6,pr7 -benchtime 1x" as a smoke test that the benchmarks still
 # compile and run, without paying for stable numbers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime=1x
 count=1
-only=pr1,pr2,pr3,pr5,pr6
+only=pr1,pr2,pr3,pr5,pr6,pr7
 while [ $# -gt 0 ]; do
     case "$1" in
     -benchtime) benchtime=$2; shift 2 ;;
@@ -239,4 +239,55 @@ END {
 }' "$tmp6" > BENCH_PR6.json
 
 echo "wrote BENCH_PR6.json ($(nproc) cores)"
+fi
+
+# Compiled mitigation fast path (PR 7): per-record match cost of the
+# compiled program vs the reference interpreter on hit and miss traffic at
+# 16/256/4096 rules (reported as pps = 1e9/ns), compile latency per
+# rule-set size, and the hot-swap + per-batch stage overhead. The headline
+# gate is miss_speedup_256 (interpreter ns / compiled ns on non-matching
+# traffic — the benign-traffic common case): the acceptance bound is >= 10.
+# Min-of-N like the other sections.
+tmp7=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp5" "$tmp6" "$tmp7"' EXIT
+
+if want pr7; then
+go test -run '^$' -bench 'BenchmarkMatch|BenchmarkCompile|BenchmarkStageSwap|BenchmarkStageEmitBatch' \
+    -benchmem -benchtime "$benchtime" -count "$count" ./internal/dropper | tee "$tmp7"
+
+awk -v cores="$(nproc)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    sub(/-[0-9]+$/, "", $1)   # strip the -GOMAXPROCS suffix
+    if (!($1 in ns) || $3 + 0 < ns[$1]) ns[$1] = $3 + 0
+}
+function m(kind, n) { return ns["BenchmarkMatch/" kind "/rules=" n] }
+function row(kind, n,    v) {
+    v = m(kind, n)
+    if (!first) printf(",\n")
+    first = 0
+    printf("    {\"impl\": \"%s\", \"rules\": %d, \"ns_per_record\": %g, \"pps\": %g}",
+        kind, n, v, v > 0 ? 1e9 / v : 0)
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"cores\": %d,\n", date, cores
+    printf "  \"note\": \"min of N runs; pps = 1e9/ns_per_record; miss = non-matching traffic, the benign common case\",\n"
+    print  "  \"match\": ["
+    first = 1
+    row("compiled_miss", 16); row("compiled_miss", 256); row("compiled_miss", 4096)
+    row("compiled_hit", 16); row("compiled_hit", 256); row("compiled_hit", 4096)
+    row("interp_miss", 16); row("interp_miss", 256); row("interp_miss", 4096)
+    row("interp_hit", 16); row("interp_hit", 256); row("interp_hit", 4096)
+    print "\n  ],"
+    cm = m("compiled_miss", 256); im = m("interp_miss", 256)
+    ch = m("compiled_hit", 256); ih = m("interp_hit", 256)
+    printf("  \"miss_speedup_256\": %.2f,\n", cm > 0 ? im / cm : 0)
+    printf("  \"hit_speedup_256\": %.2f,\n", ch > 0 ? ih / ch : 0)
+    printf("  \"compile_ns\": {\"rules_16\": %g, \"rules_256\": %g, \"rules_4096\": %g},\n",
+        ns["BenchmarkCompile/rules=16"], ns["BenchmarkCompile/rules=256"], ns["BenchmarkCompile/rules=4096"])
+    printf("  \"stage_swap_ns\": %g,\n", ns["BenchmarkStageSwap"])
+    printf("  \"stage_emit_batch_ns_256_records\": %g\n", ns["BenchmarkStageEmitBatch"])
+    print "}"
+}' "$tmp7" > BENCH_PR7.json
+
+echo "wrote BENCH_PR7.json ($(nproc) cores)"
 fi
