@@ -1,0 +1,177 @@
+// Command benchsummary merges the per-PR benchmark artifacts
+// (BENCH_PR*.json at the repo root, written by scripts/bench.sh) into a
+// single trajectory file so each metric can be read across the stacked
+// PR sequence without opening N differently-shaped files.
+//
+// Output schema ("bench-trajectory/v1"):
+//
+//	{
+//	  "schema": "bench-trajectory/v1",
+//	  "series": {
+//	    "<metric path>": [ {"pr": <n>, "value": <number>}, ... ],
+//	    ...
+//	  }
+//	}
+//
+// Every numeric leaf of every input file becomes one series point; the
+// series name is the dot-joined path to the leaf. Nested objects
+// contribute their key ("fit_ns.reference"); arrays of objects are
+// labeled by their discriminator fields rather than their index, so the
+// series name is stable if the array is reordered: string discriminators
+// (name, impl, mode) appear as their value, numeric ones (rules, mult,
+// procs) as key=value. Example series names:
+//
+//	fit_ns.reference                          (BENCH_PR8 nested object)
+//	pairs.woe_lookup.speedup                  (BENCH_PR3 array, name field)
+//	match.compiled_miss.rules=256.pps         (BENCH_PR7 array, two fields)
+//
+// String leaves (date, note) are dropped. The PR number comes from the
+// file name (BENCH_PR<n>.json); points within a series are sorted by PR,
+// series names sort lexically (encoding/json map ordering). A metric
+// that only exists in some PRs simply has a shorter series — consumers
+// must not assume every series covers every PR.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type point struct {
+	PR    int     `json:"pr"`
+	Value float64 `json:"value"`
+}
+
+type trajectory struct {
+	Schema string             `json:"schema"`
+	Series map[string][]point `json:"series"`
+}
+
+var prPattern = regexp.MustCompile(`BENCH_PR(\d+)\.json$`)
+
+// discriminators are the fields that identify an element inside an
+// array of objects, in the order they are joined into the series name.
+// Strings label by bare value, numbers by key=value.
+var discriminators = []string{"name", "impl", "mode", "kind", "rules", "mult", "procs"}
+
+func main() {
+	out := flag.String("o", "BENCH_TRAJECTORY.json", "output file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchsummary [-o out.json] BENCH_PR*.json...")
+		os.Exit(2)
+	}
+	traj, err := summarize(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsummary:", err)
+		os.Exit(1)
+	}
+}
+
+func summarize(files []string) (*trajectory, error) {
+	traj := &trajectory{Schema: "bench-trajectory/v1", Series: map[string][]point{}}
+	for _, f := range files {
+		m := prPattern.FindStringSubmatch(f)
+		if m == nil {
+			return nil, fmt.Errorf("%s: name must match BENCH_PR<n>.json", f)
+		}
+		pr, _ := strconv.Atoi(m[1])
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var doc any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		leaves := map[string]float64{}
+		flatten("", doc, leaves)
+		for path, v := range leaves {
+			traj.Series[path] = append(traj.Series[path], point{PR: pr, Value: v})
+		}
+	}
+	for _, pts := range traj.Series {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].PR < pts[j].PR })
+	}
+	return traj, nil
+}
+
+// flatten walks a decoded JSON value and collects every numeric leaf
+// under its dot-joined path. Non-numeric leaves are dropped.
+func flatten(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case float64:
+		if prefix != "" {
+			out[prefix] = t
+		}
+	case map[string]any:
+		for k, c := range t {
+			flatten(join(prefix, k), c, out)
+		}
+	case []any:
+		for i, c := range t {
+			flatten(join(prefix, elemLabel(c, i)), stripDiscriminators(c), out)
+		}
+	}
+}
+
+// elemLabel names an array element by its discriminator fields so the
+// series survives reordering; elements without any fall back to the
+// index.
+func elemLabel(v any, idx int) string {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return strconv.Itoa(idx)
+	}
+	label := ""
+	for _, d := range discriminators {
+		switch f := m[d].(type) {
+		case string:
+			label = join(label, f)
+		case float64:
+			label = join(label, d+"="+strconv.FormatFloat(f, 'g', -1, 64))
+		}
+	}
+	if label == "" {
+		return strconv.Itoa(idx)
+	}
+	return label
+}
+
+// stripDiscriminators removes the labeling fields from an array element
+// so they name the series instead of becoming series themselves.
+func stripDiscriminators(v any) any {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return v
+	}
+	rest := map[string]any{}
+	for k, c := range m {
+		rest[k] = c
+	}
+	for _, d := range discriminators {
+		delete(rest, d)
+	}
+	return rest
+}
+
+func join(prefix, k string) string {
+	if prefix == "" {
+		return k
+	}
+	return prefix + "." + k
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSummarizeMergesSeries(t *testing.T) {
+	dir := t.TempDir()
+	f2 := writeBench(t, dir, "BENCH_PR2.json", `{
+  "date": "2026-01-01T00:00:00Z",
+  "cores": 8,
+  "ingest_ns_per_datagram": {"metrics_off": 100, "metrics_on": 110},
+  "overhead_percent": 10.0
+}`)
+	f8 := writeBench(t, dir, "BENCH_PR8.json", `{
+  "date": "2026-02-01T00:00:00Z",
+  "cores": 8,
+  "note": "min of N runs",
+  "fit_ns": {"reference": 300, "fast": 100},
+  "fit_speedup": 3.0,
+  "overhead_percent": 5.0,
+  "match": [
+    {"impl": "compiled_miss", "rules": 256, "pps": 1e9},
+    {"impl": "interp_miss", "rules": 256, "pps": 1e7}
+  ],
+  "pairs": [
+    {"name": "woe_lookup", "old": {"bench": "BenchmarkOld", "ns_per_op": 50}, "speedup": 2.5}
+  ]
+}`)
+
+	traj, err := summarize([]string{f8, f2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traj.Schema != "bench-trajectory/v1" {
+		t.Fatalf("schema = %q", traj.Schema)
+	}
+
+	// A metric present in both files becomes one series sorted by PR,
+	// regardless of input file order.
+	if got := traj.Series["overhead_percent"]; !reflect.DeepEqual(got, []point{{2, 10}, {8, 5}}) {
+		t.Fatalf("overhead_percent = %+v", got)
+	}
+	// Nested objects flatten to dot paths.
+	if got := traj.Series["fit_ns.reference"]; !reflect.DeepEqual(got, []point{{8, 300}}) {
+		t.Fatalf("fit_ns.reference = %+v", got)
+	}
+	if got := traj.Series["ingest_ns_per_datagram.metrics_off"]; !reflect.DeepEqual(got, []point{{2, 100}}) {
+		t.Fatalf("metrics_off = %+v", got)
+	}
+	// Array elements are labeled by discriminator fields, not index.
+	if got := traj.Series["match.compiled_miss.rules=256.pps"]; !reflect.DeepEqual(got, []point{{8, 1e9}}) {
+		t.Fatalf("compiled_miss pps = %+v", got)
+	}
+	if got := traj.Series["pairs.woe_lookup.old.ns_per_op"]; !reflect.DeepEqual(got, []point{{8, 50}}) {
+		t.Fatalf("pairs old ns = %+v", got)
+	}
+	// String leaves and discriminator fields do not become series.
+	for _, absent := range []string{"date", "note", "match.compiled_miss.rules=256.rules", "pairs.woe_lookup.old.bench"} {
+		if _, ok := traj.Series[absent]; ok {
+			t.Fatalf("series %q should not exist", absent)
+		}
+	}
+}
+
+func TestSummarizeRejectsBadName(t *testing.T) {
+	dir := t.TempDir()
+	f := writeBench(t, dir, "notabench.json", `{}`)
+	if _, err := summarize([]string{f}); err == nil {
+		t.Fatal("expected an error for a non-BENCH_PR<n> file name")
+	}
+}
+
+// TestSummarizeRealArtifacts runs the summarizer over the repo's actual
+// BENCH_PR*.json files (when present) so schema drift in bench.sh's awk
+// emitters is caught here rather than by a consumer.
+func TestSummarizeRealArtifacts(t *testing.T) {
+	files, err := filepath.Glob("../../BENCH_PR*.json")
+	if err != nil || len(files) == 0 {
+		t.Skip("no BENCH_PR*.json artifacts at the repo root")
+	}
+	traj, err := summarize(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Series) == 0 {
+		t.Fatal("no series extracted from real artifacts")
+	}
+	for name, pts := range traj.Series {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].PR < pts[i-1].PR {
+				t.Fatalf("series %q not sorted by pr: %+v", name, pts)
+			}
+		}
+	}
+}

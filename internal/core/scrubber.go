@@ -350,6 +350,28 @@ func (s *Scrubber) PredictEncoded(x [][]float64) ([]int, error) {
 	return out, nil
 }
 
+// PredictEncodedInto labels pre-encoded rows into out (len(out) ==
+// len(x)) — PredictEncoded without the per-call slice: with a pipeline
+// whose stages and model are Into-capable (the xgb default is), the
+// serving path allocates nothing once the pipeline scratch has grown to
+// the window size. Not safe for concurrent use with itself; see
+// ml.Pipeline.PredictInto.
+func (s *Scrubber) PredictEncodedInto(x [][]float64, out []int) error {
+	if !s.fitted {
+		return fmt.Errorf("core: model not fitted")
+	}
+	if s.pipeline == nil {
+		return fmt.Errorf("core: PredictEncoded requires a pipeline model, have %s", s.cfg.Model)
+	}
+	if len(out) != len(x) {
+		return fmt.Errorf("core: PredictEncodedInto needs %d output slots, have %d", len(x), len(out))
+	}
+	start := time.Now()
+	s.pipeline.PredictInto(x, out)
+	s.metrics.observePredict(start, out)
+	return nil
+}
+
 // Predict labels aggregates (1 = DDoS target).
 func (s *Scrubber) Predict(aggs []*features.Aggregate) ([]int, error) {
 	if !s.fitted {

@@ -160,14 +160,31 @@ func (k *keptProjector) Transform(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))
 	for i, row := range x {
 		o := make([]float64, len(k.kept))
-		for j, c := range k.kept {
-			if c < len(row) {
-				o[j] = row[c]
-			}
-		}
 		out[i] = o
+		k.transformRow(o, row)
 	}
 	return out
+}
+
+// OutCols: the saved selection's width, regardless of input width.
+func (k *keptProjector) OutCols(cols int) int { return len(k.kept) }
+
+// TransformInto is the allocation-free Transform, keeping loaded bundles
+// on the pipeline's zero-allocation PredictInto path.
+func (k *keptProjector) TransformInto(x, out [][]float64) {
+	for i, row := range x {
+		k.transformRow(out[i], row)
+	}
+}
+
+func (k *keptProjector) transformRow(o, row []float64) {
+	for j, c := range k.kept {
+		if c < len(row) {
+			o[j] = row[c]
+		} else {
+			o[j] = 0
+		}
+	}
 }
 
 // Load reads a bundle saved with Save or SaveClassifierOnly and returns a

@@ -157,11 +157,13 @@ func (p *Pipeline) DriftStats() drift.Stats {
 // computed from. Models that bypass encoding (RBC) return a nil matrix.
 func scoreAggs(s *core.Scrubber, aggs []*features.Aggregate) ([]int, [][]float64, error) {
 	x := s.EncodeFeatures(aggs)
-	pred, err := s.PredictEncoded(x)
-	if err == nil {
+	pred := make([]int, len(x))
+	if err := s.PredictEncodedInto(x, pred); err == nil {
+		// The verdict slice escapes to the caller, but the pipeline's
+		// intermediate matrices are reused round over round.
 		return pred, x, nil
 	}
-	pred, err = s.Predict(aggs) // pipeline-less models (RBC, DUM)
+	pred, err := s.Predict(aggs) // pipeline-less models (RBC, DUM)
 	return pred, nil, err
 }
 
@@ -370,8 +372,11 @@ func (p *Pipeline) ImportClassifier(ctx context.Context, bundle []byte) error {
 // and folds the disagreement into the monitor and the challenger's own
 // account. Returns the cumulative disagreement ratio. Callers hold lifeMu.
 func (p *Pipeline) shadowScoreLocked(ch *served, x [][]float64, champPred []int) float64 {
-	challPred, err := ch.s.PredictEncoded(x)
-	if err != nil {
+	if cap(p.shadowPred) < len(x) {
+		p.shadowPred = make([]int, len(x))
+	}
+	challPred := p.shadowPred[:len(x)]
+	if err := ch.s.PredictEncodedInto(x, challPred); err != nil {
 		p.cfg.Log.Error("shadow scoring failed", "seq", ch.seq, "err", err)
 		return ch.disagreement()
 	}

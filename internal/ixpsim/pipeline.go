@@ -164,6 +164,11 @@ type Pipeline struct {
 	monitor    *drift.Monitor
 	lm         *lifecycleMetrics
 
+	// shadowPred is the challenger's reusable verdict buffer: shadow
+	// scoring runs every round under lifeMu, so one buffer serves all
+	// rounds without per-round allocation.
+	shadowPred []int
+
 	tm       *trainMetrics
 	ingested atomic.Uint64 // records through the balancer
 	trained  atomic.Bool

@@ -1,0 +1,127 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/mltest"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/xgb"
+)
+
+// intoPipeline builds a pipeline whose every stage and model implement
+// the Into interfaces, fitted on data with missing values so the imputer
+// and the variance filter both do real work.
+func intoPipeline(t *testing.T) (*Pipeline, [][]float64) {
+	t.Helper()
+	x, y := mltest.Blobs(11, 400, 10, 2)
+	for i := range x {
+		if i%7 == 0 {
+			x[i][i%10] = math.NaN()
+		}
+		x[i][9] = 42 // constant column for VarianceThreshold to drop
+	}
+	p := &Pipeline{
+		Name: "into",
+		Stages: []Transformer{
+			&Imputer{Value: -1},
+			&VarianceThreshold{Min: 1e-9},
+			&StandardScaler{},
+			&MinMaxNormalizer{},
+		},
+		Model: xgb.New(xgb.Options{Estimators: 10, MaxDepth: 5, LearningRate: 0.3,
+			Lambda: 1, MinChildWeight: 1, Bins: 32, Workers: 1}),
+	}
+	if err := p.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	xs, _ := mltest.Blobs(12, 300, 10, 2)
+	for i := range xs {
+		if i%5 == 0 {
+			xs[i][(i+3)%10] = math.NaN()
+		}
+	}
+	return p, xs
+}
+
+// TestPredictIntoMatchesPredict pins PredictInto to Predict label for
+// label, including rows with missing values and repeated calls over the
+// same reused scratch.
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	p, xs := intoPipeline(t)
+	want := p.Predict(xs)
+	out := make([]int, len(xs))
+	for pass := 0; pass < 3; pass++ {
+		p.PredictInto(xs, out)
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("pass %d row %d: PredictInto %d != Predict %d", pass, i, out[i], want[i])
+			}
+		}
+	}
+	// A second batch of a different size must reuse the scratch correctly.
+	short := xs[:97]
+	wantShort := p.Predict(short)
+	p.PredictInto(short, out[:97])
+	for i := range wantShort {
+		if out[i] != wantShort[i] {
+			t.Fatalf("short batch row %d: PredictInto %d != Predict %d", i, out[i], wantShort[i])
+		}
+	}
+}
+
+// TestPredictIntoAllocs is the satellite gate: a fully Into-capable
+// pipeline labels batches without allocating once its scratch has grown.
+func TestPredictIntoAllocs(t *testing.T) {
+	p, xs := intoPipeline(t)
+	out := make([]int, len(xs))
+	p.PredictInto(xs, out) // grow the scratch
+	if n := testing.AllocsPerRun(100, func() { p.PredictInto(xs, out) }); n != 0 {
+		t.Fatalf("Pipeline.PredictInto allocates %v per run, want 0", n)
+	}
+}
+
+// TestTransformIntoMatchesTransform pins each Into stage's buffer-reuse
+// path to its allocating Transform bit for bit.
+func TestTransformIntoMatchesTransform(t *testing.T) {
+	x, y := mltest.Blobs(21, 200, 8, 2)
+	for i := range x {
+		if i%6 == 0 {
+			x[i][i%8] = math.NaN()
+		}
+		x[i][7] = 3 // constant column
+	}
+	stages := []Transformer{
+		&Imputer{Value: -1},
+		&VarianceThreshold{Min: 1e-9},
+		&StandardScaler{},
+		&MinMaxNormalizer{},
+	}
+	for _, s := range stages {
+		s.Fit(x, y)
+		it, ok := s.(IntoTransformer)
+		if !ok {
+			t.Fatalf("%T does not implement IntoTransformer", s)
+		}
+		want := s.Transform(x)
+		oc := it.OutCols(len(x[0]))
+		if len(want) > 0 && len(want[0]) != oc {
+			t.Fatalf("%T: OutCols %d != Transform width %d", s, oc, len(want[0]))
+		}
+		out := make([][]float64, len(x))
+		for i := range out {
+			out[i] = make([]float64, oc)
+			for j := range out[i] {
+				out[i][j] = math.Inf(-1) // poison: every slot must be written
+			}
+		}
+		it.TransformInto(x, out)
+		for i := range want {
+			for j := range want[i] {
+				if math.Float64bits(out[i][j]) != math.Float64bits(want[i][j]) {
+					t.Fatalf("%T row %d col %d: TransformInto %v != Transform %v",
+						s, i, j, out[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}

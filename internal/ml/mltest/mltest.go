@@ -67,6 +67,37 @@ func Ring(seed uint64, n int) ([][]float64, []int) {
 	return x, y
 }
 
+// Hypersphere returns n standard-normal points in `dims` dimensions
+// labeled by whether they fall inside the median radius (~50/50 split).
+// The spherical boundary is nonlinear in every dimension, so axis-
+// aligned trees need many deep splits spread across all features to
+// approximate it — boosting keeps growing full-depth trees for hundreds
+// of rounds instead of converging to stumps, which makes this the
+// representative workload for inference benchmarks (production-shaped
+// ensembles, data-dependent branch outcomes).
+func Hypersphere(seed uint64, n, dims int) ([][]float64, []int) {
+	rng := rand.New(rand.NewPCG(seed, seed^0xC2B2AE3D27D4EB4F))
+	// Median of the chi distribution with `dims` degrees of freedom.
+	r := math.Sqrt(float64(dims) - 2.0/3.0)
+	x := make([][]float64, 0, n)
+	y := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, dims)
+		s := 0.0
+		for j := range row {
+			row[j] = rng.NormFloat64()
+			s += row[j] * row[j]
+		}
+		label := 0
+		if s < r*r {
+			label = 1
+		}
+		x = append(x, row)
+		y = append(y, label)
+	}
+	return x, y
+}
+
 // Accuracy scores predictions.
 func Accuracy(yTrue, yPred []int) float64 {
 	if len(yTrue) == 0 {

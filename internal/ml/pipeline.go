@@ -28,6 +28,52 @@ type Transformer interface {
 	Transform(x [][]float64) [][]float64
 }
 
+// IntoTransformer is the allocation-free variant of Transformer: stages
+// that know their output width up front and can write into caller-owned
+// rows. Pipeline.PredictInto uses it to keep the serving path off the
+// garbage collector.
+type IntoTransformer interface {
+	Transformer
+	// OutCols reports the output row width for input rows of width cols.
+	OutCols(cols int) int
+	// TransformInto writes Transform(x) into out, whose rows have width
+	// OutCols(len(x[i])). It must not mutate x and must produce exactly
+	// the bits Transform produces.
+	TransformInto(x, out [][]float64)
+}
+
+// IntoPredictor is the allocation-free variant of Classifier.
+type IntoPredictor interface {
+	Classifier
+	// PredictInto labels each row into out (len(out) == len(x)).
+	PredictInto(x [][]float64, out []int)
+}
+
+// matBuf is a reusable rows×cols matrix: one backing block, re-sliced
+// per call, growing monotonically so steady-state reshapes allocate
+// nothing.
+type matBuf struct {
+	rows [][]float64
+	back []float64
+}
+
+// shape returns a r×c matrix over the buffer's storage.
+func (b *matBuf) shape(r, c int) [][]float64 {
+	if cap(b.back) < r*c {
+		b.back = make([]float64, r*c)
+	}
+	back := b.back[:cap(b.back)]
+	if cap(b.rows) < r {
+		b.rows = make([][]float64, r)
+	}
+	rows := b.rows[:r]
+	for i := range rows {
+		rows[i] = back[i*c : (i+1)*c : (i+1)*c]
+	}
+	b.rows, b.back = rows, back
+	return rows
+}
+
 // Pipeline chains transformers and a final classifier, mirroring the
 // per-model preprocessing pipelines of Figure 8. Fitting fits each stage on
 // the transformed output of the previous ones — on training data only, so
@@ -36,6 +82,11 @@ type Pipeline struct {
 	Name   string
 	Stages []Transformer
 	Model  Classifier
+
+	// scratch ping-pongs intermediate matrices between Into-capable
+	// stages during PredictInto; two buffers suffice because a stage
+	// only ever reads its predecessor's output.
+	scratch [2]matBuf
 }
 
 // Fit fits all stages and the model.
@@ -66,6 +117,39 @@ func (p *Pipeline) Transform(x [][]float64) [][]float64 {
 // Predict classifies rows through the full pipeline.
 func (p *Pipeline) Predict(x [][]float64) []int {
 	return p.Model.Predict(p.Transform(x))
+}
+
+// PredictInto classifies rows into out (len(out) == len(x)) producing
+// exactly Predict's labels. Stages implementing IntoTransformer write
+// into the pipeline's reusable scratch matrices and a Model implementing
+// IntoPredictor labels without allocating, so a fully Into-capable
+// pipeline allocates nothing once the scratch has grown to the batch
+// size; other stages fall back to their allocating forms. Not safe for
+// concurrent use with itself (the scratch is shared); concurrent callers
+// should use Predict.
+func (p *Pipeline) PredictInto(x [][]float64, out []int) {
+	cur := x
+	flip := 0
+	for _, s := range p.Stages {
+		it, ok := s.(IntoTransformer)
+		if !ok {
+			cur = s.Transform(cur)
+			continue
+		}
+		cols := 0
+		if len(cur) > 0 {
+			cols = len(cur[0])
+		}
+		dst := p.scratch[flip&1].shape(len(cur), it.OutCols(cols))
+		flip++
+		it.TransformInto(cur, dst)
+		cur = dst
+	}
+	if ip, ok := p.Model.(IntoPredictor); ok {
+		ip.PredictInto(cur, out)
+		return
+	}
+	copy(out, p.Model.Predict(cur))
 }
 
 // Evaluate fits on train and scores on test, returning the confusion matrix

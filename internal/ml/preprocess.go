@@ -19,16 +19,30 @@ func (im *Imputer) Transform(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))
 	for i, row := range x {
 		o := make([]float64, len(row))
-		for j, v := range row {
-			if math.IsNaN(v) {
-				o[j] = im.Value
-			} else {
-				o[j] = v
-			}
-		}
 		out[i] = o
+		im.transformRow(o, row)
 	}
 	return out
+}
+
+// OutCols: imputation preserves width.
+func (im *Imputer) OutCols(cols int) int { return cols }
+
+// TransformInto is the allocation-free Transform.
+func (im *Imputer) TransformInto(x, out [][]float64) {
+	for i, row := range x {
+		im.transformRow(out[i], row)
+	}
+}
+
+func (im *Imputer) transformRow(o, row []float64) {
+	for j, v := range row {
+		if math.IsNaN(v) {
+			o[j] = im.Value
+		} else {
+			o[j] = v
+		}
+	}
 }
 
 // StandardScaler standardizes columns to zero mean and unit variance.
@@ -72,16 +86,30 @@ func (s *StandardScaler) Transform(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))
 	for i, row := range x {
 		o := make([]float64, len(row))
-		for j, v := range row {
-			if j < len(s.mean) {
-				o[j] = (v - s.mean[j]) / s.std[j]
-			} else {
-				o[j] = v
-			}
-		}
 		out[i] = o
+		s.transformRow(o, row)
 	}
 	return out
+}
+
+// OutCols: scaling preserves width.
+func (s *StandardScaler) OutCols(cols int) int { return cols }
+
+// TransformInto is the allocation-free Transform.
+func (s *StandardScaler) TransformInto(x, out [][]float64) {
+	for i, row := range x {
+		s.transformRow(out[i], row)
+	}
+}
+
+func (s *StandardScaler) transformRow(o, row []float64) {
+	for j, v := range row {
+		if j < len(s.mean) {
+			o[j] = (v - s.mean[j]) / s.std[j]
+		} else {
+			o[j] = v
+		}
+	}
 }
 
 // MinMaxNormalizer maps each column to [0, 1] (the N stage feeding the
@@ -119,22 +147,36 @@ func (n *MinMaxNormalizer) Transform(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))
 	for i, row := range x {
 		o := make([]float64, len(row))
-		for j, v := range row {
-			if j >= len(n.min) || n.max[j] == n.min[j] {
-				o[j] = 0
-				continue
-			}
-			t := (v - n.min[j]) / (n.max[j] - n.min[j])
-			if t < 0 {
-				t = 0
-			} else if t > 1 {
-				t = 1
-			}
-			o[j] = t
-		}
 		out[i] = o
+		n.transformRow(o, row)
 	}
 	return out
+}
+
+// OutCols: normalization preserves width.
+func (n *MinMaxNormalizer) OutCols(cols int) int { return cols }
+
+// TransformInto is the allocation-free Transform.
+func (n *MinMaxNormalizer) TransformInto(x, out [][]float64) {
+	for i, row := range x {
+		n.transformRow(out[i], row)
+	}
+}
+
+func (n *MinMaxNormalizer) transformRow(o, row []float64) {
+	for j, v := range row {
+		if j >= len(n.min) || n.max[j] == n.min[j] {
+			o[j] = 0
+			continue
+		}
+		t := (v - n.min[j]) / (n.max[j] - n.min[j])
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+		o[j] = t
+	}
 }
 
 // VarianceThreshold drops columns whose variance is below a floor — the FR
@@ -180,14 +222,30 @@ func (v *VarianceThreshold) Transform(x [][]float64) [][]float64 {
 	out := make([][]float64, len(x))
 	for i, row := range x {
 		o := make([]float64, len(v.keep))
-		for k, j := range v.keep {
-			if j < len(row) {
-				o[k] = row[j]
-			}
-		}
 		out[i] = o
+		v.transformRow(o, row)
 	}
 	return out
+}
+
+// OutCols: the fitted selection's width, regardless of input width.
+func (v *VarianceThreshold) OutCols(cols int) int { return len(v.keep) }
+
+// TransformInto is the allocation-free Transform.
+func (v *VarianceThreshold) TransformInto(x, out [][]float64) {
+	for i, row := range x {
+		v.transformRow(out[i], row)
+	}
+}
+
+func (v *VarianceThreshold) transformRow(o, row []float64) {
+	for k, j := range v.keep {
+		if j < len(row) {
+			o[k] = row[j]
+		} else {
+			o[k] = 0
+		}
+	}
 }
 
 // PCA projects standardized data onto its leading principal components. The

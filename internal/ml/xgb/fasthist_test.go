@@ -1,0 +1,150 @@
+package xgb
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml/mltest"
+)
+
+// FastHist gets the sketch-mode treatment: it is allowed to differ from
+// exact mode only in the low bits of leaf values (histogram subtraction
+// reorders float summation), so the tests pin tree *structure* exactly,
+// bound the quality drift, and require bit-exact determinism across
+// worker counts within the mode.
+
+func fitOpts(fastHist bool, workers int) Options {
+	return Options{Estimators: 12, MaxDepth: 6, LearningRate: 0.3,
+		Lambda: 1, MinChildWeight: 1, Bins: 32,
+		FastHist: fastHist, Workers: workers}
+}
+
+// TestFastHistTreeStructure: same splits (feature, threshold bits, child
+// links, default directions) node-for-node as exact mode; leaf values
+// within ε; training-set accuracy within ε.
+//
+// Structure identity holds wherever exact training has no two candidate
+// splits whose gains are closer than subtraction's ulp-level noise; on a
+// near-tie the argmax can legitimately flip (seed 1337 below exhibits
+// one such node), so flip-prone seeds assert only the quality bound
+// while tie-free seeds pin the full structure.
+func TestFastHistTreeStructure(t *testing.T) {
+	for _, tc := range []struct {
+		seed         uint64
+		pinStructure bool
+	}{{7, true}, {41, true}, {1337, false}} {
+		x, y := mltest.Blobs(tc.seed, 900, 12, 2)
+		punchNaNs(x, int64(tc.seed+1), 0.1)
+
+		exact := New(fitOpts(false, 1))
+		if err := exact.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		fast := New(fitOpts(true, 1))
+		if err := fast.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+
+		if tc.pinStructure {
+			if len(exact.trees) != len(fast.trees) {
+				t.Fatalf("seed %d: tree count %d != %d", tc.seed, len(fast.trees), len(exact.trees))
+			}
+			for ti := range exact.trees {
+				en, fn := exact.trees[ti].nodes, fast.trees[ti].nodes
+				if len(en) != len(fn) {
+					t.Fatalf("seed %d tree %d: node count %d != %d", tc.seed, ti, len(fn), len(en))
+				}
+				for ni := range en {
+					e, f := en[ni], fn[ni]
+					if e.feature != f.feature || e.left != f.left || e.right != f.right ||
+						e.defLeft != f.defLeft ||
+						math.Float64bits(e.thresh) != math.Float64bits(f.thresh) {
+						t.Fatalf("seed %d tree %d node %d: structure %+v != exact %+v",
+							tc.seed, ti, ni, f, e)
+					}
+					if e.feature < 0 {
+						if diff := math.Abs(e.leaf - f.leaf); diff > 1e-9 {
+							t.Fatalf("seed %d tree %d node %d: leaf drift %g", tc.seed, ti, ni, diff)
+						}
+					}
+				}
+			}
+		}
+
+		accE := mltest.Accuracy(y, exact.Predict(x))
+		accF := mltest.Accuracy(y, fast.Predict(x))
+		if math.Abs(accE-accF) > 0.01 {
+			t.Fatalf("seed %d: accuracy drift exact %.4f fast %.4f", tc.seed, accE, accF)
+		}
+	}
+}
+
+// TestFastHistDeterminism: FastHist mode is bit-for-bit deterministic at
+// any worker count, just like exact mode.
+func TestFastHistDeterminism(t *testing.T) {
+	for _, seed := range []uint64{7, 1337} {
+		x, y := mltest.Blobs(seed, 900, 12, 2)
+		punchNaNs(x, int64(seed+1), 0.1)
+
+		base := New(fitOpts(true, 1))
+		if err := base.Fit(x, y); err != nil {
+			t.Fatal(err)
+		}
+		var want bytes.Buffer
+		if err := base.Save(&want); err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			m := New(fitOpts(true, workers))
+			if err := m.Fit(x, y); err != nil {
+				t.Fatal(err)
+			}
+			var got bytes.Buffer
+			if err := m.Save(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want.Bytes(), got.Bytes()) {
+				t.Fatalf("seed %d: FastHist model at %d workers differs from 1 worker", seed, workers)
+			}
+		}
+	}
+}
+
+// TestFastHistOptionsRoundTrip: fast_hist survives Save/Load, and an
+// exact-mode model's serialized Options bytes carry no fast_hist key
+// (omitempty), so pre-PR bundles and content-addressed registry ids are
+// untouched.
+func TestFastHistOptionsRoundTrip(t *testing.T) {
+	x, y := mltest.Blobs(3, 300, 6, 2)
+	m := New(fitOpts(true, 1))
+	if err := m.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"fast_hist":true`)) {
+		t.Fatalf("FastHist model serialization lacks fast_hist flag")
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.opts.FastHist {
+		t.Fatalf("FastHist flag lost in round-trip")
+	}
+
+	var exact bytes.Buffer
+	e := New(fitOpts(false, 1))
+	if err := e.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Save(&exact); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(exact.Bytes(), []byte("fast_hist")) {
+		t.Fatalf("exact-mode serialization mentions fast_hist; pre-PR byte identity broken")
+	}
+}

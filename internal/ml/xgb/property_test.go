@@ -1,0 +1,146 @@
+package xgb
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Property tests for the binning layer: quantileEdges must produce a
+// valid strictly-increasing edge list of bounded size for any column —
+// constant, NaN-heavy, duplicate-ridden — and binValue's SearchFloat64s
+// assignment must round-trip against the edges it was given.
+
+func randomColumn(rng *rand.Rand, n int) []float64 {
+	col := make([]float64, n)
+	mode := rng.Intn(4)
+	for i := range col {
+		switch mode {
+		case 0: // continuous
+			col[i] = rng.NormFloat64() * 100
+		case 1: // heavy duplicates (port-like categorical)
+			col[i] = float64(rng.Intn(5))
+		case 2: // NaN-heavy
+			if rng.Float64() < 0.7 {
+				col[i] = math.NaN()
+			} else {
+				col[i] = rng.Float64()
+			}
+		case 3: // constant
+			col[i] = 42
+		}
+	}
+	return col
+}
+
+func TestQuantileEdgesProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(500)
+		bins := 2 + rng.Intn(253)
+		col := randomColumn(rng, n)
+
+		vals := make([]float64, 0, n)
+		for _, v := range col {
+			if !math.IsNaN(v) {
+				vals = append(vals, v)
+			}
+		}
+		sort.Float64s(vals)
+		e := quantileEdges(vals, bins)
+
+		// Property: at most bins-1 edges.
+		if len(e) > bins-1 {
+			t.Fatalf("trial %d: %d edges for %d bins", trial, len(e), bins)
+		}
+		// Property: strictly increasing.
+		for i := 1; i < len(e); i++ {
+			if !(e[i] > e[i-1]) {
+				t.Fatalf("trial %d: edges not strictly increasing at %d: %v", trial, i, e)
+			}
+		}
+		// Property: every edge is a value from the column, below its max
+		// (an edge at the max would leave the right bin empty).
+		for _, edge := range e {
+			i := sort.SearchFloat64s(vals, edge)
+			if i >= len(vals) || vals[i] != edge {
+				t.Fatalf("trial %d: edge %v not a column value", trial, edge)
+			}
+			if edge >= vals[len(vals)-1] {
+				t.Fatalf("trial %d: edge %v at or above max %v", trial, edge, vals[len(vals)-1])
+			}
+		}
+		// Property: empty and constant columns produce no edges.
+		if len(vals) == 0 && e != nil {
+			t.Fatalf("trial %d: edges %v from empty column", trial, e)
+		}
+		if len(vals) > 0 && vals[0] == vals[len(vals)-1] && len(e) != 0 {
+			t.Fatalf("trial %d: edges %v from constant column", trial, e)
+		}
+
+		// Round-trip: binValue's bin brackets v between its neighboring
+		// edges — bin 0 means v <= e[0] territory's open left end, bin
+		// len(e) means v beyond the last edge — and NaN maps to the
+		// dedicated miss bin, never a real one.
+		miss := uint8(len(e) + 1)
+		for _, v := range col {
+			bin := binValue(e, v, miss)
+			if math.IsNaN(v) {
+				if bin != miss {
+					t.Fatalf("trial %d: NaN in bin %d, want miss %d", trial, bin, miss)
+				}
+				continue
+			}
+			b := int(bin)
+			if b > len(e) {
+				t.Fatalf("trial %d: value %v in bin %d beyond edge count %d", trial, v, b, len(e))
+			}
+			if b > 0 && !(e[b-1] < v) {
+				t.Fatalf("trial %d: value %v in bin %d but edge[%d]=%v not below it",
+					trial, v, b, b-1, e[b-1])
+			}
+			if b < len(e) && !(v <= e[b]) {
+				t.Fatalf("trial %d: value %v in bin %d but above edge[%d]=%v",
+					trial, v, b, b, e[b])
+			}
+		}
+	}
+}
+
+// TestBinRoutingMatchesThreshold pins the equivalence the bin-space
+// margin update and the in-place partition both rely on: routing by
+// bin index (bin <= splitBin) is identical to routing by raw threshold
+// (v <= edges[splitBin]), because bins are (lo, hi] ranges whose upper
+// ends are exactly the edges.
+func TestBinRoutingMatchesThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		col := randomColumn(rng, 300)
+		vals := make([]float64, 0, len(col))
+		for _, v := range col {
+			if !math.IsNaN(v) {
+				vals = append(vals, v)
+			}
+		}
+		sort.Float64s(vals)
+		e := quantileEdges(vals, 2+rng.Intn(62))
+		if len(e) == 0 {
+			continue
+		}
+		miss := uint8(len(e) + 1)
+		splitBin := rng.Intn(len(e))
+		thresh := e[splitBin]
+		for _, v := range col {
+			if math.IsNaN(v) {
+				continue
+			}
+			byBin := int(binValue(e, v, miss)) <= splitBin
+			byThresh := v <= thresh
+			if byBin != byThresh {
+				t.Fatalf("trial %d: value %v splitBin %d thresh %v: bin-routing %v != thresh-routing %v",
+					trial, v, splitBin, thresh, byBin, byThresh)
+			}
+		}
+	}
+}

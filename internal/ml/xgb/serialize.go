@@ -65,8 +65,14 @@ func Load(r io.Reader) (*Model, error) {
 	m.cols = in.Cols
 	m.gain = in.Gain
 	m.trees = make([]tree, len(in.Trees))
+	var parents []int // per-node parent count, reused across trees
 	for i, nodes := range in.Trees {
 		t := tree{nodes: make([]node, len(nodes))}
+		if cap(parents) < len(nodes) {
+			parents = make([]int, len(nodes))
+		}
+		parents = parents[:len(nodes)]
+		clear(parents)
 		for j, n := range nodes {
 			if n.Feature >= 0 {
 				if n.Feature >= in.Cols {
@@ -75,6 +81,8 @@ func Load(r io.Reader) (*Model, error) {
 				if n.Left <= j || n.Right <= j || n.Left >= len(nodes) || n.Right >= len(nodes) {
 					return nil, fmt.Errorf("xgb: tree %d node %d: invalid child links %d/%d", i, j, n.Left, n.Right)
 				}
+				parents[n.Left]++
+				parents[n.Right]++
 			}
 			t.nodes[j] = node{
 				feature: n.Feature, thresh: n.Thresh,
@@ -85,7 +93,19 @@ func Load(r io.Reader) (*Model, error) {
 		if len(t.nodes) == 0 {
 			return nil, fmt.Errorf("xgb: tree %d is empty", i)
 		}
+		// Proper trees only: a node with two parents would make the node
+		// graph a DAG, which Fit never produces and which would let the
+		// flat-program compiler duplicate subtrees without bound.
+		if parents[0] != 0 {
+			return nil, fmt.Errorf("xgb: tree %d: root has a parent", i)
+		}
+		for j := 1; j < len(nodes); j++ {
+			if parents[j] > 1 {
+				return nil, fmt.Errorf("xgb: tree %d node %d: %d parents", i, j, parents[j])
+			}
+		}
 		m.trees[i] = t
 	}
+	m.prog = compile(m)
 	return m, nil
 }

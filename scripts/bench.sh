@@ -11,26 +11,39 @@
 # difference of medians-of-noise otherwise, and min-of-N is the stable
 # estimator on shared hardware.
 #
-# Usage: scripts/bench.sh [-benchtime 1x] [-count 1] [-only pr1,pr6]
+# Usage: scripts/bench.sh [-benchtime 1x] [-count 1] [-only pr1,pr6] [-summary]
 #
-# -only runs a subset of the per-PR sections (pr1 pr2 pr3 pr5 pr6 pr7,
+# -only runs a subset of the per-PR sections (pr1 pr2 pr3 pr5 pr6 pr7 pr8,
 # comma-separated); the default runs all of them. CI uses
-# "-only pr6,pr7 -benchtime 1x" as a smoke test that the benchmarks still
-# compile and run, without paying for stable numbers.
+# "-only pr6,pr7,pr8 -benchtime 1x" as a smoke test that the benchmarks
+# still compile and run, without paying for stable numbers.
+#
+# -summary skips the benchmarks entirely and merges every BENCH_PR*.json
+# at the repo root into BENCH_TRAJECTORY.json (schema bench-trajectory/v1,
+# see cmd/benchsummary) so one file tracks each metric across the stacked
+# PRs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime=1x
 count=1
-only=pr1,pr2,pr3,pr5,pr6,pr7
+only=pr1,pr2,pr3,pr5,pr6,pr7,pr8
+summary=0
 while [ $# -gt 0 ]; do
     case "$1" in
     -benchtime) benchtime=$2; shift 2 ;;
     -count) count=$2; shift 2 ;;
     -only) only=$2; shift 2 ;;
-    *) echo "usage: $0 [-benchtime DUR] [-count N] [-only pr1,pr6]" >&2; exit 2 ;;
+    -summary) summary=1; shift ;;
+    *) echo "usage: $0 [-benchtime DUR] [-count N] [-only pr1,pr6] [-summary]" >&2; exit 2 ;;
     esac
 done
+
+if [ "$summary" = 1 ]; then
+    go run ./cmd/benchsummary -o BENCH_TRAJECTORY.json BENCH_PR*.json
+    echo "wrote BENCH_TRAJECTORY.json"
+    exit 0
+fi
 
 want() { case ",$only," in *",$1,"*) return 0 ;; *) return 1 ;; esac }
 
@@ -290,4 +303,54 @@ END {
 }' "$tmp7" > BENCH_PR7.json
 
 echo "wrote BENCH_PR7.json ($(nproc) cores)"
+fi
+
+# Boosted-tree fast path (PR 8): trainer wall-clock (preserved reference
+# vs the in-place rewrite, exact and FastHist modes — acceptance bound is
+# fast >= 1.5x reference), batch inference (per-row node walker vs the
+# compiled flat program at production ensemble scale, 300 trees x depth 8
+# on 20k rows — bound is flat >= 3x per-row), the flat path's allocs/op
+# (bound: 0), and the champion+shadow scoring overhead ratio now that
+# shadow scoring rides the buffer-reuse serving path. Min-of-N like the
+# other sections.
+tmp8=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp5" "$tmp6" "$tmp7" "$tmp8"' EXIT
+
+if want pr8; then
+go test -run '^$' -bench 'BenchmarkFitReference|BenchmarkFitFast|BenchmarkBatchPredict' \
+    -benchmem -benchtime "$benchtime" -count "$count" ./internal/ml/xgb | tee "$tmp8"
+go test -run '^$' -bench 'BenchmarkScoringChampionOnly|BenchmarkScoringWithShadow' \
+    -benchtime "$benchtime" -count "$count" ./internal/ixpsim | tee -a "$tmp8"
+
+awk -v cores="$(nproc)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+$1 ~ /^Benchmark/ {
+    sub(/-[0-9]+$/, "", $1)   # strip the -GOMAXPROCS suffix
+    # $2 is the iteration count; value/unit pairs start at $3.
+    for (i = 3; i < NF; i += 2) {
+        u = $(i + 1); v = $i + 0
+        if (u == "ns/op" && (!($1 in ns) || v < ns[$1])) ns[$1] = v
+        if (u == "allocs/op" && (!($1 in al) || v < al[$1])) al[$1] = v
+    }
+}
+END {
+    fr = ns["BenchmarkFitReference"]
+    ff = ns["BenchmarkFitFast"]
+    fh = ns["BenchmarkFitFastHist"]
+    pr = ns["BenchmarkBatchPredictReference"]
+    pf = ns["BenchmarkBatchPredictFlat"]
+    champ = ns["BenchmarkScoringChampionOnly"]
+    shadow = ns["BenchmarkScoringWithShadow"]
+    printf "{\n  \"date\": \"%s\",\n  \"cores\": %d,\n", date, cores
+    printf "  \"note\": \"min of N runs; fit = 4000x24 blobs depth 8; predict batch = 20000 rows through 300 trees of depth 8\",\n"
+    printf "  \"fit_ns\": {\"reference\": %g, \"fast\": %g, \"fast_hist\": %g},\n", fr, ff, fh
+    printf("  \"fit_speedup\": %.2f,\n", ff > 0 ? fr / ff : 0)
+    printf("  \"fit_hist_speedup\": %.2f,\n", fh > 0 ? fr / fh : 0)
+    printf "  \"predict_ns_per_batch\": {\"per_row_walker\": %g, \"flat\": %g},\n", pr, pf
+    printf("  \"predict_speedup\": %.2f,\n", pf > 0 ? pr / pf : 0)
+    printf "  \"flat_allocs_per_op\": %g,\n", al["BenchmarkBatchPredictFlat"]
+    printf("  \"shadow_overhead_ratio\": %.3f\n", champ > 0 ? shadow / champ : 0)
+    print "}"
+}' "$tmp8" > BENCH_PR8.json
+
+echo "wrote BENCH_PR8.json ($(nproc) cores)"
 fi
