@@ -1,0 +1,159 @@
+package main
+
+import (
+	"context"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/cluster"
+	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
+)
+
+// clusterOptions configures the -cluster daemon mode: N simulated scrubber
+// sites in one process with a gossip coordinator, paced by a wall-clock
+// ticker instead of sockets.
+type clusterOptions struct {
+	Sites       int
+	Dir         string
+	Seed        uint64
+	TrainEvery  time.Duration // simulated training cadence
+	GossipEvery time.Duration // simulated gossip cadence
+	Tick        time.Duration // wall clock per simulated minute
+	MetricsAddr string        // empty disables the observability server
+	// SketchBudget > 0 runs every site on the bounded-memory sketch path.
+	SketchBudget float64
+	// Drop puts the compiled mitigation fast path in front of each site.
+	Drop bool
+}
+
+// simMinutes converts a simulated-duration flag into whole cluster minutes,
+// with a one-minute floor so a sub-minute cadence still fires.
+func simMinutes(d time.Duration) int64 {
+	if m := int64(d / time.Minute); m > 1 {
+		return m
+	}
+	return 1
+}
+
+// runCluster drives the federated topology: one simulated minute per tick
+// (every site generates its vantage point's traffic, the partitioner routes
+// it by target IP), training rounds and gossip elections on their simulated
+// cadences, and a coordinator checkpoint after every minute so a restarted
+// daemon resumes mid-sequence from -cluster-dir.
+func runCluster(ctx context.Context, log *slog.Logger, o clusterOptions) error {
+	var (
+		reg    *obs.Registry
+		health obs.Health
+	)
+	if o.MetricsAddr != "" {
+		reg = obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(reg)
+	}
+
+	cfg := cluster.Config{
+		Sites:        o.Sites,
+		Seed:         o.Seed,
+		Dir:          o.Dir,
+		TrainEvery:   simMinutes(o.TrainEvery),
+		GossipEvery:  simMinutes(o.GossipEvery),
+		SketchBudget: o.SketchBudget,
+		Dropper:      o.Drop,
+		Checkpoint:   true,
+		Metrics:      reg,
+		Log:          log,
+	}
+	// A coordinator checkpoint in the directory means this is a restart:
+	// resume simulated time and every site pipeline from disk.
+	if _, err := os.Stat(filepath.Join(o.Dir, "cluster-checkpoint.json")); err == nil {
+		cfg.Restore = true
+	}
+	c, err := cluster.New(cfg)
+	if err != nil && cfg.Restore {
+		// A torn or partial previous run (killed before its first training
+		// round checkpointed any site) can leave a coordinator checkpoint
+		// that no longer restores; registries are durable either way.
+		log.Warn("cluster restore failed, starting cold", "err", err)
+		cfg.Restore = false
+		c, err = cluster.New(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	defer c.Stop()
+	c.Start(ctx)
+	log.Info("cluster running", "sites", len(c.Sites()), "dir", o.Dir,
+		"train-every-min", cfg.TrainEvery, "gossip-every-min", cfg.GossipEvery,
+		"resume-minute", c.Minute(), "tick", o.Tick)
+
+	var srvDone chan error
+	if reg != nil {
+		if srvDone, err = serveObs(ctx, log, o.MetricsAddr, reg, &health); err != nil {
+			return err
+		}
+	}
+	ready := func() bool {
+		for _, s := range c.Sites() {
+			if !s.Pipeline().Trained() {
+				return false
+			}
+		}
+		return true
+	}
+	// Restored champions serve immediately.
+	health.SetReady(ready())
+
+	ticker := time.NewTicker(o.Tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			if srvDone != nil {
+				return <-srvDone
+			}
+			return nil
+		case <-ticker.C:
+			if err := c.Step(ctx); err != nil {
+				if ctx.Err() != nil {
+					continue // shutdown mid-settle; ctx.Done drains next
+				}
+				return err
+			}
+			if ctx.Err() != nil {
+				continue // cancelled mid-minute: don't start a round that will abort
+			}
+			if cfg.TrainEvery > 0 && c.Minute()%cfg.TrainEvery == 0 {
+				if err := c.TrainAll(ctx); err != nil {
+					if ctx.Err() == nil { // shutdown aborts are not failures
+						log.Error("cluster training failed, keeping last good models", "err", err)
+					}
+				} else {
+					// Ready once every site serves a champion.
+					health.SetReady(ready())
+				}
+			}
+			if cfg.GossipEvery > 0 && c.Minute()%cfg.GossipEvery == 0 {
+				rep, err := c.Gossip(ctx, cluster.GossipOptions{})
+				if err != nil {
+					if ctx.Err() == nil {
+						log.Error("gossip round failed", "err", err)
+					}
+				} else {
+					promoted := 0
+					for i := range rep.Elections {
+						if rep.Elections[i].Promoted {
+							promoted++
+						}
+					}
+					log.Info("gossip round complete", "round", rep.Round,
+						"exports", len(rep.Exports), "elections", len(rep.Elections),
+						"promoted", promoted)
+				}
+			}
+			if err := c.SaveCheckpoint(ctx); err != nil && ctx.Err() == nil {
+				log.Error("coordinator checkpoint failed", "err", err)
+			}
+		}
+	}
+}

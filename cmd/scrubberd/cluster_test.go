@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never happened within %v", what, d)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestDaemonClusterMode boots -cluster mode on a fast tick, waits for every
+// site to train and for a gossip round, checks the cluster observability
+// surface, then restarts from the same directory and verifies the daemon
+// resumes warm (ready from the restored champions, simulated time intact).
+func TestDaemonClusterMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute simulated cluster run")
+	}
+	dir := t.TempDir()
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn}))
+	metricsAddr := reservePort(t, "tcp")
+	base := "http://" + metricsAddr
+
+	opts := clusterOptions{
+		Sites:       2,
+		Dir:         dir,
+		Seed:        1,
+		TrainEvery:  5 * time.Minute,  // simulated: every 5th minute
+		GossipEvery: 10 * time.Minute, // simulated: every 10th minute
+		Tick:        5 * time.Millisecond,
+		MetricsAddr: metricsAddr,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	done := make(chan error, 1)
+	go func() { done <- runCluster(ctx, log, opts) }()
+
+	waitFor(t, "observability server", 10*time.Second, func() bool {
+		code, _ := httpGet(t, base+"/healthz")
+		return code == 200
+	})
+	waitFor(t, "first cluster training round", 60*time.Second, func() bool {
+		code, _ := httpGet(t, base+"/readyz")
+		return code == 200
+	})
+	waitFor(t, "first gossip round", 60*time.Second, func() bool {
+		_, body := httpGet(t, base+"/metrics")
+		return parseMetrics(body)["ixps_cluster_gossip_rounds_total"] >= 1
+	})
+
+	_, body := httpGet(t, base+"/metrics")
+	m := parseMetrics(body)
+	if got := m["ixps_cluster_sites"]; got != 2 {
+		t.Errorf("ixps_cluster_sites = %g, want 2", got)
+	}
+	for _, name := range []string{
+		`ixps_cluster_site_ingested_records{site="IXP-CE1"}`,
+		`ixps_cluster_site_routed_records{site="IXP-US1"}`,
+		`ixps_cluster_site_champion_seq{site="IXP-CE1"}`,
+		"ixps_cluster_reduction_ratio",
+	} {
+		if v, ok := m[name]; !ok {
+			t.Errorf("metric %s missing from /metrics", name)
+		} else if v <= 0 {
+			t.Errorf("metric %s = %g, want > 0", name, v)
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("cluster daemon: %v", err)
+	}
+
+	// The run left durable state behind: per-site ACLs and registries plus
+	// the coordinator checkpoint the restart below resumes from.
+	if _, err := os.Stat(filepath.Join(dir, "cluster-checkpoint.json")); err != nil {
+		t.Fatalf("coordinator checkpoint missing: %v", err)
+	}
+	acl, err := os.ReadFile(filepath.Join(dir, "site-IXP-CE1", "acl.txt"))
+	if err != nil {
+		t.Fatalf("site ACL missing: %v", err)
+	}
+	if !strings.Contains(string(acl), "IXP Scrubber generated ACL") {
+		t.Errorf("site ACL malformed:\n%.200s", acl)
+	}
+
+	// Restart: restored champions must serve before any new training round
+	// (readyz flips as soon as the observability server is up).
+	metricsAddr = reservePort(t, "tcp")
+	base = "http://" + metricsAddr
+	opts.MetricsAddr = metricsAddr
+	opts.Tick = 50 * time.Millisecond // slow ticks: readiness must not wait on them
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	done2 := make(chan error, 1)
+	go func() { done2 <- runCluster(ctx2, log, opts) }()
+	waitFor(t, "restarted observability server", 20*time.Second, func() bool {
+		code, _ := httpGet(t, base+"/healthz")
+		return code == 200
+	})
+	if code, body := httpGet(t, base+"/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz after warm restart = %d %q, want 200", code, body)
+	}
+	cancel2()
+	if err := <-done2; err != nil {
+		t.Fatalf("restarted cluster daemon: %v", err)
+	}
+}

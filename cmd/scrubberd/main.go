@@ -50,6 +50,18 @@
 // restore. Counters surface as ixps_dropper_* on /metrics, including
 // per-rule drop totals.
 //
+// Multi-IXP: -cluster runs the federated topology instead of the socketed
+// single-site daemon: -sites scrubber sites in one process, each with its
+// own synthetic vantage-point profile, pipeline, registry and ACL file
+// under -cluster-dir/site-<name>/, with ingest partitioned by target IP.
+// One simulated minute advances per -tick of wall clock; training rounds
+// run on the -train-every cadence and a coordinator gossips classifier-only
+// bundles between the sites every -gossip-interval, each site promoting an
+// import only where it shadow-scores strictly better than the incumbent on
+// local traffic. Cluster state persists under -cluster-dir and a restarted
+// daemon resumes from it. /metrics serves the cluster-wide families
+// (ixps_cluster_*, labeled per site) when -metrics is set.
+//
 // Without real traffic sources, pair it with the live-ixp example, which
 // replays synthetic member traffic against both sockets.
 package main
@@ -102,6 +114,12 @@ func main() {
 
 		dropStage = flag.Bool("drop", false, "compiled mitigation fast path: champion verdicts compile into a flat match program that drops matching records before ingest")
 		dropRules = flag.String("drop-rules", "", "file of static drop rules seeding the fast path at startup (implies -drop)")
+
+		clusterMode    = flag.Bool("cluster", false, "run the multi-IXP federated cluster (simulated sites, no sockets) instead of the single-site daemon")
+		sites          = flag.Int("sites", 3, "number of scrubber sites in -cluster mode (max 5 vantage-point profiles)")
+		gossipInterval = flag.Duration("gossip-interval", 30*time.Minute, "simulated interval between coordinator gossip rounds in -cluster mode")
+		clusterDir     = flag.String("cluster-dir", "scrubber-cluster", "working directory for -cluster mode: per-site registries, ACLs and checkpoints")
+		tick           = flag.Duration("tick", time.Second, "wall-clock pacing of one simulated minute in -cluster mode")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -118,6 +136,26 @@ func main() {
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
+	if *clusterMode {
+		co := clusterOptions{
+			Sites:       *sites,
+			Dir:         *clusterDir,
+			Seed:        balSeed,
+			TrainEvery:  *trainEvery,
+			GossipEvery: *gossipInterval,
+			Tick:        *tick,
+			MetricsAddr: *metrics,
+			Drop:        *dropStage,
+		}
+		if *sketchMode {
+			co.SketchBudget = *sketchBudget
+		}
+		if err := runCluster(ctx, log, co); err != nil {
+			log.Error("scrubberd cluster failed", "err", err)
+			os.Exit(1)
+		}
+		return
+	}
 	opts := options{
 		SFlowAddr:      *sflowAddr,
 		BGPAddr:        *bgpAddr,
@@ -286,26 +324,9 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 	// Observability server, once the pipeline stages are registered.
 	var srvDone chan error
 	if reg != nil {
-		mln, err := net.Listen("tcp", o.MetricsAddr)
-		if err != nil {
-			return fmt.Errorf("metrics listen: %w", err)
+		if srvDone, err = serveObs(ctx, log, o.MetricsAddr, reg, &health); err != nil {
+			return err
 		}
-		srv := &http.Server{Handler: obs.NewMux(reg, &health)}
-		srvDone = make(chan error, 1)
-		go func() {
-			if err := srv.Serve(mln); !errors.Is(err, http.ErrServerClosed) {
-				srvDone <- err
-				return
-			}
-			srvDone <- nil
-		}()
-		go func() {
-			<-ctx.Done()
-			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer cancel()
-			_ = srv.Shutdown(shutCtx)
-		}()
-		log.Info("observability server listening", "addr", mln.Addr())
 	}
 
 	ticker := time.NewTicker(o.TrainEvery)
@@ -343,4 +364,31 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 			health.SetReady(true)
 		}
 	}
+}
+
+// serveObs starts the observability HTTP server (metrics, health, pprof)
+// on addr, shuts it down when ctx is cancelled, and returns the channel
+// its terminal error arrives on.
+func serveObs(ctx context.Context, log *slog.Logger, addr string, reg *obs.Registry, health *obs.Health) (chan error, error) {
+	mln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listen: %w", err)
+	}
+	srv := &http.Server{Handler: obs.NewMux(reg, health)}
+	srvDone := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(mln); !errors.Is(err, http.ErrServerClosed) {
+			srvDone <- err
+			return
+		}
+		srvDone <- nil
+	}()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
+	log.Info("observability server listening", "addr", mln.Addr())
+	return srvDone, nil
 }

@@ -1,57 +1,21 @@
 package chaos
 
 import (
-	"encoding/binary"
-
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
 )
 
-// FNV-1a 64-bit parameters. The harness chains digests record by record,
-// so a per-minute digest is sensitive to record content and order — the
-// balanced stream must be bit-identical, not merely set-identical, for two
-// runs to produce the same value.
-const (
-	fnvOffset uint64 = 14695981039346656037
-	fnvPrime  uint64 = 1099511628211
-)
+// The record-folding primitives live in internal/netflow so the cluster
+// harness can share the exact encoding; the chained-digest discipline is
+// documented there. Aliased here because every scenario digest predates
+// the move.
+const fnvOffset = netflow.FNVOffset
 
 // fold mixes p into the running FNV-1a state h.
-func fold(h uint64, p []byte) uint64 {
-	for _, c := range p {
-		h ^= uint64(c)
-		h *= fnvPrime
-	}
-	return h
-}
+func fold(h uint64, p []byte) uint64 { return netflow.FoldBytes(h, p) }
 
 // foldRecord mixes every field of one flow record into h using a fixed
 // binary encoding.
-func foldRecord(h uint64, r *netflow.Record) uint64 {
-	var b [75]byte
-	binary.BigEndian.PutUint64(b[0:], uint64(r.Timestamp))
-	src := r.SrcIP.As16()
-	copy(b[8:], src[:])
-	dst := r.DstIP.As16()
-	copy(b[24:], dst[:])
-	binary.BigEndian.PutUint16(b[40:], r.SrcPort)
-	binary.BigEndian.PutUint16(b[42:], r.DstPort)
-	b[44] = r.Protocol
-	b[45] = r.TCPFlags
-	if r.Fragment {
-		b[46] = 1
-	}
-	copy(b[47:], r.SrcMAC[:])
-	copy(b[53:], r.DstMAC[:])
-	binary.BigEndian.PutUint64(b[59:], r.Packets)
-	binary.BigEndian.PutUint64(b[67:], r.Bytes)
-	h = fold(h, b[:])
-	var tail [5]byte
-	binary.BigEndian.PutUint32(tail[0:], r.SamplingRate)
-	if r.Blackholed {
-		tail[4] = 1
-	}
-	return fold(h, tail[:])
-}
+func foldRecord(h uint64, r *netflow.Record) uint64 { return netflow.FoldRecord(h, r) }
 
 // TextDigest hashes a string (rendered ACL files, exported rule lists).
-func TextDigest(s string) uint64 { return fold(fnvOffset, []byte(s)) }
+func TextDigest(s string) uint64 { return netflow.FoldString(netflow.FNVOffset, s) }

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml"
+)
+
+// benchCluster builds a trained n-site cluster: 6 minutes of traffic and
+// one training round everywhere, so every site has a champion to export
+// and a populated window to score on.
+func benchCluster(b *testing.B, n int) *Cluster {
+	b.Helper()
+	c, err := New(Config{Sites: n, Seed: 1, Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Stop)
+	ctx := context.Background()
+	c.Start(ctx)
+	for m := int64(0); m < 6; m++ {
+		if err := c.Step(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.TrainAll(ctx); err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+// BenchmarkClusterIngest drives one simulated minute per op — generate,
+// partition by target IP, emit into every site's shard, settle — at the
+// paper's site counts. The per-op record count rides along as a metric so
+// the trajectory tracks per-site throughput, not just wall time.
+func BenchmarkClusterIngest(b *testing.B) {
+	for _, sites := range []int{1, 2, 5} {
+		b.Run(fmt.Sprintf("sites=%d", sites), func(b *testing.B) {
+			c := benchCluster(b, sites)
+			ctx := context.Background()
+			var before uint64
+			for _, s := range c.Sites() {
+				before += s.Routed()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Step(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			var after uint64
+			for _, s := range c.Sites() {
+				after += s.Routed()
+			}
+			recs := float64(after-before) / float64(b.N)
+			b.ReportMetric(recs, "records/op")
+			b.ReportMetric(recs/b.Elapsed().Seconds()*float64(b.N), "records/s")
+		})
+	}
+}
+
+// BenchmarkGossipRound is one full coordinator round on a 2-site cluster:
+// champion export through the registry, cross-delivery, and an election
+// at each site on its own window.
+func BenchmarkGossipRound(b *testing.B) {
+	c := benchCluster(b, 2)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Gossip(ctx, GossipOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIncumbentScore is the election's fixed cost: rebuild the
+// scoring basis (aggregate + WoE-encode the window) and score the
+// incumbent once. BenchmarkElectionScore adds one imported candidate on
+// the same shared basis — the healthy-round path, where the coordinator
+// parsed the bundle once for the whole round and each destination pays
+// only a shallow encoder re-bind plus a zero-alloc batch predict. The
+// paced gate in scripts/bench.sh holds their ratio under 2×: shared
+// parsing and shared encoding keep candidate scoring marginal, like the
+// PR 5 shadow path.
+func BenchmarkIncumbentScore(b *testing.B) {
+	c := benchCluster(b, 2)
+	benchScore(b, c, false)
+}
+
+func BenchmarkElectionScore(b *testing.B) {
+	c := benchCluster(b, 2)
+	benchScore(b, c, true)
+}
+
+func benchScore(b *testing.B, c *Cluster, withCandidate bool) {
+	b.Helper()
+	s := c.Sites()[0]
+	peer := c.Sites()[1]
+	bundle, err := peer.Registry().ExportClassifier(peer.Registry().ChampionID())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cand, err := VetBundle(bundle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	champ := s.pipe.ChampionScrubber()
+	if champ == nil {
+		b.Fatal("no champion")
+	}
+	trainer := s.pipe.Scrubber()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := s.pipe.WindowRecords()
+		aggs := trainer.Aggregate(recs, nil)
+		x := trainer.EncodeFeatures(aggs)
+		y := make([]int, len(aggs))
+		for j, a := range aggs {
+			if a.Label {
+				y[j] = 1
+			}
+		}
+		if cap(s.predBuf) < len(x) {
+			s.predBuf = make([]int, len(x))
+		}
+		pred := s.predBuf[:len(x)]
+		if err := champ.PredictEncodedInto(x, pred); err != nil {
+			b.Fatal(err)
+		}
+		_ = ml.Confuse(y, pred).FBeta(0.5)
+		if withCandidate {
+			sc := s.scoreLoaded(1, "bench", cand, x, y, pred)
+			if sc.Invalid {
+				b.Fatalf("candidate invalid: %s", sc.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,447 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
+	modelreg "github.com/ixp-scrubber/ixpscrubber/internal/registry"
+)
+
+// script is the standard deterministic drive: minutes of traffic with
+// training and gossip rounds at fixed relative minutes.
+type script struct {
+	Minutes  int64
+	TrainAt  map[int64]bool
+	GossipAt map[int64]bool
+}
+
+func defaultScript() script {
+	return script{
+		Minutes:  8,
+		TrainAt:  map[int64]bool{5: true, 7: true},
+		GossipAt: map[int64]bool{5: true, 7: true},
+	}
+}
+
+// runScript builds a cluster, drives the script, and returns the cluster
+// still running (caller collects outcomes / inspects sites) plus every
+// gossip report.
+func runScript(t testing.TB, cfg Config, sc script) (*Cluster, []*GossipReport) {
+	t.Helper()
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	ctx := context.Background()
+	c.Start(ctx)
+	var reports []*GossipReport
+	for m := int64(0); m < sc.Minutes; m++ {
+		if err := c.Step(ctx); err != nil {
+			t.Fatalf("Step minute %d: %v", m, err)
+		}
+		if sc.TrainAt[m] {
+			if err := c.TrainAll(ctx); err != nil {
+				t.Fatalf("TrainAll minute %d: %v", m, err)
+			}
+		}
+		if sc.GossipAt[m] {
+			rep, err := c.Gossip(ctx, GossipOptions{})
+			if err != nil {
+				t.Fatalf("Gossip minute %d: %v", m, err)
+			}
+			reports = append(reports, rep)
+		}
+	}
+	return c, reports
+}
+
+// TestClusterDeterministic is the tentpole determinism matrix: for every
+// seed × site-count cell, runs at worker counts 1 and 4 (and a repeat at
+// 1) must produce bit-identical outcomes — same kept-stream digests, same
+// round digests, same election scores, same champions everywhere.
+func TestClusterDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-site matrix skipped in -short")
+	}
+	for _, sites := range []int{2, 5} {
+		for _, seed := range []uint64{1, 7} {
+			t.Run(fmt.Sprintf("sites=%d/seed=%d", sites, seed), func(t *testing.T) {
+				t.Parallel()
+				keys := map[string]string{}
+				for _, run := range []struct {
+					name    string
+					workers int
+				}{{"w1", 1}, {"w4", 4}, {"w1-repeat", 1}} {
+					c, _ := runScript(t, Config{Sites: sites, Seed: seed, Workers: run.workers}, defaultScript())
+					out := c.Outcome()
+					if out.GossipRounds != 2 {
+						t.Fatalf("%s: %d gossip rounds, want 2", run.name, out.GossipRounds)
+					}
+					keys[run.name] = out.Key()
+					c.Stop()
+				}
+				if keys["w1"] != keys["w4"] {
+					t.Errorf("outcome differs between 1 and 4 workers:\n--- w1\n%s\n--- w4\n%s", keys["w1"], keys["w4"])
+				}
+				if keys["w1"] != keys["w1-repeat"] {
+					t.Errorf("outcome differs between identical runs:\n--- run1\n%s\n--- run2\n%s", keys["w1"], keys["w1-repeat"])
+				}
+			})
+		}
+	}
+}
+
+// TestElectionNeverPromotesWorse is the election safety property: across
+// seeds, an imported bundle never wins a site where its local shadow
+// score is not strictly better than the incumbent, ties always keep the
+// incumbent, and every site ends up serving its own best-scoring option.
+func TestElectionNeverPromotesWorse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed property skipped in -short")
+	}
+	elections := 0
+	for _, seed := range []uint64{1, 2, 3} {
+		c, reports := runScript(t, Config{Sites: 3, Seed: seed}, defaultScript())
+		for _, rep := range reports {
+			for _, el := range rep.Elections {
+				if el.Skipped {
+					continue
+				}
+				elections++
+				best := el.Incumbent.FBeta
+				bestOrigin := el.Incumbent.Origin
+				for _, cand := range el.Candidates {
+					if cand.Invalid {
+						continue
+					}
+					if cand.FBeta > best {
+						best = cand.FBeta
+						bestOrigin = cand.Origin
+					}
+				}
+				if el.WinnerOrigin != bestOrigin {
+					t.Errorf("seed %d round %d site %d: winner origin %d, argmax is %d",
+						seed, el.Round, el.Site, el.WinnerOrigin, bestOrigin)
+				}
+				if el.Promoted {
+					var winner *Score
+					for i := range el.Candidates {
+						if el.Candidates[i].Origin == el.WinnerOrigin && el.Candidates[i].ID == el.WinnerID {
+							winner = &el.Candidates[i]
+						}
+					}
+					if winner == nil {
+						t.Fatalf("seed %d: promoted winner %d/%s not among candidates", seed, el.WinnerOrigin, el.WinnerID)
+					}
+					if winner.Invalid {
+						t.Errorf("seed %d: invalid candidate promoted at site %d", seed, el.Site)
+					}
+					if !(winner.FBeta > el.Incumbent.FBeta) {
+						t.Errorf("seed %d round %d site %d: promoted import scored %v vs incumbent %v — never promote non-strictly-better",
+							seed, el.Round, el.Site, winner.FBeta, el.Incumbent.FBeta)
+					}
+				} else if el.WinnerOrigin != el.Site {
+					t.Errorf("seed %d: not promoted but winner origin %d != site %d", seed, el.WinnerOrigin, el.Site)
+				}
+			}
+		}
+		c.Stop()
+	}
+	if elections == 0 {
+		t.Fatal("property never exercised: no elections ran")
+	}
+}
+
+// TestGossipMatchesOfflineExportImport pins the live transfer path to the
+// offline exp_geo recipe: the bundle bytes a gossip round puts on the
+// wire must be byte-identical to registry.ExportClassifier invoked
+// directly, and every election score must be bit-identical to importing
+// the bundle into a fresh registry, loading it, re-binding it to the
+// destination's WoE encoder and running the offline Evaluate path on the
+// same window.
+func TestGossipMatchesOfflineExportImport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-site equivalence skipped in -short")
+	}
+	c, reports := runScript(t, Config{Sites: 3, Seed: 1}, script{
+		Minutes:  6,
+		TrainAt:  map[int64]bool{5: true},
+		GossipAt: map[int64]bool{5: true},
+	})
+	defer c.Stop()
+	if len(reports) != 1 {
+		t.Fatalf("%d gossip reports, want 1", len(reports))
+	}
+	rep := reports[0]
+	if len(rep.Exports) != 3 {
+		t.Fatalf("%d exports, want 3 (every site trained)", len(rep.Exports))
+	}
+	ctx := context.Background()
+
+	// The wire bytes are exactly what the registry Export path produces.
+	for _, ex := range rep.Exports {
+		src := c.Sites()[ex.Origin]
+		direct, err := src.Registry().ExportClassifier(ex.ID)
+		if err != nil {
+			t.Fatalf("direct export %s: %v", ex.ID, err)
+		}
+		if !bytes.Equal(direct, ex.Bundle) {
+			t.Errorf("site %s: gossip bundle differs from direct ExportClassifier (%d vs %d bytes)",
+				src.Name, len(ex.Bundle), len(direct))
+		}
+		info, err := core.InspectBundle(ex.Bundle)
+		if err != nil {
+			t.Fatalf("inspecting export: %v", err)
+		}
+		if info.Kind != core.BundleClassifierOnly {
+			t.Errorf("site %s exported a %s bundle; only classifier-only may travel", src.Name, info.Kind)
+		}
+	}
+
+	exportByOrigin := map[int]Export{}
+	for _, ex := range rep.Exports {
+		exportByOrigin[ex.Origin] = ex
+	}
+	var localSum, importSum float64
+	var localN, importN int
+	for _, el := range rep.Elections {
+		if el.Skipped {
+			t.Fatalf("site %d skipped its election", el.Site)
+		}
+		dst := c.Sites()[el.Site]
+		// Rebuild the destination's scoring basis the offline way. The
+		// trainer has not refit since the round before this gossip, so the
+		// window aggregates are exactly what elect scored.
+		trainer := dst.Pipeline().Scrubber()
+		aggs := trainer.Aggregate(dst.Pipeline().WindowRecords(), nil)
+		localSum += el.Incumbent.FBeta
+		localN++
+		for _, cand := range el.Candidates {
+			if cand.Invalid {
+				t.Fatalf("healthy round produced invalid candidate: %s", cand.Err)
+			}
+			importSum += cand.FBeta
+			importN++
+			// Offline path: Import into a fresh registry, load, re-bind,
+			// Evaluate — the exp_geo panel-3 recipe.
+			freshDir := t.TempDir()
+			fresh, err := modelreg.Open(freshDir, modelreg.Options{})
+			if err != nil {
+				t.Fatalf("fresh registry: %v", err)
+			}
+			imp, err := fresh.ImportClassifier(ctx, exportByOrigin[cand.Origin].Bundle, modelreg.Meta{Parent: cand.ID})
+			if err != nil {
+				t.Fatalf("offline import: %v", err)
+			}
+			_, transferred, err := fresh.LoadScrubber(imp.ID)
+			if err != nil {
+				t.Fatalf("offline load: %v", err)
+			}
+			conf, err := transferred.WithEncoder(trainer.Encoder()).Evaluate(aggs)
+			if err != nil {
+				t.Fatalf("offline evaluate: %v", err)
+			}
+			if got := conf.FBeta(0.5); math.Float64bits(got) != math.Float64bits(cand.FBeta) {
+				t.Errorf("site %d candidate from %d: live election score %v != offline Export/Import score %v",
+					el.Site, cand.Origin, cand.FBeta, got)
+			}
+		}
+	}
+	// The tracked fig12 gap shape, exercised from the cluster side: a
+	// classifier-only transfer scored on foreign traffic loses, on
+	// average, to the model trained on that traffic. If imports ever beat
+	// incumbents wholesale the gap silently healed (see
+	// TestFig12ClassifierOnlyGap for the offline pin of the same shape).
+	if localN == 0 || importN == 0 {
+		t.Fatal("no scores collected")
+	}
+	localMean, importMean := localSum/float64(localN), importSum/float64(importN)
+	if importMean >= localMean {
+		t.Errorf("fig12 gap shape: imported mean Fβ %.4f >= local mean %.4f — classifier-only gap healed from the cluster side", importMean, localMean)
+	}
+}
+
+// TestPartitionRouting: with disjoint member spaces every generated
+// record routes back to the site whose profile generated it, and
+// out-of-space targets hash deterministically within range.
+func TestPartitionRouting(t *testing.T) {
+	c, _ := runScript(t, Config{Sites: 3, Seed: 1}, script{Minutes: 3})
+	defer c.Stop()
+	for _, s := range c.Sites() {
+		if s.Routed() == 0 {
+			t.Fatalf("site %s: no records routed", s.Name)
+		}
+		if got := s.Pipeline().Ingested(); got != s.Routed() {
+			t.Errorf("site %s: ingested %d != routed %d", s.Name, got, s.Routed())
+		}
+	}
+	// Every site's own traffic lands at that site: routing by target IP is
+	// the identity on well-formed per-profile traffic.
+	var total uint64
+	for _, s := range c.Sites() {
+		total += s.Routed()
+	}
+	var generated uint64
+	for _, s := range c.Sites() {
+		generated += s.Pipeline().Ingested()
+	}
+	if total != generated {
+		t.Errorf("routed %d != generated %d", total, generated)
+	}
+	// Unknown targets (no member owns them) hash into range, stably.
+	outside := netip.MustParseAddr("203.0.113.77")
+	first := c.part.SiteFor(outside)
+	if first < 0 || first >= len(c.Sites()) {
+		t.Fatalf("hash routing out of range: %d", first)
+	}
+	for i := 0; i < 5; i++ {
+		if got := c.part.SiteFor(outside); got != first {
+			t.Fatalf("hash routing unstable: %d then %d", first, got)
+		}
+	}
+}
+
+// TestTornImportDoesNotPoisonElection: corrupting one origin's bundle in
+// flight degrades exactly that candidate at the destination — the rest of
+// the election proceeds, the rejected transfer is counted, and the
+// destination's serving state is what it would be without the torn
+// candidate.
+func TestTornImportDoesNotPoisonElection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-site scenario skipped in -short")
+	}
+	cfg := Config{Sites: 3, Seed: 1}
+	sc := script{Minutes: 6, TrainAt: map[int64]bool{5: true}}
+
+	// Reference: a healthy gossip round.
+	ref, _ := runScript(t, cfg, sc)
+	refRep, err := ref.Gossip(context.Background(), GossipOptions{})
+	if err != nil {
+		t.Fatalf("reference gossip: %v", err)
+	}
+	ref.Stop()
+
+	// Faulty: the bundle from origin 1 tears on its way to site 0.
+	torn, _ := runScript(t, cfg, sc)
+	defer torn.Stop()
+	tornRep, err := torn.Gossip(context.Background(), GossipOptions{
+		Corrupt: func(origin, dst int, bundle []byte) []byte {
+			if origin == 1 && dst == 0 {
+				half := append([]byte(nil), bundle[:len(bundle)/2]...)
+				return half
+			}
+			return bundle
+		},
+	})
+	if err != nil {
+		t.Fatalf("torn gossip must not error the round: %v", err)
+	}
+	sawInvalid := false
+	for i, el := range tornRep.Elections {
+		for _, cand := range el.Candidates {
+			if el.Site == 0 && cand.Origin == 1 {
+				if !cand.Invalid {
+					t.Error("torn candidate was not rejected")
+				}
+				sawInvalid = true
+				continue
+			}
+			if cand.Invalid {
+				t.Errorf("site %d candidate from %d invalidated by someone else's torn transfer: %s", el.Site, cand.Origin, cand.Err)
+			}
+			// Valid candidates score identically to the reference round.
+			for _, refCand := range refRep.Elections[i].Candidates {
+				if refCand.Origin == cand.Origin && math.Float64bits(refCand.FBeta) != math.Float64bits(cand.FBeta) {
+					t.Errorf("site %d candidate from %d: score changed %v -> %v", el.Site, cand.Origin, refCand.FBeta, cand.FBeta)
+				}
+			}
+		}
+	}
+	if !sawInvalid {
+		t.Fatal("torn transfer never reached the election")
+	}
+	if torn.Outcome().Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", torn.Outcome().Rejected)
+	}
+	// Elections away from the torn edge are bit-identical to the healthy
+	// reference; site 0 decides among the candidates it could verify.
+	for i, el := range tornRep.Elections {
+		if el.Site == 0 {
+			continue
+		}
+		if got, want := renderElection(&el), renderElection(&refRep.Elections[i]); got != want {
+			t.Errorf("site %d election drifted under someone else's torn transfer:\n%s\nwant:\n%s", el.Site, got, want)
+		}
+	}
+}
+
+// TestVetBundle: the import surface refuses full bundles (foreign WoE
+// tables must not overwrite local knowledge) and garbage.
+func TestVetBundle(t *testing.T) {
+	c, reports := runScript(t, Config{Sites: 2, Seed: 1}, script{
+		Minutes: 6, TrainAt: map[int64]bool{5: true}, GossipAt: map[int64]bool{5: true},
+	})
+	defer c.Stop()
+	if len(reports[0].Exports) == 0 {
+		t.Fatal("no exports")
+	}
+	good := reports[0].Exports[0].Bundle
+	if _, err := VetBundle(good); err != nil {
+		t.Fatalf("classifier-only export rejected: %v", err)
+	}
+	// Full bundle: grab the champion bundle straight from a registry.
+	id := c.Sites()[0].Registry().ChampionID()
+	_, full, err := c.Sites()[0].Registry().Get(id)
+	if err != nil {
+		t.Fatalf("champion bundle: %v", err)
+	}
+	if _, err := VetBundle(full); err == nil || !strings.Contains(err.Error(), "classifier-only") {
+		t.Errorf("full bundle not refused: %v", err)
+	}
+	if _, err := VetBundle([]byte("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := VetBundle(good[:len(good)/3]); err == nil {
+		t.Error("truncated bundle accepted")
+	}
+}
+
+// TestClusterMetrics: the labeled cluster families publish per-site and
+// rolled-up drift/reduction/drop state.
+func TestClusterMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-site run skipped in -short")
+	}
+	reg := obs.NewRegistry()
+	c, _ := runScript(t, Config{Sites: 2, Seed: 1, Metrics: reg}, defaultScript())
+	defer c.Stop()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"ixps_cluster_sites 2",
+		"ixps_cluster_gossip_rounds_total 2",
+		`ixps_cluster_site_ingested_records{site="IXP-CE1"}`,
+		`ixps_cluster_site_reduction_ratio{site="IXP-US1"}`,
+		`ixps_cluster_site_champion_seq{site="IXP-CE1"}`,
+		"ixps_cluster_reduction_ratio ",
+		"ixps_cluster_drift_psi_max ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+	"github.com/ixp-scrubber/ixpscrubber/internal/ml"
+)
+
+// GossipOptions scripts one gossip round's faults; the zero value is a
+// healthy round. Chaos scenarios use the hooks, production uses none.
+type GossipOptions struct {
+	// Exclude partitions sites away from this round: an excluded site
+	// neither exports its champion nor receives candidates — gossip stalls
+	// for it while local serving continues on its last-good champion.
+	Exclude map[int]bool
+	// Corrupt mutates a bundle in flight from origin to dst (a torn
+	// transfer). Returning nil drops the delivery entirely. The corrupted
+	// candidate must fail vetting at the destination without poisoning the
+	// rest of the election.
+	Corrupt func(origin, dst int, bundle []byte) []byte
+}
+
+// Export is one site's champion leaving on the wire, classifier-only.
+type Export struct {
+	Origin int
+	ID     string // content-addressed registry id
+	Bundle []byte
+}
+
+// Score is one bundle's local shadow evaluation at a destination site:
+// Fβ(0.5) of its verdicts on the site's WoE-encoded window against the
+// generator's blackhole ground truth — the paper's model-quality metric
+// (β=0.5 weights false positives, the expensive mistake for a scrubber).
+type Score struct {
+	Origin int
+	ID     string
+	FBeta  float64
+	// Invalid marks a candidate that failed vetting (torn transfer, full
+	// bundle, garbage); it is excluded from election.
+	Invalid bool
+	Err     string `json:",omitempty"`
+}
+
+// Election is one site's champion decision in one gossip round.
+type Election struct {
+	Round  int
+	Minute int64 // relative minute the election ran after
+	Site   int
+	// Skipped: the site has no champion yet or an empty scoring window.
+	Skipped    bool
+	Incumbent  Score
+	Candidates []Score
+	// WinnerOrigin/WinnerID name the elected champion; the incumbent wins
+	// all ties, so Promoted is true only when an import scored strictly
+	// better locally.
+	WinnerOrigin int
+	WinnerID     string
+	Promoted     bool
+}
+
+// GossipReport is everything one gossip round produced, for equivalence
+// testing against the offline exp_geo transfer path.
+type GossipReport struct {
+	Round     int
+	Minute    int64
+	Exports   []Export
+	Elections []Election
+}
+
+// Gossip runs one coordinator round: every reachable site's champion is
+// exported classifier-only through its registry (the existing fig12
+// Export path), delivered to every other reachable site, and each
+// destination elects the bundle that shadow-scores best on its local
+// WoE-encoded traffic — strictly better than the incumbent, or the
+// incumbent stays. Winning imports go through the registry Import path
+// and promote atomically.
+func (c *Cluster) Gossip(ctx context.Context, opt GossipOptions) (*GossipReport, error) {
+	c.gossipRounds++
+	rep := &GossipReport{Round: c.gossipRounds, Minute: c.minute}
+	for _, s := range c.sites {
+		if opt.Exclude[s.Index] {
+			continue
+		}
+		id := s.reg.ChampionID()
+		if id == "" {
+			continue // nothing trained here yet
+		}
+		bundle, err := s.reg.ExportClassifier(id)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: exporting %s champion %s: %w", s.Name, id, err)
+		}
+		rep.Exports = append(rep.Exports, Export{Origin: s.Index, ID: id, Bundle: bundle})
+	}
+	// Parse each travelling bundle once per round; destinations share the
+	// loaded trees and bind their own WoE snapshot with a shallow copy.
+	// Faulty deliveries (Corrupt) take the per-edge vetting path instead.
+	loaded := make([]*core.Scrubber, len(rep.Exports))
+	for i, ex := range rep.Exports {
+		s, err := VetBundle(ex.Bundle)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: export %s from site %d failed vetting: %w", ex.ID, ex.Origin, err)
+		}
+		loaded[i] = s
+	}
+	for _, s := range c.sites {
+		if opt.Exclude[s.Index] {
+			continue
+		}
+		el, err := s.elect(ctx, c, rep.Exports, loaded, opt)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: election at %s: %w", s.Name, err)
+		}
+		rep.Elections = append(rep.Elections, el)
+		s.elections = append(s.elections, el)
+	}
+	if c.metrics != nil {
+		c.metrics.publishGossip(rep)
+	}
+	return rep, nil
+}
+
+// elect scores the incumbent and every delivered candidate on one shared
+// encoding of the site's window — encode once with the local WoE tables,
+// then the PR 8 zero-alloc PredictEncodedInto path per bundle — and
+// promotes the best. Ties keep the incumbent; among tied candidates the
+// earliest origin wins, so the decision is deterministic.
+func (s *Site) elect(ctx context.Context, c *Cluster, exports []Export, loaded []*core.Scrubber, opt GossipOptions) (Election, error) {
+	el := Election{Round: c.gossipRounds, Minute: c.minute, Site: s.Index, WinnerOrigin: s.Index}
+	champ := s.pipe.ChampionScrubber()
+	_, champID := s.pipe.ActiveModel()
+	el.WinnerID = champID
+	if champ == nil {
+		el.Skipped = true
+		return el, nil
+	}
+	trainer := s.pipe.Scrubber()
+	recs := s.pipe.WindowRecords()
+	aggs := trainer.Aggregate(recs, nil)
+	if len(aggs) == 0 {
+		el.Skipped = true
+		return el, nil
+	}
+	x := trainer.EncodeFeatures(aggs)
+	y := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Label {
+			y[i] = 1
+		}
+	}
+	if cap(s.predBuf) < len(x) {
+		s.predBuf = make([]int, len(x))
+	}
+	pred := s.predBuf[:len(x)]
+	if err := champ.PredictEncodedInto(x, pred); err != nil {
+		return el, fmt.Errorf("scoring incumbent: %w", err)
+	}
+	el.Incumbent = Score{Origin: s.Index, ID: champID, FBeta: ml.Confuse(y, pred).FBeta(0.5)}
+
+	best := el.Incumbent
+	var bestBundle []byte
+	for i, ex := range exports {
+		if ex.Origin == s.Index {
+			continue
+		}
+		bundle := ex.Bundle
+		var sc Score
+		if opt.Corrupt != nil {
+			// Faulty edge: whatever arrived must be re-vetted here.
+			bundle = opt.Corrupt(ex.Origin, s.Index, bundle)
+			if bundle == nil {
+				continue // dropped in flight
+			}
+			sc = s.scoreCandidate(ex.Origin, ex.ID, bundle, x, y, pred)
+		} else {
+			sc = s.scoreLoaded(ex.Origin, ex.ID, loaded[i], x, y, pred)
+		}
+		el.Candidates = append(el.Candidates, sc)
+		if sc.Invalid {
+			c.rejected++
+			continue
+		}
+		c.exchanged++
+		// Strictly better than the best so far (which starts at the
+		// incumbent): an import never wins a site where it is locally
+		// worse-or-equal.
+		if sc.FBeta > best.FBeta {
+			best = sc
+			bestBundle = bundle
+		}
+	}
+	if bestBundle != nil {
+		if err := s.pipe.ImportClassifier(ctx, bestBundle); err != nil {
+			return el, fmt.Errorf("importing winner %s: %w", best.ID, err)
+		}
+		if err := s.pipe.PromoteChallenger(ctx); err != nil {
+			return el, fmt.Errorf("promoting winner %s: %w", best.ID, err)
+		}
+		el.Promoted = true
+		c.promotions++
+	}
+	el.WinnerOrigin = best.Origin
+	el.WinnerID = best.ID
+	return el, nil
+}
+
+// scoreCandidate vets received bundle bytes and shadow-scores them on the
+// shared local encoding. Vetting failures degrade to an Invalid score:
+// the site's serving state is untouched and the rest of the election
+// proceeds.
+func (s *Site) scoreCandidate(origin int, id string, bundle []byte, x [][]float64, y, pred []int) Score {
+	cand, err := VetBundle(bundle)
+	if err != nil {
+		return Score{Origin: origin, ID: id, Invalid: true, Err: err.Error()}
+	}
+	return s.scoreLoaded(origin, id, cand, x, y, pred)
+}
+
+// scoreLoaded shadow-scores an already-vetted candidate: bind the
+// travelling trees to the local WoE snapshot (Fig. 12) — the same
+// re-binding promotion would apply — then predict on the pre-encoded
+// matrix. The bind is a shallow copy, so candidates parsed once per
+// gossip round are shared across every destination cheaply.
+func (s *Site) scoreLoaded(origin int, id string, cand *core.Scrubber, x [][]float64, y, pred []int) Score {
+	sc := Score{Origin: origin, ID: id}
+	bound := cand.WithEncoder(s.pipe.Scrubber().Encoder())
+	if err := bound.PredictEncodedInto(x, pred); err != nil {
+		sc.Invalid = true
+		sc.Err = err.Error()
+		return sc
+	}
+	sc.FBeta = ml.Confuse(y, pred).FBeta(0.5)
+	return sc
+}
+
+// ReceiveCandidate is the coordinator-received-bytes entry point scored
+// against the site's current window, promoting nothing. It exists for
+// fuzzing the import surface: arbitrary bytes must never panic, full
+// bundles must be refused, and garbage must leave every piece of site
+// state untouched.
+func (s *Site) ReceiveCandidate(origin int, bundle []byte) (Score, error) {
+	// Vet before building the scoring basis: garbage must bounce without
+	// touching (or paying for) anything else.
+	if _, err := VetBundle(bundle); err != nil {
+		return Score{Origin: origin, Invalid: true, Err: err.Error()}, err
+	}
+	champ := s.pipe.ChampionScrubber()
+	trainer := s.pipe.Scrubber()
+	if champ == nil {
+		return Score{Origin: origin}, nil
+	}
+	recs := s.pipe.WindowRecords()
+	aggs := trainer.Aggregate(recs, nil)
+	x := trainer.EncodeFeatures(aggs)
+	y := make([]int, len(aggs))
+	for i, a := range aggs {
+		if a.Label {
+			y[i] = 1
+		}
+	}
+	if cap(s.predBuf) < len(x) {
+		s.predBuf = make([]int, len(x))
+	}
+	sc := s.scoreCandidate(origin, "", bundle, x, y, s.predBuf[:len(x)])
+	if sc.Invalid {
+		return sc, fmt.Errorf("%s", sc.Err)
+	}
+	return sc, nil
+}
+
+// VetBundle checks bytes received from a peer: they must parse as a model
+// bundle and must be classifier-only — importing another vantage point's
+// WoE tables would overwrite local knowledge, the exact thing the §6.4
+// transfer path avoids. One parse serves both checks: Load rejects
+// garbage, and a loaded bundle that doesn't need an encoder carried a full
+// WoE table.
+func VetBundle(bundle []byte) (*core.Scrubber, error) {
+	s, err := core.Load(bytes.NewReader(bundle))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: rejecting bundle: %w", err)
+	}
+	if !s.NeedsEncoder() {
+		return nil, fmt.Errorf("cluster: refusing to import %s bundle (classifier-only required)", core.BundleFull)
+	}
+	return s, nil
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	modelreg "github.com/ixp-scrubber/ixpscrubber/internal/registry"
+)
+
+// TestStaleChampionAdoptsFreshImport exercises the promotion half of the
+// election: a site whose model went stale (trained once on a tiny early
+// window, never refit) imports and serves a fresher vantage point's
+// classifier when that classifier shadow-scores strictly better on the
+// stale site's own traffic. The winning bundle lands in the site registry
+// as an imported version and the champion pointer flips to it.
+func TestStaleChampionAdoptsFreshImport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-site scenario skipped in -short")
+	}
+	cfg := Config{Sites: 3, Seed: 3, Dir: t.TempDir()}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	ctx := context.Background()
+	c.Start(ctx)
+	for m := int64(0); m < 12; m++ {
+		if err := c.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+		switch m {
+		case 2:
+			// Site 0 trains once, early, on a thin window — then goes stale.
+			if err := c.TrainSites(ctx, 0); err != nil {
+				t.Fatal(err)
+			}
+		case 6, 10:
+			if err := c.TrainSites(ctx, 1, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rep, err := c.Gossip(ctx, GossipOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var stale *Election
+	for i := range rep.Elections {
+		if rep.Elections[i].Site == 0 {
+			stale = &rep.Elections[i]
+		}
+	}
+	if stale == nil || stale.Skipped {
+		t.Fatal("stale site did not hold an election")
+	}
+	if !stale.Promoted {
+		t.Fatalf("stale champion survived against fresher imports: incumbent %v, candidates %v",
+			stale.Incumbent.FBeta, stale.Candidates)
+	}
+	if stale.WinnerOrigin == 0 {
+		t.Fatal("promoted winner claims local origin")
+	}
+
+	// The serving path actually switched: the site's active model is the
+	// imported bundle and the registry champion pointer followed.
+	site := c.Sites()[0]
+	_, activeID := site.Pipeline().ActiveModel()
+	if activeID == "" {
+		t.Fatal("no active model after promotion")
+	}
+	if got := site.Registry().ChampionID(); got != activeID {
+		t.Errorf("registry champion %s != serving model %s", got, activeID)
+	}
+	m, _, err := site.Registry().Get(activeID)
+	if err != nil {
+		t.Fatalf("active model not in registry: %v", err)
+	}
+	if m.Source != modelreg.SourceImported {
+		t.Errorf("active model source = %q, want %q", m.Source, modelreg.SourceImported)
+	}
+	if c.Outcome().Promotions != 1 {
+		t.Errorf("promotions = %d, want 1", c.Outcome().Promotions)
+	}
+
+	// Fresh sites keep their own champions: their incumbents scored a
+	// perfect Fβ on the window they just trained on.
+	for i := range rep.Elections {
+		el := &rep.Elections[i]
+		if el.Site == 0 {
+			continue
+		}
+		if el.Promoted {
+			t.Errorf("freshly trained site %d replaced its own model", el.Site)
+		}
+	}
+
+	// The cluster keeps running after a cross-site promotion — the imported
+	// champion classifies the next minutes without error.
+	for m := int64(12); m < 14; m++ {
+		if err := c.Step(ctx); err != nil {
+			t.Fatalf("post-promotion step: %v", err)
+		}
+	}
+	if site.Pipeline().ChampionScrubber() == nil {
+		t.Fatal("imported champion not serving")
+	}
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/core"
+)
+
+// FuzzClusterImport throws arbitrary bytes at the cluster's bundle-receive
+// surface. Invariants: never panics, full bundles are always refused
+// (foreign WoE tables must not travel), and garbage leaves the receiving
+// site's serving state — active model, registry contents, champion
+// pointer — untouched.
+func FuzzClusterImport(f *testing.F) {
+	c, err := New(Config{Sites: 2, Seed: 1, Dir: f.TempDir()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ctx := context.Background()
+	c.Start(ctx)
+	for m := int64(0); m < 6; m++ {
+		if err := c.Step(ctx); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := c.TrainAll(ctx); err != nil {
+		f.Fatal(err)
+	}
+	// Quiesce the ingest workers: receiving candidates only reads trained
+	// site state, and a goroutine-free process keeps the fuzz engine's
+	// coverage measurements stable.
+	c.Stop()
+	site := c.Sites()[0]
+
+	// Seeds: a valid classifier-only export, a full bundle, a truncation
+	// of each, and plain garbage.
+	peer := c.Sites()[1]
+	if id := peer.Registry().ChampionID(); id != "" {
+		if good, err := peer.Registry().ExportClassifier(id); err == nil {
+			f.Add(good)
+			f.Add(good[:len(good)/2])
+		}
+		if _, full, err := peer.Registry().Get(id); err == nil {
+			f.Add(full)
+			f.Add(full[:len(full)/2])
+		}
+	}
+	f.Add([]byte(nil))
+	f.Add([]byte(`{"version":1,"kind":"full"}`))
+	f.Add([]byte("garbage"))
+
+	seqBefore, idBefore := site.Pipeline().ActiveModel()
+	versionsBefore := len(site.Registry().List())
+	champBefore := site.Registry().ChampionID()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := site.ReceiveCandidate(1, data)
+		if err == nil && !sc.Invalid {
+			// Only a classifier-only bundle may score; re-vet to prove it.
+			if _, verr := VetBundle(data); verr != nil {
+				t.Fatalf("scored a bundle VetBundle refuses: %v", verr)
+			}
+		}
+		if info, ierr := core.InspectBundle(data); ierr == nil && info.Kind != core.BundleClassifierOnly {
+			if err == nil && !sc.Invalid {
+				t.Fatalf("%s bundle accepted; classifier-only required", info.Kind)
+			}
+		}
+		// Receiving never mutates serving state.
+		if seq, id := site.Pipeline().ActiveModel(); seq != seqBefore || id != idBefore {
+			t.Fatalf("active model changed: %d/%s -> %d/%s", seqBefore, idBefore, seq, id)
+		}
+		if n := len(site.Registry().List()); n != versionsBefore {
+			t.Fatalf("registry grew: %d -> %d versions", versionsBefore, n)
+		}
+		if champ := site.Registry().ChampionID(); champ != champBefore {
+			t.Fatalf("champion pointer moved: %s -> %s", champBefore, champ)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"github.com/ixp-scrubber/ixpscrubber/internal/drift"
+	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
+)
+
+// clusterMetrics aggregates the cluster-wide view: per-site gauges labeled
+// by vantage point, coordinator counters, and drift/reduction/drop rollups
+// computed at scrape time from live pipeline state. Site pipelines do not
+// register their own (unlabeled) families — N sites on one registry would
+// collide — so the labeled cluster families are the observability surface.
+type clusterMetrics struct {
+	gossipRounds *obs.Counter
+	exchanged    *obs.Counter
+	rejected     *obs.Counter
+	promotions   *obs.Counter
+}
+
+func (c *Cluster) registerMetrics(r *obs.Registry) *clusterMetrics {
+	m := &clusterMetrics{
+		gossipRounds: r.Counter("ixps_cluster_gossip_rounds_total",
+			"Coordinator gossip rounds completed."),
+		exchanged: r.Counter("ixps_cluster_bundles_exchanged_total",
+			"Classifier-only bundles delivered and scored across sites."),
+		rejected: r.Counter("ixps_cluster_imports_rejected_total",
+			"Received bundles that failed vetting (torn, garbage, or full-bundle)."),
+		promotions: r.Counter("ixps_cluster_elections_promoted_total",
+			"Elections won by an imported bundle (cross-site promotion)."),
+	}
+	r.GaugeFunc("ixps_cluster_sites", "Scrubber sites in this cluster.",
+		func() float64 { return float64(len(c.sites)) })
+
+	ingested := r.GaugeVec("ixps_cluster_site_ingested_records",
+		"Records the site's balancer ingested.", "site")
+	routed := r.GaugeVec("ixps_cluster_site_routed_records",
+		"Records the target-IP partitioner routed to the site.", "site")
+	reduction := r.GaugeVec("ixps_cluster_site_reduction_ratio",
+		"Balancer kept/ingested ratio at the site (the paper's data reduction).", "site")
+	dropped := r.GaugeVec("ixps_cluster_site_dropped_records",
+		"Records dropped at the site: full-queue drops plus mitigation fast-path drops.", "site")
+	champSeq := r.GaugeVec("ixps_cluster_site_champion_seq",
+		"Serving model sequence at the site (0 = none).", "site")
+	psiMax := r.GaugeVec("ixps_cluster_site_drift_psi_max",
+		"Maximum per-feature PSI at the site vs its champion's training reference.", "site")
+	for _, s := range c.sites {
+		s := s
+		ingested.WithFunc(func() float64 { return float64(s.pipe.Ingested()) }, s.Name)
+		routed.WithFunc(func() float64 { return float64(s.routed.Load()) }, s.Name)
+		reduction.WithFunc(func() float64 {
+			st := s.pipe.BalanceStats()
+			if st.In == 0 {
+				return 0
+			}
+			return float64(st.Out) / float64(st.In)
+		}, s.Name)
+		dropped.WithFunc(func() float64 {
+			n := s.pipe.QueueStats().DroppedRecords.Load()
+			if d := s.pipe.Dropper(); d != nil {
+				n += d.Stats().Dropped
+			}
+			return float64(n)
+		}, s.Name)
+		champSeq.WithFunc(func() float64 {
+			seq, _ := s.pipe.ActiveModel()
+			return float64(seq)
+		}, s.Name)
+		psiMax.WithFunc(func() float64 { return s.pipe.DriftStats().FeaturePSIMax }, s.Name)
+	}
+
+	merged := func() drift.Stats {
+		all := make([]drift.Stats, 0, len(c.sites))
+		for _, s := range c.sites {
+			all = append(all, s.pipe.DriftStats())
+		}
+		return drift.Merge(all)
+	}
+	r.GaugeFunc("ixps_cluster_drift_psi_max",
+		"Worst per-feature PSI across all sites.",
+		func() float64 { return merged().FeaturePSIMax })
+	r.GaugeFunc("ixps_cluster_drift_retrain_recommended",
+		"1 when any site crossed a drift threshold, else 0.",
+		func() float64 {
+			if merged().RetrainRecommended {
+				return 1
+			}
+			return 0
+		})
+	r.GaugeFunc("ixps_cluster_reduction_ratio",
+		"Cluster-wide balancer kept/ingested ratio.",
+		func() float64 {
+			var in, out uint64
+			for _, s := range c.sites {
+				st := s.pipe.BalanceStats()
+				in += st.In
+				out += st.Out
+			}
+			if in == 0 {
+				return 0
+			}
+			return float64(out) / float64(in)
+		})
+	return m
+}
+
+// publishGossip folds one gossip round's results into the counters.
+func (m *clusterMetrics) publishGossip(rep *GossipReport) {
+	m.gossipRounds.Inc()
+	for i := range rep.Elections {
+		e := &rep.Elections[i]
+		for j := range e.Candidates {
+			if e.Candidates[j].Invalid {
+				m.rejected.Inc()
+			} else {
+				m.exchanged.Inc()
+			}
+		}
+		if e.Promoted {
+			m.promotions.Inc()
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+)
+
+// SiteOutcome reduces one site's run to comparable values.
+type SiteOutcome struct {
+	Name string
+	// Digests maps absolute minute -> chained digest of the records the
+	// site's balancer kept for that minute, in emission order.
+	Digests map[int64]uint64
+	Kept    uint64
+
+	Ingested       uint64
+	Routed         uint64
+	DroppedBatches uint64
+	DroppedRecords uint64
+
+	DropperEvaluated uint64
+	DropperDropped   uint64
+
+	Rounds    []RoundDigest
+	Elections []Election
+
+	RegistryVersions int
+	ChampionSeq      uint64
+	ChampionID       string
+	ACLFile          string
+}
+
+// Outcome is the whole cluster run reduced to comparable values. Two runs
+// of the same Config must produce identical outcomes at any worker count.
+type Outcome struct {
+	Sites []SiteOutcome
+
+	GossipRounds int
+	Exchanged    uint64
+	Rejected     uint64
+	Promotions   uint64
+}
+
+// Outcome snapshots the cluster's deterministic state.
+func (c *Cluster) Outcome() *Outcome {
+	out := &Outcome{
+		GossipRounds: c.gossipRounds,
+		Exchanged:    c.exchanged,
+		Rejected:     c.rejected,
+		Promotions:   c.promotions,
+	}
+	for _, s := range c.sites {
+		so := SiteOutcome{
+			Name:      s.Name,
+			Ingested:  s.pipe.Ingested(),
+			Routed:    s.routed.Load(),
+			Rounds:    s.rounds,
+			Elections: s.elections,
+		}
+		s.digMu.Lock()
+		so.Digests = make(map[int64]uint64, len(s.digests))
+		for m, d := range s.digests {
+			so.Digests[m] = d
+		}
+		so.Kept = s.kept
+		s.digMu.Unlock()
+		qs := s.pipe.QueueStats()
+		so.DroppedBatches = qs.DroppedBatches.Load()
+		so.DroppedRecords = qs.DroppedRecords.Load()
+		if d := s.pipe.Dropper(); d != nil {
+			st := d.Stats()
+			so.DropperEvaluated = st.Evaluated
+			so.DropperDropped = st.Dropped
+		}
+		so.RegistryVersions = len(s.reg.List())
+		so.ChampionSeq, so.ChampionID = s.pipe.ActiveModel()
+		if data, err := os.ReadFile(filepath.Join(s.dir, "acl.txt")); err == nil {
+			so.ACLFile = string(data)
+		}
+		out.Sites = append(out.Sites, so)
+	}
+	return out
+}
+
+// Key renders every deterministic field; equal keys mean equal runs.
+// Election scores render as float bit patterns, so "equal" means
+// bit-exact, not approximately equal.
+func (o *Outcome) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: gossip=%d exchanged=%d rejected=%d promotions=%d\n",
+		o.GossipRounds, o.Exchanged, o.Rejected, o.Promotions)
+	for i := range o.Sites {
+		b.WriteString(o.Sites[i].key())
+	}
+	return b.String()
+}
+
+func (so *SiteOutcome) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "site %s: kept=%d ingested=%d routed=%d dropB=%d dropR=%d dropperEval=%d dropperDrop=%d versions=%d champ=%d/%s\n",
+		so.Name, so.Kept, so.Ingested, so.Routed, so.DroppedBatches, so.DroppedRecords,
+		so.DropperEvaluated, so.DropperDropped, so.RegistryVersions, so.ChampionSeq, so.ChampionID)
+	b.WriteString(so.DigestsFrom(0))
+	for _, r := range so.Rounds {
+		fmt.Fprintf(&b, "round@%d skip=%v rec=%d agg=%d rules=%d flagged=%v acl=%016x seq=%d prom=%v\n",
+			r.Minute, r.Skipped, r.Records, r.Aggregates, r.RulesMined, r.Flagged, r.ACLDigest, r.Seq, r.Promoted)
+	}
+	for _, e := range so.Elections {
+		b.WriteString(renderElection(&e))
+	}
+	fmt.Fprintf(&b, "acl-file=%016x\n", netflow.FoldString(netflow.FNVOffset, so.ACLFile))
+	return b.String()
+}
+
+// String renders every deterministic election field, scores as float bit
+// patterns: equal strings mean bit-identical election results.
+func (e *Election) String() string { return renderElection(e) }
+
+func renderElection(e *Election) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "election r%d@%d site=%d skip=%v inc=%s winner=%d/%s prom=%v cands=[",
+		e.Round, e.Minute, e.Site, e.Skipped, renderScore(&e.Incumbent), e.WinnerOrigin, e.WinnerID, e.Promoted)
+	for i := range e.Candidates {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(renderScore(&e.Candidates[i]))
+	}
+	b.WriteString("]\n")
+	return b.String()
+}
+
+func renderScore(s *Score) string {
+	if s.Invalid {
+		return fmt.Sprintf("%d:%s:invalid", s.Origin, s.ID)
+	}
+	return fmt.Sprintf("%d:%s:%016x", s.Origin, s.ID, math.Float64bits(s.FBeta))
+}
+
+// DigestsFrom renders the per-minute kept-stream digests at or after the
+// absolute minute from — what the coordinator crash/restart test compares
+// across the crash boundary.
+func (so *SiteOutcome) DigestsFrom(from int64) string {
+	var b strings.Builder
+	mins := make([]int64, 0, len(so.Digests))
+	for m := range so.Digests {
+		if m >= from {
+			mins = append(mins, m)
+		}
+	}
+	sort.Slice(mins, func(i, j int) bool { return mins[i] < mins[j] })
+	for _, m := range mins {
+		fmt.Fprintf(&b, "%d=%016x\n", m, so.Digests[m])
+	}
+	return b.String()
+}
+
+// DigestsFrom renders every site's digests at or after an absolute minute.
+func (o *Outcome) DigestsFrom(from int64) string {
+	var b strings.Builder
+	for i := range o.Sites {
+		fmt.Fprintf(&b, "site %s:\n%s", o.Sites[i].Name, o.Sites[i].DigestsFrom(from))
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"fmt"
+	"net/netip"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+)
+
+// partitioner routes records to sites by target IP. Ownership is exact
+// for every member /24 a site's profile originates (the address space its
+// victims and benign targets live in); anything outside every member
+// space — spoofed or misdirected traffic — hashes uniformly across sites
+// so no record is ever dropped on the floor.
+type partitioner struct {
+	own map[netip.Prefix]int
+	n   int
+}
+
+func newPartitioner(sites []*Site) (*partitioner, error) {
+	p := &partitioner{own: map[netip.Prefix]int{}, n: len(sites)}
+	for _, s := range sites {
+		for _, m := range s.gen.Members() {
+			if prev, ok := p.own[m.Prefix]; ok && prev != s.Index {
+				return nil, fmt.Errorf("cluster: member prefix %s owned by both %s and %s — site profiles need disjoint address spaces",
+					m.Prefix, sites[prev].Name, s.Name)
+			}
+			p.own[m.Prefix] = s.Index
+		}
+	}
+	return p, nil
+}
+
+// SiteFor returns the owning site index for a target address.
+func (p *partitioner) SiteFor(a netip.Addr) int {
+	if a.Is4In6() {
+		a = a.Unmap()
+	}
+	if pfx, err := a.Prefix(24); err == nil {
+		if idx, ok := p.own[pfx]; ok {
+			return idx
+		}
+	}
+	b := a.As16()
+	return int(netflow.FoldBytes(netflow.FNVOffset, b[:]) % uint64(p.n))
+}

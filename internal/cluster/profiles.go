@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+// DefaultProfiles returns n scaled-down vantage points, one per paper IXP
+// in Table 2 order, shrunk the way the chaos harness shrinks its profile:
+// every minute still carries blackholed episodes and training rounds still
+// flag targets, but a multi-site multi-minute run finishes in well under a
+// second. The five paper profiles have pairwise-distinct seed%90 values,
+// which is what keeps their member /24 spaces disjoint — the property the
+// target-IP partitioner requires — so without explicit Config.Profiles at
+// most five sites are available.
+func DefaultProfiles(n int) ([]synth.Profile, error) {
+	base := synth.Profiles()
+	if n < 1 || n > len(base) {
+		return nil, fmt.Errorf("cluster: %d sites out of range (1..%d without explicit profiles)", n, len(base))
+	}
+	out := make([]synth.Profile, n)
+	for i := 0; i < n; i++ {
+		p := base[i]
+		p.BenignFlowsPerMin = 96
+		p.TargetIPs = 48
+		p.BenignSrcIPs = 192
+		// Denser episodes than the chaos profile: the balancer discards any
+		// minute bin without blackholed flows, and a short multi-site run
+		// needs every site — whatever its seed — to accumulate a trainable
+		// window within a handful of minutes.
+		p.EpisodeRatePerMin = 0.8
+		p.EpisodeDurMeanMin = 6
+		p.AttackFlowsPerMin = 24
+		out[i] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/ixp-scrubber/ixpscrubber/internal/ixpsim"
+	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
+	modelreg "github.com/ixp-scrubber/ixpscrubber/internal/registry"
+	"github.com/ixp-scrubber/ixpscrubber/internal/synth"
+)
+
+// clock is the shared virtual clock (unix seconds), advanced only by the
+// cluster's driving goroutine and read by every pipeline.
+type clock struct{ v atomic.Int64 }
+
+func (c *clock) Set(t int64) { c.v.Store(t) }
+func (c *clock) Now() int64  { return c.v.Load() }
+
+// Site is one scrubber vantage point: its traffic generator, its ingest
+// shard (the full ixpsim pipeline) and its model registry.
+type Site struct {
+	Name  string
+	Index int
+
+	prof synth.Profile
+	gen  *synth.Generator
+	pipe *ixpsim.Pipeline
+	reg  *modelreg.Registry
+	dir  string
+
+	// Injection accounting: what the settled pipeline must have absorbed.
+	// routed is atomic because the metrics scrape reads it concurrently
+	// with the driving goroutine; the rest stays on the driving goroutine.
+	expBatches uint64
+	expIngest  uint64
+	routed     atomic.Uint64
+	ingestBase uint64 // balancer count carried in from a restored checkpoint
+
+	// Per-minute chained digests of the kept (balanced) stream.
+	digMu   sync.Mutex
+	digests map[int64]uint64
+	kept    uint64
+
+	rounds    []RoundDigest
+	elections []Election
+
+	flowBuf []synth.Flow
+	predBuf []int // election verdict scratch, one per site (scored serially)
+}
+
+// Pipeline exposes the site's production pipeline.
+func (s *Site) Pipeline() *ixpsim.Pipeline { return s.pipe }
+
+// Registry exposes the site's model registry.
+func (s *Site) Registry() *modelreg.Registry { return s.reg }
+
+// Profile returns the site's traffic profile.
+func (s *Site) Profile() synth.Profile { return s.prof }
+
+// Routed reports how many records the partitioner routed to this site.
+func (s *Site) Routed() uint64 { return s.routed.Load() }
+
+// Elections returns the site's election history.
+func (s *Site) Elections() []Election { return s.elections }
+
+func (s *Site) keepHook(r netflow.Record) {
+	m := r.Timestamp / 60
+	s.digMu.Lock()
+	d, ok := s.digests[m]
+	if !ok {
+		d = netflow.FNVOffset
+	}
+	s.digests[m] = netflow.FoldRecord(d, &r)
+	s.kept++
+	s.digMu.Unlock()
+}
+
+// settle waits until the site's queue and balancer have absorbed every
+// record routed to it. Mirrors the chaos harness discipline: per-minute
+// settling is what makes batch boundaries and RNG draws replayable.
+func (s *Site) settle(ctx context.Context) error {
+	dropStats := func() (records, batches uint64) {
+		if d := s.pipe.Dropper(); d != nil {
+			st := d.Stats()
+			return st.Dropped, st.FullyDroppedBatches
+		}
+		return 0, 0
+	}
+	qs := s.pipe.QueueStats()
+	if err := ixpsim.PollUntil(ctx, func() bool {
+		_, dropBatches := dropStats()
+		return qs.BatchesIn.Load()+qs.DroppedBatches.Load()+dropBatches >= s.expBatches
+	}); err != nil {
+		return fmt.Errorf("settling batches: %w", err)
+	}
+	if err := ixpsim.PollUntil(ctx, func() bool {
+		ing := s.pipe.Ingested() - s.ingestBase
+		dropRecords, _ := dropStats()
+		return ing+qs.DroppedRecords.Load()+dropRecords >= s.expIngest &&
+			qs.BatchesOut.Load() == qs.BatchesIn.Load() &&
+			qs.RecordsOut.Load() == ing
+	}); err != nil {
+		return fmt.Errorf("settling queue: %w", err)
+	}
+	return nil
+}
+
+// RoundDigest summarizes one site training round for comparison.
+type RoundDigest struct {
+	Minute     int64 // relative minute the round ran after
+	Skipped    bool
+	Records    int
+	Aggregates int
+	RulesMined int
+	Flagged    []string
+	ACLDigest  uint64
+	Seq        uint64
+	Promoted   bool
+}
+
+func (s *Site) recordRound(minute int64, round *ixpsim.Round) {
+	rd := RoundDigest{
+		Minute:     minute,
+		Skipped:    round.Skipped,
+		Records:    round.Records,
+		Aggregates: round.Aggregates,
+		RulesMined: round.RulesMined,
+		ACLDigest:  netflow.FoldString(netflow.FNVOffset, round.ACLText),
+		Seq:        round.Seq,
+		Promoted:   round.Promoted,
+	}
+	for _, t := range round.Flagged {
+		rd.Flagged = append(rd.Flagged, t.String())
+	}
+	s.rounds = append(s.rounds, rd)
+}

@@ -469,6 +469,12 @@ func (s *Scrubber) WithEncoder(enc *woe.Encoder) *Scrubber {
 	return &t
 }
 
+// NeedsEncoder reports whether this scrubber is a classifier-only import
+// still waiting for WithEncoder — true exactly for a scrubber loaded from
+// a BundleClassifierOnly bundle. Receivers use it to classify an
+// already-loaded bundle without re-parsing the envelope.
+func (s *Scrubber) NeedsEncoder() bool { return s.needsEncoder }
+
 // GenerateACLs emits per-target drop entries for every accepted rule — the
 // deployment output once Step 2 flags targets.
 func (s *Scrubber) GenerateACLs(targets []netip.Addr, action acl.Action) []acl.Entry {

@@ -96,11 +96,17 @@ func (s *Scrubber) save(w io.Writer, kind string) error {
 			kept = k.Kept()
 		}
 	}
+	// Workers is a runtime parallelism knob, not model state: training and
+	// inference are bit-exact at any worker count, so baking the count into
+	// the bundle would give the same model different content hashes on
+	// different machines. Normalize it out; loaders pick their own.
+	cfg := s.cfg
+	cfg.Workers = 0
 	out := bundleJSON{
 		Version: bundleVersion,
 		Kind:    kind,
 		Model:   s.cfg.Model,
-		Config:  s.cfg,
+		Config:  cfg,
 		Rules:   json.RawMessage(rules.Bytes()),
 		Kept:    kept,
 		XGB:     json.RawMessage(xgbBuf.Bytes()),

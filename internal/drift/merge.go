@@ -1,0 +1,32 @@
+package drift
+
+// Merge reduces per-site drift snapshots to one cluster-wide view. Counts
+// (Samples, ShadowSamples) add; the PSI signals take the worst site, since
+// one drifted vantage point is what a cluster operator must react to; the
+// mean-PSI signal is sample-weighted so small idle sites cannot dilute a
+// large drifting one; RetrainRecommended is sticky across sites.
+func Merge(all []Stats) Stats {
+	out := Stats{MaxPSIColumn: -1}
+	var meanWeight uint64
+	for _, s := range all {
+		out.Samples += s.Samples
+		out.ShadowSamples += s.ShadowSamples
+		if s.FeaturePSIMax > out.FeaturePSIMax {
+			out.FeaturePSIMax = s.FeaturePSIMax
+			out.MaxPSIColumn = s.MaxPSIColumn
+		}
+		if s.ScorePSI > out.ScorePSI {
+			out.ScorePSI = s.ScorePSI
+		}
+		if s.Disagreement > out.Disagreement {
+			out.Disagreement = s.Disagreement
+		}
+		out.FeaturePSIMean += s.FeaturePSIMean * float64(s.Samples)
+		meanWeight += s.Samples
+		out.RetrainRecommended = out.RetrainRecommended || s.RetrainRecommended
+	}
+	if meanWeight > 0 {
+		out.FeaturePSIMean /= float64(meanWeight)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package drift
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMerge(t *testing.T) {
+	a := Stats{
+		Samples: 100, FeaturePSIMean: 0.1, FeaturePSIMax: 0.3, MaxPSIColumn: 2,
+		ScorePSI: 0.05, ShadowSamples: 40, Disagreement: 0.01,
+	}
+	b := Stats{
+		Samples: 300, FeaturePSIMean: 0.5, FeaturePSIMax: 0.2, MaxPSIColumn: 7,
+		ScorePSI: 0.25, ShadowSamples: 10, Disagreement: 0.04,
+		RetrainRecommended: true,
+	}
+	m := Merge([]Stats{a, b})
+	if m.Samples != 400 || m.ShadowSamples != 50 {
+		t.Errorf("counts: samples=%d shadow=%d", m.Samples, m.ShadowSamples)
+	}
+	if m.FeaturePSIMax != 0.3 || m.MaxPSIColumn != 2 {
+		t.Errorf("worst-site PSI: max=%v col=%d, want 0.3 col 2", m.FeaturePSIMax, m.MaxPSIColumn)
+	}
+	if m.ScorePSI != 0.25 || m.Disagreement != 0.04 {
+		t.Errorf("score/disagreement max: %v %v", m.ScorePSI, m.Disagreement)
+	}
+	// Sample-weighted mean: (0.1*100 + 0.5*300) / 400 = 0.4.
+	if math.Abs(m.FeaturePSIMean-0.4) > 1e-12 {
+		t.Errorf("weighted mean = %v, want 0.4", m.FeaturePSIMean)
+	}
+	if !m.RetrainRecommended {
+		t.Error("retrain flag not sticky")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m := Merge(nil)
+	if m.Samples != 0 || m.FeaturePSIMean != 0 || m.RetrainRecommended {
+		t.Errorf("empty merge not zero: %+v", m)
+	}
+	if m.MaxPSIColumn != -1 {
+		t.Errorf("empty merge MaxPSIColumn = %d, want -1", m.MaxPSIColumn)
+	}
+}
+
+// TestMergeIdleSitesDoNotDilute: a site with zero samples contributes
+// nothing to the weighted mean — the drifting site's signal survives.
+func TestMergeIdleSitesDoNotDilute(t *testing.T) {
+	drifting := Stats{Samples: 10, FeaturePSIMean: 0.9, FeaturePSIMax: 0.9, MaxPSIColumn: 0}
+	idle := Stats{MaxPSIColumn: -1}
+	m := Merge([]Stats{idle, drifting, idle})
+	if math.Abs(m.FeaturePSIMean-0.9) > 1e-12 {
+		t.Errorf("idle sites diluted the mean: %v", m.FeaturePSIMean)
+	}
+}

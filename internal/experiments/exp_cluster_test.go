@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestClusterShape runs the live-cluster artifact and checks its contract:
+// a full origin x site score matrix whose diagonal (the incumbents) parses
+// as Fβ in (0, 1], one election row per site, and a winner that matches
+// the matrix — the column's best score names the elected origin.
+func TestClusterShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-site cluster run; skipped in -short")
+	}
+	res, err := RunCluster(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(res.Tables))
+	}
+	scores, elections := &res.Tables[0], &res.Tables[1]
+	const sites = 3
+	if len(scores.Rows) != sites || len(scores.Header) != sites+1 {
+		t.Fatalf("score matrix %dx%d, want %dx%d", len(scores.Rows), len(scores.Header), sites, sites+1)
+	}
+	if len(elections.Rows) != sites {
+		t.Fatalf("election rows = %d, want %d", len(elections.Rows), sites)
+	}
+	for col := 0; col < sites; col++ {
+		// Every cell filled: the incumbent on the diagonal plus one
+		// candidate per peer — no site skipped its election.
+		best, bestRow := -1.0, -1
+		for row := 0; row < sites; row++ {
+			v := cellF(t, scores, row, scores.Header[col+1])
+			if v <= 0 || v > 1 {
+				t.Errorf("score[%d][%d] = %v outside (0, 1]", row, col, v)
+			}
+			if v > best {
+				best, bestRow = v, row
+			}
+		}
+		// The election row's winner is the matrix column's argmax (ties keep
+		// the incumbent, and distinct synthetic profiles never tie here).
+		if got, want := cell(t, elections, col, "winner"), scores.Rows[bestRow][0]; got != want {
+			t.Errorf("site %s elected %s, matrix argmax is %s", elections.Rows[col][0], got, want)
+		}
+	}
+	if len(res.Notes) == 0 || !strings.Contains(res.Notes[0], "gossip rounds") {
+		t.Errorf("missing gossip accounting note: %v", res.Notes)
+	}
+}

@@ -35,6 +35,7 @@ var Registry = map[string]Runner{
 	"fig16a":     RunFig16a,
 	"fig16b":     RunFig16b,
 	"multiclass": RunMulticlass,
+	"cluster":    RunCluster,
 }
 
 // Order is the canonical execution order (paper order).
@@ -44,7 +45,7 @@ var Order = []string{
 	"table3", "table5", "table4", "fig10",
 	"fig11a", "fig11b", "fig12", "fig13",
 	"fig14a", "fig14b", "fig16a", "fig16b",
-	"multiclass",
+	"multiclass", "cluster",
 }
 
 // IDs returns the registered experiment IDs sorted alphabetically.

@@ -153,6 +153,17 @@ func (p *Pipeline) DriftStats() drift.Stats {
 	return p.monitor.Stats()
 }
 
+// ChampionScrubber returns the serving model itself (nil before the first
+// promotion). The scrubber is immutable — a new round builds a new one —
+// so callers may score it concurrently with serving; cluster election
+// scores it against imported candidates on a shared local encoding.
+func (p *Pipeline) ChampionScrubber() *core.Scrubber {
+	if ch := p.champion.Load(); ch != nil {
+		return ch.s
+	}
+	return nil
+}
+
 // scoreAggs returns a model's verdicts plus the encoded matrix they were
 // computed from. Models that bypass encoding (RBC) return a nil matrix.
 func scoreAggs(s *core.Scrubber, aggs []*features.Aggregate) ([]int, [][]float64, error) {

@@ -344,6 +344,16 @@ func (p *Pipeline) Stop() {
 	p.wg.Wait()
 }
 
+// WindowRecords returns a copy of the current training window without
+// flushing the balancer or pruning by age — a read-only snapshot. Cluster
+// election scores imported candidates on it right after a training round,
+// where it is exactly the window that round trained on.
+func (p *Pipeline) WindowRecords() []netflow.Record {
+	p.winMu.Lock()
+	defer p.winMu.Unlock()
+	return append([]netflow.Record(nil), p.window...)
+}
+
 // snapshotWindow flushes the balancer, prunes records older than the
 // window, and returns a copy of what remains.
 func (p *Pipeline) snapshotWindow(now int64) []netflow.Record {

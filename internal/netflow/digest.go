@@ -1,0 +1,59 @@
+package netflow
+
+import "encoding/binary"
+
+// FNV-1a 64-bit parameters. Determinism harnesses (chaos, cluster) chain
+// digests record by record, so a per-minute digest is sensitive to record
+// content and order — two runs must produce a bit-identical stream, not
+// merely a set-identical one, to digest equal.
+const (
+	FNVOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// FoldBytes mixes p into the running FNV-1a state h.
+func FoldBytes(h uint64, p []byte) uint64 {
+	for _, c := range p {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// FoldString is FoldBytes over a string, allocation-free.
+func FoldString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// FoldRecord mixes every field of one flow record into h using a fixed
+// binary encoding, so the digest is a pure function of record content.
+func FoldRecord(h uint64, r *Record) uint64 {
+	var b [75]byte
+	binary.BigEndian.PutUint64(b[0:], uint64(r.Timestamp))
+	src := r.SrcIP.As16()
+	copy(b[8:], src[:])
+	dst := r.DstIP.As16()
+	copy(b[24:], dst[:])
+	binary.BigEndian.PutUint16(b[40:], r.SrcPort)
+	binary.BigEndian.PutUint16(b[42:], r.DstPort)
+	b[44] = r.Protocol
+	b[45] = r.TCPFlags
+	if r.Fragment {
+		b[46] = 1
+	}
+	copy(b[47:], r.SrcMAC[:])
+	copy(b[53:], r.DstMAC[:])
+	binary.BigEndian.PutUint64(b[59:], r.Packets)
+	binary.BigEndian.PutUint64(b[67:], r.Bytes)
+	h = FoldBytes(h, b[:])
+	var tail [5]byte
+	binary.BigEndian.PutUint32(tail[0:], r.SamplingRate)
+	if r.Blackholed {
+		tail[4] = 1
+	}
+	return FoldBytes(h, tail[:])
+}

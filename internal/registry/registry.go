@@ -435,6 +435,11 @@ func (r *Registry) ImportClassifier(ctx context.Context, bundle []byte, meta Met
 	return r.Publish(ctx, bundle, meta)
 }
 
+// ChampionID reads the raw promotion pointer, "" if absent. Unlike
+// Champion it does not verify the bundle behind it — coordinators use it
+// to name the export candidate cheaply; the export itself re-verifies.
+func (r *Registry) ChampionID() string { return r.championID() }
+
 // championID reads the raw promotion pointer, "" if absent.
 func (r *Registry) championID() string {
 	data, err := os.ReadFile(filepath.Join(r.dir, championFile))

@@ -13,7 +13,7 @@
 #
 # Usage: scripts/bench.sh [-benchtime 1x] [-count 1] [-only pr1,pr6] [-summary]
 #
-# -only runs a subset of the per-PR sections (pr1 pr2 pr3 pr5 pr6 pr7 pr8,
+# -only runs a subset of the per-PR sections (pr1 pr2 pr3 pr5 pr6 pr7 pr8 pr9,
 # comma-separated); the default runs all of them. CI uses
 # "-only pr6,pr7,pr8 -benchtime 1x" as a smoke test that the benchmarks
 # still compile and run, without paying for stable numbers.
@@ -27,7 +27,7 @@ cd "$(dirname "$0")/.."
 
 benchtime=1x
 count=1
-only=pr1,pr2,pr3,pr5,pr6,pr7,pr8
+only=pr1,pr2,pr3,pr5,pr6,pr7,pr8,pr9
 summary=0
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -353,4 +353,51 @@ END {
 }' "$tmp8" > BENCH_PR8.json
 
 echo "wrote BENCH_PR8.json ($(nproc) cores)"
+fi
+
+# Multi-IXP federated cluster (PR 9): per-site ingest throughput of the
+# live topology at the paper's site counts (generate, partition by target
+# IP, shard-ingest, settle — one simulated minute per op), a full gossip
+# round (champion export, cross-delivery, per-site election), and the
+# election overhead ratio: scoring one shared-parse candidate on the
+# site's own window vs scoring the incumbent alone. The acceptance gate
+# is ratio < 2x — the coordinator parses each travelling bundle once per
+# round and destinations re-bind encoders with a shallow copy, so
+# candidate scoring must stay marginal. Min-of-N like the other sections.
+tmp9=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp5" "$tmp6" "$tmp7" "$tmp8" "$tmp9"' EXIT
+
+if want pr9; then
+go test -run '^$' -bench 'BenchmarkClusterIngest|BenchmarkGossipRound|BenchmarkIncumbentScore|BenchmarkElectionScore' \
+    -benchtime "$benchtime" -count "$count" ./internal/cluster | tee "$tmp9"
+
+awk -v cores="$(nproc)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+$1 ~ /^Benchmark/ {
+    sub(/-[0-9]+$/, "", $1)   # strip the -GOMAXPROCS suffix
+    for (i = 3; i < NF; i += 2) {
+        u = $(i + 1); v = $i + 0
+        if (u == "ns/op" && (!($1 in ns) || v < ns[$1])) ns[$1] = v
+        if (u == "records/s" && (!($1 in rs) || v > rs[$1])) rs[$1] = v
+    }
+}
+END {
+    inc = ns["BenchmarkIncumbentScore"]
+    el = ns["BenchmarkElectionScore"]
+    printf "{\n  \"date\": \"%s\",\n  \"cores\": %d,\n", date, cores
+    printf "  \"note\": \"min of N runs (max for throughput); ingest = one simulated minute across all sites; gossip = export + cross-delivery + elections on a trained 2-site cluster\",\n"
+    printf "  \"cluster_ingest_ns_per_min\": {\"sites_1\": %g, \"sites_2\": %g, \"sites_5\": %g},\n", \
+        ns["BenchmarkClusterIngest/sites=1"], ns["BenchmarkClusterIngest/sites=2"], ns["BenchmarkClusterIngest/sites=5"]
+    printf "  \"cluster_ingest_records_per_s\": {\"sites_1\": %g, \"sites_2\": %g, \"sites_5\": %g},\n", \
+        rs["BenchmarkClusterIngest/sites=1"], rs["BenchmarkClusterIngest/sites=2"], rs["BenchmarkClusterIngest/sites=5"]
+    printf "  \"gossip_round_ns\": %g,\n", ns["BenchmarkGossipRound"]
+    printf "  \"incumbent_score_ns\": %g,\n", inc
+    printf "  \"election_score_ns\": %g,\n", el
+    printf("  \"election_overhead_ratio\": %.3f\n", inc > 0 ? el / inc : 0)
+    print "}"
+}' "$tmp9" > BENCH_PR9.json
+
+echo "wrote BENCH_PR9.json ($(nproc) cores)"
+
+ratio=$(awk -F'[:,]' '/election_overhead_ratio/ {print $2+0}' BENCH_PR9.json)
+awk -v r="$ratio" 'BEGIN { if (r <= 0 || r >= 2) { printf "FAIL: election overhead ratio %.3f not in (0, 2)\n", r; exit 1 } printf "election overhead ratio %.3f < 2x\n", r }'
 fi
