@@ -50,6 +50,17 @@
 // restore. Counters surface as ixps_dropper_* on /metrics, including
 // per-rule drop totals.
 //
+// Pipelines: -config FILE replaces the flag-built sflow→scrubber chain with
+// a YAML segment pipeline (see examples/pipelines/): inputs (sflow, ipfix,
+// netflow, replay, diskbuffer), filters (dropper, balance, sample) and
+// outputs (scrubber, jsonl, csv, metrics, tee) compose freely, and the flag
+// path assembles through the same builder and schema, so both are validated
+// identically. -validate-config parses the file, prints the resolved
+// segment graph, and exits without binding a socket — non-zero on any
+// error, each carrying a file:line position. Pipelines whose inputs are
+// finite (a pcap replay, a leftover diskbuffer spill) run one final
+// training round after draining, then exit cleanly.
+//
 // Multi-IXP: -cluster runs the federated topology instead of the socketed
 // single-site daemon: -sites scrubber sites in one process, each with its
 // own synthetic vantage-point profile, pipeline, registry and ACL file
@@ -80,14 +91,10 @@ import (
 	"time"
 
 	"github.com/ixp-scrubber/ixpscrubber/internal/bgp"
-	"github.com/ixp-scrubber/ixpscrubber/internal/core"
-	"github.com/ixp-scrubber/ixpscrubber/internal/dropper"
 	"github.com/ixp-scrubber/ixpscrubber/internal/features"
-	"github.com/ixp-scrubber/ixpscrubber/internal/ixpsim"
 	"github.com/ixp-scrubber/ixpscrubber/internal/netflow"
 	"github.com/ixp-scrubber/ixpscrubber/internal/obs"
-	modelreg "github.com/ixp-scrubber/ixpscrubber/internal/registry"
-	"github.com/ixp-scrubber/ixpscrubber/internal/sflow"
+	"github.com/ixp-scrubber/ixpscrubber/internal/segment"
 )
 
 func main() {
@@ -115,6 +122,9 @@ func main() {
 		dropStage = flag.Bool("drop", false, "compiled mitigation fast path: champion verdicts compile into a flat match program that drops matching records before ingest")
 		dropRules = flag.String("drop-rules", "", "file of static drop rules seeding the fast path at startup (implies -drop)")
 
+		configPath  = flag.String("config", "", "YAML segment pipeline replacing the flag-built sflow→scrubber chain (see examples/pipelines/)")
+		validateCfg = flag.Bool("validate-config", false, "parse -config, print the resolved segment graph, and exit without binding sockets (non-zero on error)")
+
 		clusterMode    = flag.Bool("cluster", false, "run the multi-IXP federated cluster (simulated sites, no sockets) instead of the single-site daemon")
 		sites          = flag.Int("sites", 3, "number of scrubber sites in -cluster mode (max 5 vantage-point profiles)")
 		gossipInterval = flag.Duration("gossip-interval", 30*time.Minute, "simulated interval between coordinator gossip rounds in -cluster mode")
@@ -123,6 +133,21 @@ func main() {
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	if *validateCfg {
+		// Dry run: load, validate, render — no socket is ever bound.
+		if *configPath == "" {
+			fmt.Fprintln(os.Stderr, "-validate-config requires -config FILE")
+			os.Exit(2)
+		}
+		cfg, err := loadPipelineConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(cfg.Graph())
+		return
+	}
 
 	policy, ok := netflow.ParseDropPolicy(*dropPolicy)
 	if !ok {
@@ -174,6 +199,7 @@ func main() {
 		ImportPath:     *importPath,
 		Drop:           *dropStage || *dropRules != "",
 		DropRulesPath:  *dropRules,
+		ConfigPath:     *configPath,
 	}
 	if *sketchMode {
 		opts.Sketch = &features.SketchConfig{Budget: *sketchBudget}
@@ -207,9 +233,78 @@ type options struct {
 	// DropRulesPath optionally seeds it with static operator rules.
 	Drop          bool
 	DropRulesPath string
+	// ConfigPath, when set, loads the segment pipeline from a YAML file
+	// instead of assembling the flag-built sflow→scrubber chain. Both paths
+	// build through segment.New under the same schema.
+	ConfigPath string
+}
+
+// loadPipelineConfig reads and validates a YAML pipeline file. Errors carry
+// the file path and line.
+func loadPipelineConfig(path string) (*segment.Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return segment.LoadConfig(path, data)
+}
+
+// flagConfig renders the classic flag set as the two-segment chain the
+// default-scrubber example ships. Zero-valued sizing flags are omitted so
+// the schema defaults (the same ones ixpsim applies) fill them.
+func flagConfig(o options) *segment.Config {
+	scrub := map[string]any{
+		"drop-policy": o.DropPolicy.String(),
+		"acl":         o.ACLOut,
+		"rules-out":   o.RulesOut,
+		"checkpoint":  o.CheckpointPath,
+		"registry":    o.RegistryDir,
+		"shadow":      o.Shadow,
+		"import":      o.ImportPath,
+		"drop":        o.Drop,
+		"drop-rules":  o.DropRulesPath,
+	}
+	if o.Seed != 0 {
+		scrub["seed"] = o.Seed
+	}
+	if o.Window != 0 {
+		scrub["window"] = o.Window
+	}
+	if o.QueueCap != 0 {
+		scrub["queue-cap"] = o.QueueCap
+	}
+	if o.Sketch != nil {
+		scrub["sketch"] = true
+		if o.Sketch.Budget != 0 {
+			scrub["sketch-budget"] = o.Sketch.Budget
+		}
+	}
+	return &segment.Config{Name: "<flags>", Pipeline: []segment.SegmentConfig{
+		{Kind: "sflow", Params: map[string]any{"listen": o.SFlowAddr}},
+		{Kind: "scrubber", Params: scrub},
+	}}
+}
+
+// findScrubber returns the pipeline's scrubber segment config (main chain
+// or a tee branch), or nil.
+func findScrubber(chain []segment.SegmentConfig) *segment.SegmentConfig {
+	for i := range chain {
+		if chain[i].Kind == "scrubber" {
+			return &chain[i]
+		}
+		for bi := range chain[i].Branches {
+			if sc := findScrubber(chain[i].Branches[bi].Pipeline); sc != nil {
+				return sc
+			}
+		}
+	}
+	return nil
 }
 
 func run(ctx context.Context, log *slog.Logger, o options) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	// Observability first, so every stage can register before traffic.
 	var (
 		reg    *obs.Registry
@@ -220,7 +315,8 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 		obs.RegisterRuntimeMetrics(reg)
 	}
 
-	// BGP route server feeding the blackhole registry.
+	// BGP route server feeding the blackhole registry; its Covered labeler
+	// is the Env every input segment classifies destinations against.
 	ln, err := net.Listen("tcp", o.BGPAddr)
 	if err != nil {
 		return fmt.Errorf("bgp listen: %w", err)
@@ -234,92 +330,36 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 	go func() { rsDone <- rs.Serve(ctx, ln) }()
 	log.Info("route server listening", "addr", ln.Addr())
 
-	// Versioned model registry: every trained model publishes before it
-	// serves, and the on-disk champion survives restarts.
-	var models *modelreg.Registry
-	if o.RegistryDir != "" {
-		models, err = modelreg.Open(o.RegistryDir, modelreg.Options{Log: log})
-		if err != nil {
-			return fmt.Errorf("model registry: %w", err)
+	// The pipeline: from -config, or the flag set rendered as the same
+	// two-segment chain — one builder, one schema, either way.
+	cfg := flagConfig(o)
+	if o.ConfigPath != "" {
+		if cfg, err = loadPipelineConfig(o.ConfigPath); err != nil {
+			return err
 		}
-		log.Info("model registry open", "dir", o.RegistryDir)
 	}
+	p, err := segment.New(segment.Env{Log: log, Metrics: reg, Label: registry.Covered}, cfg)
+	if err != nil {
+		return err
+	}
+	if err := p.Start(ctx); err != nil {
+		return err
+	}
+	defer p.Close()
+	log.Info("pipeline running", "config", cfg.Name, "segments", len(cfg.Pipeline))
 
-	// The processing chain behind the sockets: bounded queue, balancer,
-	// sliding window, model, atomic ACL/checkpoint writes.
-	var coreCfg *core.Config
-	if o.Sketch != nil {
-		c := core.DefaultConfig()
-		c.Sketch = o.Sketch
-		coreCfg = &c
+	// Training ticks stay with the daemon; the scrubber segment owns the
+	// detection chain. A scrubber-less pipeline (pure archival) just flows.
+	sp := p.Scrubber()
+	aclToStdout := false
+	if sc := findScrubber(cfg.Pipeline); sc != nil {
+		aclToStdout = sc.Str("acl") == ""
 	}
-	pipe := ixpsim.NewPipeline(ixpsim.PipelineConfig{
-		Seed:           o.Seed,
-		Window:         o.Window,
-		QueueCap:       o.QueueCap,
-		DropPolicy:     o.DropPolicy,
-		ACLPath:        o.ACLOut,
-		RulesPath:      o.RulesOut,
-		CheckpointPath: o.CheckpointPath,
-		Core:           coreCfg,
-		Metrics:        reg,
-		Log:            log,
-		Registry:       models,
-		Shadow:         o.Shadow,
-		Drop:           o.Drop || o.DropRulesPath != "",
-	})
-	if o.DropRulesPath != "" {
-		text, err := os.ReadFile(o.DropRulesPath)
-		if err != nil {
-			return fmt.Errorf("drop-rules: %w", err)
-		}
-		rules, err := dropper.ParseRules(string(text))
-		if err != nil {
-			return fmt.Errorf("drop-rules %s: %w", o.DropRulesPath, err)
-		}
-		// Static rules are the startup baseline; a checkpointed program
-		// (fresher verdicts) restored below takes precedence.
-		pipe.Dropper().Swap(dropper.Compile(rules))
-		log.Info("static drop rules compiled", "path", o.DropRulesPath, "rules", len(rules))
-	}
-	if restored, err := pipe.RestoreCheckpoint(); err != nil {
-		log.Warn("checkpoint restore failed, starting cold", "err", err)
-	} else if restored {
-		health.SetReady(pipe.Trained())
-	}
-	if pipe.Trained() {
-		// A warm registry champion serves before the first local round.
+	if sp != nil && sp.Trained() {
+		// A restored checkpoint or warm registry champion serves before the
+		// first local round.
 		health.SetReady(true)
 	}
-	if o.ImportPath != "" {
-		bundle, err := os.ReadFile(o.ImportPath)
-		if err != nil {
-			return fmt.Errorf("import-classifier: %w", err)
-		}
-		if err := pipe.ImportClassifier(ctx, bundle); err != nil {
-			return fmt.Errorf("import-classifier: %w", err)
-		}
-		log.Info("classifier-only bundle imported as challenger", "path", o.ImportPath)
-	}
-	pipe.Start(ctx)
-	defer pipe.Stop()
-
-	// sFlow collector feeding the pipeline's ingest queue.
-	pc, err := net.ListenPacket("udp", o.SFlowAddr)
-	if err != nil {
-		return fmt.Errorf("sflow listen: %w", err)
-	}
-	collector := &sflow.Collector{
-		Label:     registry.Covered,
-		Log:       log,
-		EmitBatch: pipe.EmitBatch,
-	}
-	if reg != nil {
-		collector.RegisterMetrics(reg)
-	}
-	colDone := make(chan error, 1)
-	go func() { colDone <- collector.Listen(ctx, pc) }()
-	log.Info("sflow collector listening", "addr", pc.LocalAddr())
 
 	// Observability server, once the pipeline stages are registered.
 	var srvDone chan error
@@ -329,39 +369,55 @@ func run(ctx context.Context, log *slog.Logger, o options) error {
 		}
 	}
 
+	trainRound := func(now int64) {
+		round, err := sp.TrainRound(ctx, now)
+		if err != nil {
+			log.Error("training round failed, keeping last good model", "err", err)
+			return
+		}
+		if round.Skipped {
+			return
+		}
+		if aclToStdout {
+			fmt.Print(round.ACLText)
+		}
+		// The daemon is ready once it serves a trained model.
+		health.SetReady(true)
+	}
+
 	ticker := time.NewTicker(o.TrainEvery)
 	defer ticker.Stop()
+
+	shutdown := func(err error) error {
+		cancel()
+		if e := <-rsDone; err == nil {
+			err = e
+		}
+		if srvDone != nil {
+			if e := <-srvDone; err == nil {
+				err = e
+			}
+		}
+		return err
+	}
 
 	for {
 		select {
 		case <-ctx.Done():
-			err1 := <-rsDone
-			err2 := <-colDone
-			var err3 error
-			if srvDone != nil {
-				err3 = <-srvDone
+			return shutdown(nil)
+		case <-p.Done():
+			// Finite inputs (pcap replay, diskbuffer spill) drained: flush
+			// the chain, run one final round past the last record, exit.
+			err := p.Close()
+			if sp != nil {
+				trainRound(p.Now() + 60)
 			}
-			if err1 != nil {
-				return err1
-			}
-			if err2 != nil {
-				return err2
-			}
-			return err3
+			log.Info("finite pipeline drained, exiting")
+			return shutdown(err)
 		case now := <-ticker.C:
-			round, err := pipe.TrainRound(ctx, now.Unix())
-			if err != nil {
-				log.Error("training round failed, keeping last good model", "err", err)
-				continue
+			if sp != nil {
+				trainRound(now.Unix())
 			}
-			if round.Skipped {
-				continue
-			}
-			if o.ACLOut == "" {
-				fmt.Print(round.ACLText)
-			}
-			// The daemon is ready once it serves a trained model.
-			health.SetReady(true)
 		}
 	}
 }

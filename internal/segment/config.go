@@ -1,0 +1,508 @@
+package segment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Config is a validated (or to-be-validated) pipeline description: an
+// ordered segment chain, possibly fanning out through a tee's branches.
+// It is produced by LoadConfig from YAML or constructed programmatically
+// (the daemon's flag path and the chaos harness build the same struct);
+// both go through Validate, so one schema governs every assembly path.
+type Config struct {
+	// Name labels error positions ("pipeline.yml:12: ..."); programmatic
+	// configs default to "<config>".
+	Name     string
+	Pipeline []SegmentConfig
+}
+
+// SegmentConfig selects one segment kind plus its parameters. Params values
+// are raw: strings from YAML scalars, or native Go values (int, bool,
+// time.Duration, ...) from programmatic construction; Validate resolves
+// both through the kind's FieldSpec schema.
+type SegmentConfig struct {
+	Kind   string
+	Params map[string]any
+	// Branches is the tee's fan-out: named sub-pipelines each receiving
+	// every record. Only the tee kind accepts branches.
+	Branches []Branch
+
+	// Line is the segment's source line (0 for programmatic configs).
+	Line int
+	// paramLine positions individual params for error messages.
+	paramLine map[string]int
+
+	// resolved holds the typed, defaulted, range-checked params after
+	// Validate.
+	resolved map[string]any
+}
+
+// Branch is one named tee output chain.
+type Branch struct {
+	Name     string
+	Pipeline []SegmentConfig
+	Line     int
+}
+
+// Resolved param accessors. They panic when called before Validate —
+// builders only run on validated configs.
+
+func (sc *SegmentConfig) get(k string) any {
+	if sc.resolved == nil {
+		panic("segment: config not validated")
+	}
+	v, ok := sc.resolved[k]
+	if !ok {
+		panic("segment: no such field " + sc.Kind + "." + k)
+	}
+	return v
+}
+
+// Str returns a resolved string field.
+func (sc *SegmentConfig) Str(k string) string { return sc.get(k).(string) }
+
+// Int returns a resolved int field.
+func (sc *SegmentConfig) Int(k string) int64 { return sc.get(k).(int64) }
+
+// Float returns a resolved float field.
+func (sc *SegmentConfig) Float(k string) float64 { return sc.get(k).(float64) }
+
+// Bool returns a resolved bool field.
+func (sc *SegmentConfig) Bool(k string) bool { return sc.get(k).(bool) }
+
+// Dur returns a resolved duration field.
+func (sc *SegmentConfig) Dur(k string) time.Duration { return sc.get(k).(time.Duration) }
+
+// LoadConfig parses and validates a YAML pipeline config. Every error
+// carries a file:line position.
+func LoadConfig(name string, data []byte) (*Config, error) {
+	root, err := parseYAML(name, data)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range root.keys {
+		if k != "pipeline" {
+			return nil, errAt(name, root.keyLine[k], "unknown top-level key %q (only \"pipeline\" is allowed)", k)
+		}
+	}
+	pn, ok := root.vals["pipeline"]
+	if !ok {
+		return nil, errAt(name, root.line, "missing \"pipeline\" key")
+	}
+	if pn.kind != seqNode {
+		return nil, errAt(name, pn.line, "\"pipeline\" must be a sequence of segments")
+	}
+	cfg := &Config{Name: name}
+	cfg.Pipeline, err = decodeChain(name, pn, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+func decodeChain(file string, seq *node, allowBranches bool) ([]SegmentConfig, error) {
+	out := make([]SegmentConfig, 0, len(seq.items))
+	for _, item := range seq.items {
+		if item.kind != mapNode {
+			return nil, errAt(file, item.line, "each pipeline entry must be a mapping with a \"segment\" key")
+		}
+		sc := SegmentConfig{Line: item.line, Params: map[string]any{}, paramLine: map[string]int{}}
+		for _, k := range item.keys {
+			v := item.vals[k]
+			switch k {
+			case "segment":
+				if v.kind != scalarNode {
+					return nil, errAt(file, v.line, "\"segment\" must be a segment kind name")
+				}
+				sc.Kind = v.value
+			case "config":
+				if v.kind != mapNode {
+					return nil, errAt(file, v.line, "\"config\" must be a mapping of field: value pairs")
+				}
+				for _, fk := range v.keys {
+					fv := v.vals[fk]
+					if fv.kind != scalarNode {
+						return nil, errAt(file, fv.line, "field %q must be a scalar value", fk)
+					}
+					sc.Params[fk] = fv.value
+					sc.paramLine[fk] = fv.line
+				}
+			case "branches":
+				if !allowBranches {
+					return nil, errAt(file, item.keyLine[k], "nested branches are not allowed (a tee cannot contain another tee)")
+				}
+				if v.kind != mapNode {
+					return nil, errAt(file, v.line, "\"branches\" must be a mapping of name: segment-list")
+				}
+				for _, bn := range v.keys {
+					bv := v.vals[bn]
+					if bv.kind != seqNode {
+						return nil, errAt(file, bv.line, "branch %q must be a sequence of segments", bn)
+					}
+					chain, err := decodeChain(file, bv, false)
+					if err != nil {
+						return nil, err
+					}
+					sc.Branches = append(sc.Branches, Branch{Name: bn, Pipeline: chain, Line: v.keyLine[bn]})
+				}
+			default:
+				return nil, errAt(file, item.keyLine[k], "unknown segment key %q (expected \"segment\", \"config\" or \"branches\")", k)
+			}
+		}
+		if sc.Kind == "" {
+			return nil, errAt(file, item.line, "pipeline entry is missing its \"segment\" kind")
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// Validate resolves every segment's params through its kind's schema and
+// enforces the structural rules: the pipeline starts with an input, ends
+// with an output, inputs appear only at the head (diskbuffer excepted),
+// terminal segments sit last, at most one scrubber exists, tee branches
+// are uniquely named output chains and never nest. Validate is idempotent.
+func (c *Config) Validate() error {
+	if c.Name == "" {
+		c.Name = "<config>"
+	}
+	if len(c.Pipeline) == 0 {
+		return errAt(c.Name, 0, "pipeline has no segments")
+	}
+	v := &validator{file: c.Name, paths: map[string]string{}, names: map[string]string{}}
+	if err := v.chain(c.Pipeline, ""); err != nil {
+		return withFile(err, c.Name)
+	}
+	if first := specs[c.Pipeline[0].Kind]; first.Group != GroupInput {
+		return withFile(c.Pipeline[0].errf("pipeline must start with an input segment, not %s (%s)",
+			c.Pipeline[0].Kind, first.Group), c.Name)
+	}
+	return nil
+}
+
+// withFile fills the file position on errors minted by SegmentConfig
+// helpers, which do not know which config they belong to.
+func withFile(err error, file string) error {
+	if pe, ok := err.(*posError); ok && pe.file == "" {
+		pe.file = file
+	}
+	return err
+}
+
+type validator struct {
+	file      string
+	scrubbers int
+	paths     map[string]string // sink file path -> first segment using it
+	names     map[string]string // metrics sink name -> first use
+}
+
+// chain validates one segment chain; branch is "" for the main pipeline.
+func (v *validator) chain(chain []SegmentConfig, branch string) error {
+	if len(chain) == 0 {
+		return errAt(v.file, 0, "branch %q has no segments", branch)
+	}
+	for i := range chain {
+		sc := &chain[i]
+		spec := specs[sc.Kind]
+		if spec == nil {
+			return sc.errf("unknown segment kind %q (known kinds: %s)", sc.Kind, suggestKinds())
+		}
+		if err := v.resolve(spec, sc); err != nil {
+			return err
+		}
+		last := i == len(chain)-1
+		switch {
+		case spec.Group == GroupInput && !spec.AnyPosition && (i > 0 || branch != ""):
+			return sc.errf("input segment %q is only allowed at the start of the main pipeline", sc.Kind)
+		case spec.Terminal && !last:
+			return sc.errf("segment %q consumes the stream and must be the last segment", sc.Kind)
+		case last && spec.Group != GroupOutput && !(spec.Kind == "diskbuffer" && branch != ""):
+			return sc.errf("the last segment must be an output, not %s (%s)", sc.Kind, spec.Group)
+		}
+		if len(sc.Branches) > 0 && !spec.HasBranches {
+			return sc.errf("segment %q does not take branches", sc.Kind)
+		}
+		switch sc.Kind {
+		case "scrubber":
+			v.scrubbers++
+			if v.scrubbers > 1 {
+				return sc.errf("at most one scrubber segment is allowed per pipeline (its ingest queue and model are singletons)")
+			}
+			for _, f := range []string{"acl", "rules-out", "checkpoint"} {
+				if err := v.uniquePath(sc, sc.Str(f)); err != nil {
+					return err
+				}
+			}
+		case "jsonl", "csv":
+			if err := v.uniquePath(sc, sc.Str("path")); err != nil {
+				return err
+			}
+		case "metrics":
+			name := sc.Str("name")
+			if prev, dup := v.names[name]; dup {
+				return sc.errf("metrics sink name %q already used by %s (names must be unique for conservation accounting)", name, prev)
+			}
+			v.names[name] = sc.Kind
+		case "tee":
+			if len(sc.Branches) == 0 {
+				return sc.errf("tee requires at least one branch")
+			}
+			seen := map[string]int{}
+			for bi := range sc.Branches {
+				b := &sc.Branches[bi]
+				if prev, dup := seen[b.Name]; dup {
+					return errAt(v.file, b.Line, "duplicate branch name %q (first defined at line %d)", b.Name, prev)
+				}
+				seen[b.Name] = b.Line
+				if len(b.Pipeline) == 0 {
+					return errAt(v.file, b.Line, "branch %q has no segments", b.Name)
+				}
+				if err := v.chain(b.Pipeline, b.Name); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (v *validator) uniquePath(sc *SegmentConfig, path string) error {
+	if path == "" {
+		return nil
+	}
+	if prev, dup := v.paths[path]; dup {
+		return sc.errf("output path %q already written by segment %q (concurrent sinks must not share files)", path, prev)
+	}
+	v.paths[path] = sc.Kind
+	return nil
+}
+
+// resolve type-checks, defaults and range-checks one segment's params.
+func (v *validator) resolve(spec *Spec, sc *SegmentConfig) error {
+	resolved := make(map[string]any, len(spec.Fields))
+	for k, raw := range sc.Params {
+		f := spec.field(k)
+		if f == nil {
+			return sc.errfAt(k, "segment %q has no field %q (fields: %s)", sc.Kind, k, fieldNames(spec))
+		}
+		val, err := resolveValue(f, raw)
+		if err != nil {
+			return sc.errfAt(k, "field %q: %s", k, err)
+		}
+		resolved[k] = val
+	}
+	for i := range spec.Fields {
+		f := &spec.Fields[i]
+		if _, ok := resolved[f.Name]; ok {
+			continue
+		}
+		if f.Required {
+			return sc.errf("segment %q requires field %q (%s)", sc.Kind, f.Name, f.Help)
+		}
+		resolved[f.Name] = f.Default
+	}
+	sc.resolved = resolved
+	return nil
+}
+
+func fieldNames(spec *Spec) string {
+	names := make([]string, len(spec.Fields))
+	for i := range spec.Fields {
+		names[i] = spec.Fields[i].Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// errf positions an error at the segment's own line.
+func (sc *SegmentConfig) errf(format string, args ...any) error {
+	return &posError{file: "", line: sc.Line, msg: fmt.Sprintf(format, args...)}
+}
+
+// errfAt positions an error at a param's line, falling back to the segment.
+func (sc *SegmentConfig) errfAt(param, format string, args ...any) error {
+	line := sc.Line
+	if l, ok := sc.paramLine[param]; ok {
+		line = l
+	}
+	return &posError{file: "", line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// resolveValue converts one raw param (YAML string or native Go value) to
+// the field's type and checks its range/enum.
+func resolveValue(f *FieldSpec, raw any) (any, error) {
+	switch f.Type {
+	case TypeString:
+		s, ok := raw.(string)
+		if !ok {
+			return nil, fmt.Errorf("expected a string, got %T", raw)
+		}
+		if len(f.Enum) > 0 {
+			found := false
+			for _, e := range f.Enum {
+				if s == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("invalid value %q (one of: %s)", s, strings.Join(f.Enum, ", "))
+			}
+		}
+		return s, nil
+	case TypeInt:
+		n, err := toInt(raw)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(f, float64(n), strconv.FormatInt(n, 10)); err != nil {
+			return nil, err
+		}
+		return n, nil
+	case TypeFloat:
+		x, err := toFloat(raw)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(f, x, strconv.FormatFloat(x, 'g', -1, 64)); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case TypeBool:
+		switch b := raw.(type) {
+		case bool:
+			return b, nil
+		case string:
+			switch b {
+			case "true":
+				return true, nil
+			case "false":
+				return false, nil
+			}
+			return nil, fmt.Errorf("expected true or false, got %q", b)
+		}
+		return nil, fmt.Errorf("expected a bool, got %T", raw)
+	case TypeDuration:
+		var d time.Duration
+		switch x := raw.(type) {
+		case time.Duration:
+			d = x
+		case string:
+			var err error
+			if d, err = time.ParseDuration(x); err != nil {
+				return nil, fmt.Errorf("invalid duration %q (e.g. \"50ms\", \"24h\")", x)
+			}
+		default:
+			return nil, fmt.Errorf("expected a duration, got %T", raw)
+		}
+		if err := checkRange(f, float64(d), d.String()); err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("unhandled field type %v", f.Type)
+}
+
+func toInt(raw any) (int64, error) {
+	switch x := raw.(type) {
+	case int:
+		return int64(x), nil
+	case int64:
+		return x, nil
+	case uint64:
+		if x > 1<<62 {
+			return 0, fmt.Errorf("value %d overflows int64", x)
+		}
+		return int64(x), nil
+	case uint:
+		return int64(x), nil
+	case int32:
+		return int64(x), nil
+	case uint32:
+		return int64(x), nil
+	case string:
+		n, err := strconv.ParseInt(x, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("expected an integer, got %q", x)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("expected an integer, got %T", raw)
+}
+
+func toFloat(raw any) (float64, error) {
+	switch x := raw.(type) {
+	case float64:
+		return x, nil
+	case float32:
+		return float64(x), nil
+	case int:
+		return float64(x), nil
+	case int64:
+		return float64(x), nil
+	case string:
+		v, err := strconv.ParseFloat(x, 64)
+		if err != nil {
+			return 0, fmt.Errorf("expected a number, got %q", x)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("expected a number, got %T", raw)
+}
+
+func checkRange(f *FieldSpec, v float64, display string) error {
+	if f.MinSet && v < f.Min {
+		return fmt.Errorf("value %s below minimum %s", display, rangeBound(f, f.Min))
+	}
+	if f.MaxSet && v > f.Max {
+		return fmt.Errorf("value %s above maximum %s", display, rangeBound(f, f.Max))
+	}
+	return nil
+}
+
+func rangeBound(f *FieldSpec, bound float64) string {
+	if f.Type == TypeDuration {
+		return time.Duration(bound).String()
+	}
+	return strconv.FormatFloat(bound, 'g', -1, 64)
+}
+
+// Graph renders the resolved segment graph — what -validate-config prints.
+// The config must have passed Validate.
+func (c *Config) Graph() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline %s (%d segments)\n", c.Name, len(c.Pipeline))
+	renderChain(&b, c.Pipeline, "  ")
+	return b.String()
+}
+
+func renderChain(b *strings.Builder, chain []SegmentConfig, indent string) {
+	for i := range chain {
+		sc := &chain[i]
+		spec := specs[sc.Kind]
+		fmt.Fprintf(b, "%s%d. %s [%s]", indent, i+1, sc.Kind, spec.Group)
+		for fi := range spec.Fields {
+			f := &spec.Fields[fi]
+			v := sc.resolved[f.Name]
+			if s, ok := v.(string); ok {
+				if s == "" {
+					continue // unset optional path/file fields add noise
+				}
+				fmt.Fprintf(b, " %s=%q", f.Name, s)
+				continue
+			}
+			fmt.Fprintf(b, " %s=%v", f.Name, v)
+		}
+		b.WriteByte('\n')
+		for bi := range sc.Branches {
+			br := &sc.Branches[bi]
+			fmt.Fprintf(b, "%s   branch %q:\n", indent, br.Name)
+			renderChain(b, br.Pipeline, indent+"     ")
+		}
+	}
+}

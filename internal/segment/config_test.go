@@ -1,0 +1,221 @@
+package segment
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoadConfigDefault(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "pipelines", "default-scrubber.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig("default-scrubber.yml", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Pipeline) != 2 {
+		t.Fatalf("got %d segments, want 2", len(cfg.Pipeline))
+	}
+	sf := &cfg.Pipeline[0]
+	if sf.Kind != "sflow" || sf.Str("listen") != ":6343" || sf.Int("batch") != 256 || sf.Dur("flush") != 50*time.Millisecond {
+		t.Fatalf("sflow params wrong: %+v", sf.resolved)
+	}
+	sc := &cfg.Pipeline[1]
+	if sc.Kind != "scrubber" || sc.Dur("window") != 24*time.Hour || sc.Str("drop-policy") != "drop-newest" {
+		t.Fatalf("scrubber params wrong: %+v", sc.resolved)
+	}
+	// Defaults fill unset fields.
+	if sc.Bool("shadow") || sc.Str("registry") != "" || sc.Int("seed") != 0 {
+		t.Fatalf("scrubber defaults wrong: %+v", sc.resolved)
+	}
+}
+
+func TestLoadConfigAllExamplesValidate(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "pipelines", "*.yml"))
+	if err != nil || len(paths) < 3 {
+		t.Fatalf("want >=3 example configs, got %d (%v)", len(paths), err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := LoadConfig(filepath.Base(p), data)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if g := cfg.Graph(); !strings.Contains(g, "pipeline "+filepath.Base(p)) {
+			t.Errorf("%s: graph header missing: %q", p, g)
+		}
+	}
+}
+
+// errorCase configs must fail with a position ("file:line:") and a message
+// fragment that tells the operator what to fix.
+func TestLoadConfigErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		yaml string
+		want string // substring of the error
+		line int    // expected position (0 = don't check)
+	}{
+		{"empty", "", "empty config", 1},
+		{"no pipeline", "other: 1\n", `unknown top-level key "other"`, 1},
+		{"pipeline scalar", "pipeline: yes\n", "must be a sequence", 1},
+		{"unknown kind", "pipeline:\n  - segment: warp\n", `unknown segment kind "warp"`, 2},
+		{"unknown field", "pipeline:\n  - segment: sflow\n    config:\n      port: 99\n", `no field "port"`, 4},
+		{"bad int", "pipeline:\n  - segment: sflow\n    config:\n      batch: many\n", "expected an integer", 4},
+		{"range", "pipeline:\n  - segment: sflow\n    config:\n      batch: 0\n", "below minimum", 4},
+		{"bad enum", "pipeline:\n  - segment: scrubber\n    config:\n      drop-policy: yolo\n", "invalid value", 4},
+		{"bad duration", "pipeline:\n  - segment: sflow\n    config:\n      flush: fast\n", "invalid duration", 4},
+		{"missing required", "pipeline:\n  - segment: jsonl\n", `requires field "path"`, 2},
+		{"starts with filter", "pipeline:\n  - segment: sample\n  - segment: metrics\n", "must start with an input", 2},
+		{"input mid-chain", "pipeline:\n  - segment: sflow\n  - segment: sflow\n  - segment: metrics\n", "only allowed at the start", 3},
+		{"ends with filter", "pipeline:\n  - segment: sflow\n  - segment: sample\n", "last segment must be an output", 3},
+		{"terminal not last", "pipeline:\n  - segment: sflow\n  - segment: scrubber\n  - segment: metrics\n", "must be the last segment", 3},
+		{"two scrubbers", "pipeline:\n  - segment: sflow\n  - segment: tee\n    branches:\n      a:\n        - segment: scrubber\n      b:\n        - segment: scrubber\n", "at most one scrubber", 8},
+		{"tee no branches", "pipeline:\n  - segment: sflow\n  - segment: tee\n", "at least one branch", 3},
+		{"branches on sflow", "pipeline:\n  - segment: sflow\n    branches:\n      a:\n        - segment: metrics\n  - segment: metrics\n", "does not take branches", 2},
+		{"nested tee", "pipeline:\n  - segment: sflow\n  - segment: tee\n    branches:\n      a:\n        - segment: tee\n          branches:\n            b:\n              - segment: metrics\n", "nested branches", 7},
+		{"dup branch", "pipeline:\n  - segment: sflow\n  - segment: tee\n    branches:\n      a:\n        - segment: metrics\n      a:\n        - segment: metrics\n", "duplicate key", 7},
+		{"shared path", "pipeline:\n  - segment: sflow\n  - segment: jsonl\n    config:\n      path: out.jsonl\n  - segment: csv\n    config:\n      path: out.jsonl\n  - segment: metrics\n", "already written", 6},
+		{"dup field", "pipeline:\n  - segment: sflow\n    config:\n      batch: 1\n      batch: 2\n", "duplicate key", 5},
+		{"tab indent", "pipeline:\n\t- segment: sflow\n", "tab in indentation", 2},
+		{"flow syntax", "pipeline: [a, b]\n", "flow syntax", 1},
+		{"anchor", "pipeline:\n  - segment: &x sflow\n", "anchors", 2},
+		{"block scalar", "pipeline:\n  - segment: |\n      sflow\n", "block scalars", 2},
+		{"multi-doc", "---\npipeline:\n  - segment: sflow\n", "multi-document", 1},
+		{"unknown segment key", "pipeline:\n  - segment: sflow\n    options:\n      a: 1\n", `unknown segment key "options"`, 3},
+		{"missing kind", "pipeline:\n  - config:\n      batch: 1\n", "missing its \"segment\" kind", 2},
+	}
+	posRe := regexp.MustCompile(`^t\.yml:(\d+): `)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadConfig("t.yml", []byte(tc.yaml))
+			if err == nil {
+				t.Fatalf("config accepted:\n%s", tc.yaml)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+			m := posRe.FindStringSubmatch(err.Error())
+			if m == nil {
+				t.Fatalf("error %q carries no t.yml:line position", err)
+			}
+			if tc.line > 0 && m[1] != itoa(tc.line) {
+				t.Fatalf("error %q at line %s, want %d", err, m[1], tc.line)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Programmatic configs (native Go param values) resolve through the same
+// schema as YAML.
+func TestValidateProgrammatic(t *testing.T) {
+	cfg := &Config{
+		Name: "flags",
+		Pipeline: []SegmentConfig{
+			{Kind: "sflow", Params: map[string]any{"listen": ":0", "batch": 128, "flush": 25 * time.Millisecond}},
+			{Kind: "scrubber", Params: map[string]any{
+				"seed": 7, "window": 2 * time.Hour, "queue-cap": 8,
+				"drop-policy": "block", "drop": true,
+			}},
+		},
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc := &cfg.Pipeline[1]
+	if sc.Int("seed") != 7 || sc.Dur("window") != 2*time.Hour || !sc.Bool("drop") {
+		t.Fatalf("programmatic params resolved wrong: %+v", sc.resolved)
+	}
+	// Validate is idempotent.
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := &Config{Pipeline: []SegmentConfig{
+		{Kind: "sflow", Params: map[string]any{"batch": "not-a-number"}},
+		{Kind: "metrics"},
+	}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "expected an integer") {
+		t.Fatalf("bad programmatic value not rejected: %v", err)
+	}
+}
+
+func TestGraphRendersBranches(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "pipelines", "dual-sink.yml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig("dual-sink.yml", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := cfg.Graph()
+	for _, want := range []string{
+		"1. replay [input]", "2. tee [output]",
+		`branch "detect"`, `branch "archive"`,
+		"scrubber [output]", "jsonl [output]", "metrics [output]",
+		`path="capture.pcap"`, "queue-cap=64",
+	} {
+		if !strings.Contains(g, want) {
+			t.Fatalf("graph missing %q:\n%s", want, g)
+		}
+	}
+}
+
+// The YAML subset parser accepts quoting, escapes, comments, and the
+// same-indent sequence style.
+func TestYAMLScalars(t *testing.T) {
+	cfg, err := LoadConfig("q.yml", []byte(strings.Join([]string{
+		"# leading comment",
+		"pipeline:",
+		"- segment: sflow   # same-indent sequence, trailing comment",
+		"  config:",
+		`    listen: ":6343"`,
+		"    batch: '64'",
+		"- segment: jsonl",
+		"  config:",
+		`    path: "a \"b\"\tc"`,
+		"- segment: metrics",
+		"  config:",
+		"    name: 'it''s'",
+		"",
+	}, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Pipeline[0].Str("listen"); got != ":6343" {
+		t.Fatalf("listen = %q", got)
+	}
+	if got := cfg.Pipeline[0].Int("batch"); got != 64 {
+		t.Fatalf("batch = %d", got)
+	}
+	if got := cfg.Pipeline[1].Str("path"); got != "a \"b\"\tc" {
+		t.Fatalf("path = %q", got)
+	}
+	if got := cfg.Pipeline[2].Str("name"); got != "it's" {
+		t.Fatalf("name = %q", got)
+	}
+}

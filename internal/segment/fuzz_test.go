@@ -1,0 +1,68 @@
+package segment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzConfigLoad: the loader must never panic, must reject garbage and
+// unknown segments, and every rejection must carry a file:line position.
+// Accepted configs must revalidate cleanly and render a graph. Seeded with
+// every shipped example config plus the parser's edge cases.
+func FuzzConfigLoad(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "pipelines", "*.yml"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no example configs to seed from (%v)", err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	for _, s := range []string{
+		"",
+		"pipeline:",
+		"pipeline: [a, b]",
+		"pipeline:\n\t- segment: sflow",
+		"---\npipeline:\n  - segment: sflow",
+		"pipeline:\n  - segment: warp",
+		"pipeline:\n  - segment: &x sflow",
+		"pipeline:\n  - segment: |\n      sflow",
+		"pipeline:\n  - segment: sflow\n    config:\n      batch: 99999999999999999999",
+		"pipeline:\n  - segment: sflow\n    config:\n      listen: \"unterminated",
+		"pipeline:\n  - segment: sflow\n    config:\n      flush: -5ms",
+		"pipeline:\n  - segment: tee\n    branches:\n      a:\n        - segment: tee",
+		"pipeline:\n- segment: sflow\n- segment: scrubber\n  config:\n    drop-policy: 'block'",
+		"pipeline:\n  -\n    segment: sflow\n  - segment: metrics",
+		"a: 1\nb:\n  c: {d: e}\n",
+		"pipeline:\n  - segment: sflow\n  - segment: sflow:\n",
+		strings.Repeat("pipeline:\n", 3),
+		"pipeline:\n  - segment: \"sflow\"\n  - segment: metrics\n    config:\n      name: 'it''s'",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cfg, err := LoadConfig("fuzz.yml", []byte(src))
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "fuzz.yml:") {
+				t.Fatalf("rejection without a file:line position: %q", err)
+			}
+			return
+		}
+		// Accepted config: structurally valid, idempotently revalidatable,
+		// and renderable.
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("accepted config fails revalidation: %v", err)
+		}
+		if g := cfg.Graph(); !strings.HasPrefix(g, "pipeline fuzz.yml") {
+			t.Fatalf("graph header missing: %q", g)
+		}
+		if specs[cfg.Pipeline[0].Kind].Group != GroupInput {
+			t.Fatalf("accepted pipeline starts with non-input %q", cfg.Pipeline[0].Kind)
+		}
+	})
+}

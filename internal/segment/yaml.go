@@ -1,0 +1,383 @@
+// Package segment assembles the scrubber's processing stages into
+// config-driven pipelines: a pipeline is an ordered list of segments
+// (input / filter / modify / output groups) connected by the same batched
+// EmitBatch handoff the hardwired daemon chain uses, loaded from a YAML
+// config or constructed programmatically. Modeled on the BelWue
+// flowpipeline segment model; see DESIGN.md §16.
+package segment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The config loader parses a deliberately small YAML subset — block
+// mappings, block sequences, and scalars — with strict errors that carry
+// file:line positions. No external YAML dependency exists in this tree,
+// and pipeline configs need nothing more: anchors, flow syntax ({a: b},
+// [x, y]), multi-document streams and block scalars are rejected rather
+// than half-supported.
+
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	seqNode
+)
+
+// node is one parsed YAML value, annotated with its source line so schema
+// errors downstream stay actionable.
+type node struct {
+	kind nodeKind
+	line int
+
+	// scalar
+	value  string
+	quoted bool
+
+	// mapping (insertion-ordered)
+	keys    []string
+	vals    map[string]*node
+	keyLine map[string]int
+
+	// sequence
+	items []*node
+}
+
+// posError is a config error bound to a source position. Every error the
+// loader and validator produce wraps one, so "file.yml:12: ..." is the
+// uniform shape callers (and the fuzz harness) can rely on.
+type posError struct {
+	file string
+	line int
+	msg  string
+}
+
+func (e *posError) Error() string {
+	if e.line > 0 {
+		return fmt.Sprintf("%s:%d: %s", e.file, e.line, e.msg)
+	}
+	return fmt.Sprintf("%s: %s", e.file, e.msg)
+}
+
+func errAt(file string, line int, format string, args ...any) error {
+	return &posError{file: file, line: line, msg: fmt.Sprintf(format, args...)}
+}
+
+// srcLine is one significant (non-blank, non-comment) input line.
+type srcLine struct {
+	indent int    // leading spaces
+	text   string // comment-stripped, right-trimmed content after the indent
+	num    int    // 1-based source line number
+}
+
+type yamlParser struct {
+	file  string
+	lines []srcLine
+	pos   int
+}
+
+// parseYAML parses data into a node tree. The root must be a mapping.
+func parseYAML(file string, data []byte) (*node, error) {
+	p := &yamlParser{file: file}
+	if err := p.split(data); err != nil {
+		return nil, err
+	}
+	if len(p.lines) == 0 {
+		return nil, errAt(file, 1, "empty config")
+	}
+	if p.lines[0].indent != 0 {
+		return nil, errAt(file, p.lines[0].num, "top-level content must not be indented")
+	}
+	root, err := p.parseBlock(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, errAt(file, p.lines[p.pos].num, "unexpected indentation")
+	}
+	if root.kind != mapNode {
+		return nil, errAt(file, root.line, "top level must be a mapping (expected a \"pipeline:\" key)")
+	}
+	return root, nil
+}
+
+// split breaks data into significant lines, stripping comments (respecting
+// quotes) and rejecting tabs in indentation and unsupported constructs.
+func (p *yamlParser) split(data []byte) error {
+	for i, raw := range strings.Split(string(data), "\n") {
+		num := i + 1
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return errAt(p.file, num, "tab in indentation (use spaces)")
+		}
+		body, err := stripComment(line[indent:])
+		if err != nil {
+			return errAt(p.file, num, "%s", err)
+		}
+		body = strings.TrimRight(body, " \t")
+		if body == "" {
+			continue
+		}
+		if body == "---" || body == "..." {
+			return errAt(p.file, num, "multi-document YAML is not supported")
+		}
+		p.lines = append(p.lines, srcLine{indent: indent, text: body, num: num})
+	}
+	return nil
+}
+
+// stripComment removes a trailing "#" comment that is outside quotes and
+// preceded by whitespace (or starts the line), per YAML rules.
+func stripComment(s string) (string, error) {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				if quote == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+					i++ // '' escape inside single quotes
+					continue
+				}
+				quote = 0
+			} else if quote == '"' && c == '\\' {
+				i++ // skip escaped char
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' ' || s[i-1] == '\t'):
+			return s[:i], nil
+		}
+	}
+	if quote != 0 {
+		return "", fmt.Errorf("unterminated %c-quoted string", quote)
+	}
+	return s, nil
+}
+
+// parseBlock parses the node starting at the current position, whose first
+// line must be indented at least minIndent. It consumes every line of the
+// block (all lines at the first line's indent or deeper, subject to
+// structure).
+func (p *yamlParser) parseBlock(minIndent int) (*node, error) {
+	ln := p.lines[p.pos]
+	if ln.indent < minIndent {
+		return nil, errAt(p.file, ln.num, "expected indentation of at least %d spaces", minIndent)
+	}
+	if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+		return p.parseSeq(ln.indent)
+	}
+	return p.parseMap(ln.indent)
+}
+
+func (p *yamlParser) parseSeq(indent int) (*node, error) {
+	n := &node{kind: seqNode, line: p.lines[p.pos].num}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent || !(ln.text == "-" || strings.HasPrefix(ln.text, "- ")) {
+			if ln.indent > indent {
+				return nil, errAt(p.file, ln.num, "unexpected indentation inside sequence")
+			}
+			break
+		}
+		if ln.text == "-" {
+			// Item body on the following, deeper-indented lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, errAt(p.file, ln.num, "empty sequence item")
+			}
+			item, err := p.parseBlock(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+			n.items = append(n.items, item)
+			continue
+		}
+		// Inline item: rewrite "- content" as "  content" and reparse, so
+		// "- segment: sflow" plus deeper lines forms one mapping.
+		content := strings.TrimLeft(ln.text[2:], " ")
+		if content == "" {
+			return nil, errAt(p.file, ln.num, "empty sequence item")
+		}
+		offset := indent + (len(ln.text) - len(content))
+		p.lines[p.pos] = srcLine{indent: offset, text: content, num: ln.num}
+		item, err := p.parseBlock(indent + 1)
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item)
+	}
+	return n, nil
+}
+
+func (p *yamlParser) parseMap(indent int) (*node, error) {
+	n := &node{
+		kind:    mapNode,
+		line:    p.lines[p.pos].num,
+		vals:    map[string]*node{},
+		keyLine: map[string]int{},
+	}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, errAt(p.file, ln.num, "unexpected indentation")
+			}
+			break
+		}
+		if ln.text == "-" || strings.HasPrefix(ln.text, "- ") {
+			return nil, errAt(p.file, ln.num, "unexpected sequence item inside mapping")
+		}
+		key, rest, err := splitKey(ln.text)
+		if err != nil {
+			return nil, errAt(p.file, ln.num, "%s", err)
+		}
+		if _, dup := n.vals[key]; dup {
+			return nil, errAt(p.file, ln.num, "duplicate key %q (first defined at line %d)", key, n.keyLine[key])
+		}
+		p.pos++
+		var child *node
+		switch {
+		case rest != "":
+			child, err = parseScalar(p.file, ln.num, rest)
+			if err != nil {
+				return nil, err
+			}
+		case p.pos < len(p.lines) && p.lines[p.pos].indent > indent:
+			child, err = p.parseBlock(indent + 1)
+			if err != nil {
+				return nil, err
+			}
+		case p.pos < len(p.lines) && p.lines[p.pos].indent == indent &&
+			(p.lines[p.pos].text == "-" || strings.HasPrefix(p.lines[p.pos].text, "- ")):
+			// A sequence is commonly written at its parent key's indent.
+			child, err = p.parseSeq(indent)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			child = &node{kind: scalarNode, line: ln.num, value: ""}
+		}
+		n.keys = append(n.keys, key)
+		n.vals[key] = child
+		n.keyLine[key] = ln.num
+	}
+	return n, nil
+}
+
+// splitKey splits "key: value" (or "key:") into key and the raw value text.
+func splitKey(text string) (key, rest string, err error) {
+	idx := -1
+	for i := 0; i < len(text); i++ {
+		if text[i] == ':' && (i+1 == len(text) || text[i+1] == ' ') {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return "", "", fmt.Errorf("expected \"key: value\", got %q", text)
+	}
+	key = strings.TrimSpace(text[:idx])
+	if key == "" {
+		return "", "", fmt.Errorf("empty mapping key")
+	}
+	for _, r := range key {
+		if !(r == '-' || r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return "", "", fmt.Errorf("invalid mapping key %q (plain keys only: letters, digits, '-', '_', '.')", key)
+		}
+	}
+	return key, strings.TrimSpace(text[idx+1:]), nil
+}
+
+// parseScalar interprets one raw scalar value: double- or single-quoted
+// strings with their escapes, or a plain scalar. Flow/anchor/block-scalar
+// syntax is rejected explicitly.
+func parseScalar(file string, line int, raw string) (*node, error) {
+	switch raw[0] {
+	case '"':
+		v, err := unquoteDouble(raw)
+		if err != nil {
+			return nil, errAt(file, line, "%s", err)
+		}
+		return &node{kind: scalarNode, line: line, value: v, quoted: true}, nil
+	case '\'':
+		v, err := unquoteSingle(raw)
+		if err != nil {
+			return nil, errAt(file, line, "%s", err)
+		}
+		return &node{kind: scalarNode, line: line, value: v, quoted: true}, nil
+	case '{', '[':
+		return nil, errAt(file, line, "flow syntax %q is not supported (use block style)", raw)
+	case '&', '*':
+		return nil, errAt(file, line, "YAML anchors and aliases are not supported")
+	case '|', '>':
+		return nil, errAt(file, line, "block scalars are not supported")
+	case '%', '@', '`':
+		return nil, errAt(file, line, "invalid scalar start %q", string(raw[0]))
+	}
+	return &node{kind: scalarNode, line: line, value: raw}, nil
+}
+
+func unquoteDouble(raw string) (string, error) {
+	if len(raw) < 2 || raw[len(raw)-1] != '"' {
+		return "", fmt.Errorf("unterminated double-quoted string")
+	}
+	body := raw[1 : len(raw)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			if c == '"' {
+				return "", fmt.Errorf("trailing characters after closing quote")
+			}
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("unterminated escape in double-quoted string")
+		}
+		switch body[i] {
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '0':
+			b.WriteByte(0)
+		default:
+			return "", fmt.Errorf("unsupported escape \\%c in double-quoted string", body[i])
+		}
+	}
+	return b.String(), nil
+}
+
+func unquoteSingle(raw string) (string, error) {
+	if len(raw) < 2 || raw[len(raw)-1] != '\'' {
+		return "", fmt.Errorf("unterminated single-quoted string")
+	}
+	body := raw[1 : len(raw)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		if body[i] == '\'' {
+			if i+1 < len(body) && body[i+1] == '\'' {
+				b.WriteByte('\'')
+				i++
+				continue
+			}
+			return "", fmt.Errorf("trailing characters after closing quote")
+		}
+		b.WriteByte(body[i])
+	}
+	return b.String(), nil
+}

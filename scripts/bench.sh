@@ -13,21 +13,23 @@
 #
 # Usage: scripts/bench.sh [-benchtime 1x] [-count 1] [-only pr1,pr6] [-summary]
 #
-# -only runs a subset of the per-PR sections (pr1 pr2 pr3 pr5 pr6 pr7 pr8 pr9,
-# comma-separated); the default runs all of them. CI uses
+# -only runs a subset of the per-PR sections (pr1 pr2 pr3 pr5 pr6 pr7 pr8
+# pr9 pr10, comma-separated); the default runs all of them. CI uses
 # "-only pr6,pr7,pr8 -benchtime 1x" as a smoke test that the benchmarks
 # still compile and run, without paying for stable numbers.
 #
 # -summary skips the benchmarks entirely and merges every BENCH_PR*.json
 # at the repo root into BENCH_TRAJECTORY.json (schema bench-trajectory/v1,
 # see cmd/benchsummary) so one file tracks each metric across the stacked
-# PRs.
+# PRs. The same merge also runs automatically after every section run —
+# including any -only subset — so a refreshed BENCH_PRn.json can never
+# leave the trajectory stale.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benchtime=1x
 count=1
-only=pr1,pr2,pr3,pr5,pr6,pr7,pr8,pr9
+only=pr1,pr2,pr3,pr5,pr6,pr7,pr8,pr9,pr10
 summary=0
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -401,3 +403,44 @@ echo "wrote BENCH_PR9.json ($(nproc) cores)"
 ratio=$(awk -F'[:,]' '/election_overhead_ratio/ {print $2+0}' BENCH_PR9.json)
 awk -v r="$ratio" 'BEGIN { if (r <= 0 || r >= 2) { printf "FAIL: election overhead ratio %.3f not in (0, 2)\n", r; exit 1 } printf "election overhead ratio %.3f < 2x\n", r }'
 fi
+
+# Config-driven segment pipeline (PR 10): per-batch cost of the segment
+# layer's instrumented handoff (Feed -> input pass-through -> panic-isolated
+# hop -> scrubber ingest) vs the hardwired chain's direct EmitBatch, both
+# pushing admitted 256-record batches through the same detection queue. The
+# acceptance gate is overhead_ratio < 1.05x. Always min-of-5 at 2s like the
+# PR2 section: the gate is a ratio of two close numbers and short benchtimes
+# are pure noise.
+tmp10=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp5" "$tmp6" "$tmp7" "$tmp8" "$tmp9" "$tmp10"' EXIT
+
+if want pr10; then
+go test -run '^$' -bench 'BenchmarkHandoffHardwired|BenchmarkHandoffSegment' \
+    -benchtime 2s -count 5 ./internal/segment | tee "$tmp10"
+
+awk -v cores="$(nproc)" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+    sub(/-[0-9]+$/, "", $1)   # strip the -GOMAXPROCS suffix
+    if (!($1 in ns) || $3 + 0 < ns[$1]) ns[$1] = $3 + 0
+}
+END {
+    hw = ns["BenchmarkHandoffHardwired"]
+    seg = ns["BenchmarkHandoffSegment"]
+    printf "{\n  \"date\": \"%s\",\n  \"cores\": %d,\n", date, cores
+    printf "  \"note\": \"min of 5 runs at 2s; one op = 256 admitted 256-record batches fed and drained through the detection queue, GC pinned; per-batch figures\",\n"
+    printf "  \"handoff_ns_per_batch\": {\"hardwired\": %g, \"segment\": %g},\n", hw / 256, seg / 256
+    printf("  \"overhead_ratio\": %.4f\n", hw > 0 ? seg / hw : 0)
+    print "}"
+}' "$tmp10" > BENCH_PR10.json
+
+echo "wrote BENCH_PR10.json ($(nproc) cores)"
+
+ratio=$(awk -F'[:,]' '/overhead_ratio/ {print $2+0}' BENCH_PR10.json)
+awk -v r="$ratio" 'BEGIN { if (r <= 0 || r >= 1.05) { printf "FAIL: segment handoff overhead %.4fx not in (0, 1.05)\n", r; exit 1 } printf "segment handoff overhead %.4fx < 1.05x\n", r }'
+fi
+
+# Every section run may have refreshed a BENCH_PRn.json, so re-merge the
+# trajectory unconditionally — an -only subset can never leave
+# BENCH_TRAJECTORY.json stale behind the artifact it just rewrote.
+go run ./cmd/benchsummary -o BENCH_TRAJECTORY.json BENCH_PR*.json
+echo "wrote BENCH_TRAJECTORY.json"
